@@ -1,0 +1,67 @@
+"""E10 (§2.2 / Hendler et al. [10]): simulated-throughput comparison of
+the elimination stack against CAS-retry baselines under contention.
+
+Regenerates the published *shape*: parity at low thread counts, baseline
+collapse under contention, elimination overtaking at high thread counts.
+Absolute numbers are virtual-time artifacts (see
+repro/workloads/contention.py for the cost model).
+"""
+
+import pytest
+
+from repro.workloads.contention import (
+    mean_ops_per_ktime,
+    run_throughput,
+    throughput_sweep,
+)
+
+THREAD_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_e10_treiber(benchmark, record, threads):
+    sample = benchmark.pedantic(
+        lambda: run_throughput("treiber", threads, horizon=2000.0),
+        rounds=1,
+        iterations=1,
+    )
+    record(ops_per_ktime=round(sample.ops_per_ktime, 1),
+           cas_failures=sample.cas_failures)
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_e10_treiber_backoff(benchmark, record, threads):
+    sample = benchmark.pedantic(
+        lambda: run_throughput("treiber-backoff", threads, horizon=2000.0),
+        rounds=1,
+        iterations=1,
+    )
+    record(ops_per_ktime=round(sample.ops_per_ktime, 1))
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_e10_elimination(benchmark, record, threads):
+    sample = benchmark.pedantic(
+        lambda: run_throughput("elimination", threads, horizon=2000.0),
+        rounds=1,
+        iterations=1,
+    )
+    record(ops_per_ktime=round(sample.ops_per_ktime, 1),
+           eliminated_pairs=sample.eliminated_pairs)
+
+
+def test_e10_shape(benchmark, record):
+    """The headline comparison: who wins where."""
+
+    def sweep():
+        samples = throughput_sweep(
+            [2, 32], horizon=2000.0, seeds=[1, 2, 3]
+        )
+        return mean_ops_per_ktime(samples)
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(**{f"{k[0]}@{k[1]}": round(v, 1) for k, v in means.items()})
+    # low contention: roughly comparable (within 2x)
+    assert means[("elimination", 2)] > 0.5 * means[("treiber", 2)]
+    # high contention: elimination wins over the bare CAS-retry stack
+    assert means[("elimination", 32)] > means[("treiber", 32)]

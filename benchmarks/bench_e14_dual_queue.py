@@ -1,0 +1,80 @@
+"""E14 (extension; §6, Scherer & Scott): the dual queue — the *correct*
+counterpart to E13's naive elimination queue.
+
+Reservations live in the queue itself, so waiting dequeues are served in
+FIFO order; the workload that breaks the naive queue verifies cleanly
+here, and wider workloads fuzz-verify.
+"""
+
+from repro.checkers import CALChecker, fuzz_cal
+from repro.objects import DualQueue
+from repro.specs import DualQueueSpec
+from repro.substrate import Program, World, explore_all, spawn
+
+
+def dq_setup(scheduler):
+    world = World()
+    queue = DualQueue(world, "DQ", max_attempts=5)
+    program = Program(world)
+    program.thread("t1", lambda ctx: queue.enqueue(ctx, 1))
+    program.thread("t2", lambda ctx: queue.enqueue(ctx, 2))
+    program.thread("t3", lambda ctx: queue.dequeue(ctx))
+    return program.runtime(scheduler)
+
+
+def test_e14_e13_workload_is_sound_here(benchmark, record):
+    checker = CALChecker(DualQueueSpec("DQ"))
+
+    def explore():
+        runs = ok = 0
+        for run in explore_all(dq_setup, max_steps=300, preemption_bound=2):
+            if not run.completed:
+                continue
+            runs += 1
+            if checker.check(run.history).ok:
+                ok += 1
+        return runs, ok
+
+    runs, ok = benchmark.pedantic(explore, rounds=1, iterations=1)
+    record(runs=runs, cal_ok=ok)
+    assert runs == ok and runs > 0
+
+
+def test_e14_fuzz_wide_workload(benchmark, record):
+    def setup(scheduler):
+        world = World()
+        queue = DualQueue(world, "DQ", max_attempts=None)
+        program = Program(world)
+        for index in range(1, 7):
+            if index % 2:
+                program.thread(
+                    f"t{index}",
+                    spawn(
+                        lambda ctx, v=index: queue.enqueue(ctx, v),
+                        lambda ctx, v=index: queue.enqueue(ctx, v + 100),
+                    ),
+                )
+            else:
+                program.thread(
+                    f"t{index}",
+                    spawn(
+                        lambda ctx: queue.dequeue(ctx),
+                        lambda ctx: queue.dequeue(ctx),
+                    ),
+                )
+        return program.runtime(scheduler)
+
+    def fuzz():
+        return fuzz_cal(
+            setup,
+            DualQueueSpec("DQ"),
+            seeds=range(40),
+            max_steps=5000,
+            check_witness=False,
+            search=True,
+        )
+
+    report = benchmark.pedantic(fuzz, rounds=1, iterations=1)
+    record(runs=report.runs, failures=len(report.failures),
+           cut=report.incomplete)
+    assert report.ok

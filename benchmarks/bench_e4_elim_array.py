@@ -1,0 +1,65 @@
+"""E4 (§5): the elimination array satisfies the *same* CA-spec as one
+exchanger, verified through the view function F_AR."""
+
+from repro.checkers import verify_cal
+from repro.objects import ElimArray
+from repro.rg.views import elim_array_view
+from repro.specs import ExchangerSpec
+from repro.substrate import Program, World
+
+
+def array_setup(values, slots):
+    def setup(scheduler):
+        world = World()
+        array = ElimArray(world, "AR", slots=slots)
+        setup.array = array
+        program = Program(world)
+        for index, value in enumerate(values, start=1):
+            program.thread(
+                f"t{index}", lambda ctx, v=value: array.exchange(ctx, v)
+            )
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def _verify(values, slots, bound):
+    setup = array_setup(values, slots)
+    oids = [f"AR/E[{i}]" for i in range(slots)]
+    return verify_cal(
+        setup,
+        ExchangerSpec("AR"),
+        max_steps=300,
+        view=elim_array_view("AR", oids),
+        preemption_bound=bound,
+    )
+
+
+def test_e4_one_slot(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify([3, 4], slots=1, bound=4),
+        rounds=1,
+        iterations=1,
+    )
+    record(runs=report.runs, failures=len(report.failures))
+    assert report.ok
+
+
+def test_e4_two_slots(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify([3, 4], slots=2, bound=3),
+        rounds=1,
+        iterations=1,
+    )
+    record(runs=report.runs, failures=len(report.failures))
+    assert report.ok
+
+
+def test_e4_three_threads(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify([1, 2, 3], slots=2, bound=1),
+        rounds=1,
+        iterations=1,
+    )
+    record(runs=report.runs, failures=len(report.failures))
+    assert report.ok

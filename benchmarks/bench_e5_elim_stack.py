@@ -1,0 +1,89 @@
+"""E5 (Figure 2 + §5): the elimination stack is linearizable w.r.t. the
+sequential stack spec, proved modularly via F_ES over the CAL spec of
+the elimination layer and the central stack's spec."""
+
+from repro.checkers import verify_linearizability
+from repro.objects import POP_SENTINEL, EliminationStack
+from repro.rg.views import (
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+)
+from repro.specs import StackSpec
+from repro.substrate import Program, World, spawn
+
+
+def es_setup(scripts, slots=1, max_attempts=2):
+    def setup(scheduler):
+        world = World()
+        stack = EliminationStack(
+            world, "ES", slots=slots, max_attempts=max_attempts
+        )
+        setup.stack = stack
+        program = Program(world)
+        for index, script in enumerate(scripts, start=1):
+            calls = []
+            for step in script:
+                if step[0] == "push":
+                    calls.append(lambda ctx, v=step[1]: stack.push(ctx, v))
+                else:
+                    calls.append(lambda ctx: stack.pop(ctx))
+            program.thread(f"t{index}", spawn(*calls))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def _verify(scripts, bound, max_steps=250, **kwargs):
+    setup = es_setup(scripts, **kwargs)
+
+    def view(trace):
+        stack = setup.stack
+        composed = compose_views(
+            elimination_stack_view(
+                stack.oid, stack.central.oid, stack.elim.oid, POP_SENTINEL
+            ),
+            elim_array_view(stack.elim.oid, stack.elim.subobject_ids),
+        )
+        return composed(trace)
+
+    return verify_linearizability(
+        setup,
+        StackSpec("ES"),
+        max_steps=max_steps,
+        check_witness=True,
+        view=view,
+        preemption_bound=bound,
+    )
+
+
+def test_e5_push_pop_pair(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify([[("push", 7)], [("pop",)]], bound=2),
+        rounds=1,
+        iterations=1,
+    )
+    record(runs=report.runs, failures=len(report.failures),
+           cut=report.incomplete)
+    assert report.ok
+
+
+def test_e5_three_threads_with_elimination(benchmark, record):
+    scripts = [[("push", 7)], [("pop",)], [("push", 9), ("pop",)]]
+    report = benchmark.pedantic(
+        lambda: _verify(scripts, bound=2), rounds=1, iterations=1
+    )
+    record(runs=report.runs, failures=len(report.failures))
+    assert report.ok
+
+
+def test_e5_two_slots(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify(
+            [[("push", 7)], [("pop",)]], bound=2, slots=2, max_steps=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(runs=report.runs, failures=len(report.failures))
+    assert report.ok

@@ -1,0 +1,66 @@
+"""E6 (§2, [22]): the synchronous queue — the second exchanger client —
+is CAL w.r.t. the handoff-pair spec, via F_SQ ∘ F_AR."""
+
+from repro.checkers import verify_cal
+from repro.objects.sync_queue import TAKE_SENTINEL, SyncQueue
+from repro.rg.views import compose_views, elim_array_view, sync_queue_view
+from repro.specs import SyncQueueSpec
+from repro.substrate import Program, World
+
+
+def sq_setup(puts, takers, slots=1, max_attempts=2):
+    def setup(scheduler):
+        world = World()
+        queue = SyncQueue(
+            world, "SQ", slots=slots, max_attempts=max_attempts
+        )
+        setup.queue = queue
+        program = Program(world)
+        for index, value in enumerate(puts, start=1):
+            program.thread(
+                f"p{index}", lambda ctx, v=value: queue.put(ctx, v)
+            )
+        for index in range(1, takers + 1):
+            program.thread(f"c{index}", lambda ctx: queue.take(ctx))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def _verify(puts, takers, bound, max_steps=250):
+    setup = sq_setup(puts, takers)
+
+    def view(trace):
+        queue = setup.queue
+        composed = compose_views(
+            sync_queue_view(queue.oid, queue.elim.oid, TAKE_SENTINEL),
+            elim_array_view(queue.elim.oid, queue.elim.subobject_ids),
+        )
+        return composed(trace)
+
+    return verify_cal(
+        setup,
+        SyncQueueSpec("SQ"),
+        max_steps=max_steps,
+        view=view,
+        preemption_bound=bound,
+    )
+
+
+def test_e6_one_handoff(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify([5], 1, bound=2), rounds=1, iterations=1
+    )
+    record(runs=report.runs, failures=len(report.failures),
+           cut=report.incomplete)
+    assert report.ok
+
+
+def test_e6_two_handoffs(benchmark, record):
+    report = benchmark.pedantic(
+        lambda: _verify([5, 6], 2, bound=2, max_steps=300),
+        rounds=1,
+        iterations=1,
+    )
+    record(runs=report.runs, failures=len(report.failures))
+    assert report.ok

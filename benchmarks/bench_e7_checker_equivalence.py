@@ -1,0 +1,85 @@
+"""E7 (§3): classic linearizability is the singleton special case of
+CAL — the Wing–Gong checker and the CAL checker with the singleton
+adapter agree on every history of non-CA objects, at comparable cost."""
+
+from repro.checkers import (
+    CALChecker,
+    LinearizabilityChecker,
+    SingletonAdapter,
+)
+from repro.specs import CounterSpec, RegisterSpec
+from repro.substrate import explore_all
+from repro.workloads.programs import counter_program, register_program
+from repro.workloads.synthetic import corrupted, random_register_history
+
+
+def _reachable_histories():
+    histories = []
+    for run in explore_all(register_program([1], readers=1), max_steps=100):
+        histories.append(run.history)
+    for run in explore_all(counter_program(2), max_steps=150):
+        histories.append(run.history)
+    return histories
+
+
+def test_e7_agreement_on_reachable_histories(benchmark, record):
+    histories = _reachable_histories()
+    reg_classic = LinearizabilityChecker(RegisterSpec("R", initial_value=0))
+    reg_cal = CALChecker(
+        SingletonAdapter(RegisterSpec("R", initial_value=0))
+    )
+    cnt_classic = LinearizabilityChecker(CounterSpec("C"))
+    cnt_cal = CALChecker(SingletonAdapter(CounterSpec("C")))
+
+    def compare():
+        disagreements = 0
+        for history in histories:
+            if (
+                reg_classic.check(history).ok != reg_cal.check(history).ok
+                or cnt_classic.check(history).ok
+                != cnt_cal.check(history).ok
+            ):
+                disagreements += 1
+        return disagreements
+
+    disagreements = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record(histories=len(histories), disagreements=disagreements)
+    assert disagreements == 0
+
+
+def test_e7_agreement_on_random_and_corrupted(benchmark, record):
+    spec = RegisterSpec("R", initial_value=0)
+    classic = LinearizabilityChecker(spec)
+    cal = CALChecker(SingletonAdapter(spec))
+    inputs = []
+    for seed in range(20):
+        history = random_register_history(8, threads=3, seed=seed)
+        inputs.append(history)
+        inputs.append(corrupted(history, oid="R"))
+
+    def compare():
+        return sum(
+            1
+            for history in inputs
+            if classic.check(history).ok != cal.check(history).ok
+        )
+
+    disagreements = benchmark(compare)
+    record(inputs=len(inputs), disagreements=disagreements)
+    assert disagreements == 0
+
+
+def test_e7_classic_checker_cost(benchmark, record):
+    spec = RegisterSpec("R", initial_value=0)
+    checker = LinearizabilityChecker(spec)
+    history = random_register_history(10, threads=4, seed=3)
+    result = benchmark(lambda: checker.check(history))
+    record(nodes=result.nodes, ok=result.ok)
+
+
+def test_e7_cal_adapter_cost(benchmark, record):
+    spec = RegisterSpec("R", initial_value=0)
+    checker = CALChecker(SingletonAdapter(spec))
+    history = random_register_history(10, threads=4, seed=3)
+    result = benchmark(lambda: checker.check(history))
+    record(nodes=result.nodes, ok=result.ok)

@@ -1,0 +1,65 @@
+"""E8 (§6, Neiger / Borowsky–Gafni): the immediate snapshot is
+set-linearizable but not sequentially linearizable."""
+
+from repro.checkers import LinearizabilityChecker, SetLinearizabilityChecker
+from repro.specs import ImmediateSnapshotSpec
+from repro.substrate import explore_all
+from repro.workloads.programs import snapshot_program
+
+from tests.test_snapshot import SequentialSnapshotSpec
+
+
+def test_e8_two_participants(benchmark, record):
+    setlin = SetLinearizabilityChecker(ImmediateSnapshotSpec("IS"))
+    classic = LinearizabilityChecker(SequentialSnapshotSpec("IS"))
+
+    def explore():
+        runs = setlin_ok = classic_fail = mutual = 0
+        for run in explore_all(
+            snapshot_program([10, 20]), max_steps=200, preemption_bound=3
+        ):
+            if not run.completed:
+                continue
+            runs += 1
+            if setlin.check(run.history).ok:
+                setlin_ok += 1
+            is_mutual = all(
+                len(view) == 2 for view in run.returns.values()
+            )
+            if is_mutual:
+                mutual += 1
+                if not classic.check(run.history).ok:
+                    classic_fail += 1
+        return runs, setlin_ok, classic_fail, mutual
+
+    runs, setlin_ok, classic_fail, mutual = benchmark.pedantic(
+        explore, rounds=1, iterations=1
+    )
+    record(
+        runs=runs,
+        set_linearizable=setlin_ok,
+        mutual_visibility_runs=mutual,
+        sequentially_unexplainable=classic_fail,
+    )
+    assert setlin_ok == runs  # every run set-linearizable
+    assert mutual > 0 and classic_fail == mutual  # none sequential
+
+
+def test_e8_three_participants(benchmark, record):
+    setlin = SetLinearizabilityChecker(ImmediateSnapshotSpec("IS"))
+
+    def explore():
+        runs = ok = 0
+        for run in explore_all(
+            snapshot_program([1, 2, 3]), max_steps=400, preemption_bound=1
+        ):
+            if not run.completed:
+                continue
+            runs += 1
+            if setlin.check(run.history).ok:
+                ok += 1
+        return runs, ok
+
+    runs, ok = benchmark.pedantic(explore, rounds=1, iterations=1)
+    record(runs=runs, set_linearizable=ok)
+    assert runs == ok and runs > 0

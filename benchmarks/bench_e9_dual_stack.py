@@ -1,0 +1,65 @@
+"""E9 (§6, Scherer & Scott): the dual stack is a CA-object and is CAL
+w.r.t. the one-element-per-fulfilment specification."""
+
+from repro.checkers import CALChecker
+from repro.objects import DualStack
+from repro.specs import DualStackSpec
+from repro.substrate import Program, World, explore_all, spawn
+
+
+def ds_setup(scripts, max_attempts=4):
+    def setup(scheduler):
+        world = World()
+        stack = DualStack(world, "DS", max_attempts=max_attempts)
+        program = Program(world)
+        for index, script in enumerate(scripts, start=1):
+            calls = []
+            for step in script:
+                if step[0] == "push":
+                    calls.append(lambda ctx, v=step[1]: stack.push(ctx, v))
+                else:
+                    calls.append(lambda ctx: stack.pop(ctx))
+            program.thread(f"t{index}", spawn(*calls))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def test_e9_waiting_pop(benchmark, record):
+    checker = CALChecker(DualStackSpec("DS"))
+    setup = ds_setup([[("pop",)], [("push", 7)]])
+
+    def explore():
+        runs = ok = 0
+        for run in explore_all(setup, max_steps=200, preemption_bound=3):
+            if not run.completed:
+                continue
+            runs += 1
+            if checker.check(run.history).ok:
+                ok += 1
+        return runs, ok
+
+    runs, ok = benchmark.pedantic(explore, rounds=1, iterations=1)
+    record(runs=runs, cal_ok=ok)
+    assert runs == ok and runs > 0
+
+
+def test_e9_mixed_workload(benchmark, record):
+    checker = CALChecker(DualStackSpec("DS"))
+    setup = ds_setup(
+        [[("pop",)], [("pop",)], [("push", 1), ("push", 2)]]
+    )
+
+    def explore():
+        runs = ok = 0
+        for run in explore_all(setup, max_steps=250, preemption_bound=1):
+            if not run.completed:
+                continue
+            runs += 1
+            if checker.check(run.history).ok:
+                ok += 1
+        return runs, ok
+
+    runs, ok = benchmark.pedantic(explore, rounds=1, iterations=1)
+    record(runs=runs, cal_ok=ok)
+    assert runs == ok and runs > 0

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The elimination stack (Figure 2), verified modularly (§5).
+
+The modular pipeline:
+  * the central stack and each exchanger log their own CA-elements into
+    the shared auxiliary trace ``T`` at their linearization points;
+  * the composite view ``F_ES ∘ F_AR`` (§5) converts ``T`` into a trace
+    of elimination-stack operations — *without ever looking inside* the
+    subobjects' implementations;
+  * that viewed trace must be a legal sequential stack behaviour that
+    the ES-interface history agrees with (Def. 5).
+
+Run:  python examples/elimination_stack_demo.py
+"""
+
+from repro.checkers import verify_linearizability
+from repro.objects import POP_SENTINEL, EliminationStack
+from repro.rg.views import (
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+)
+from repro.specs import StackSpec
+from repro.specs.exchanger_spec import is_swap_pair
+from repro.substrate import Program, World, explore_all, spawn
+
+
+def build(scheduler):
+    world = World()
+    stack = EliminationStack(world, "ES", slots=1, max_attempts=2)
+    build.stack = stack
+    program = Program(world)
+    program.thread("t1", lambda ctx: stack.push(ctx, 7))
+    program.thread("t2", lambda ctx: stack.pop(ctx))
+    program.thread(
+        "t3",
+        spawn(lambda ctx: stack.push(ctx, 9), lambda ctx: stack.pop(ctx)),
+    )
+    return program.runtime(scheduler)
+
+
+def view_for(stack: EliminationStack):
+    return compose_views(
+        elimination_stack_view(
+            stack.oid, stack.central.oid, stack.elim.oid, POP_SENTINEL
+        ),
+        elim_array_view(stack.elim.oid, stack.elim.subobject_ids),
+    )
+
+
+def main() -> None:
+    print(__doc__)
+
+    print("Modular verification over all interleavings (bound 2)...")
+    report = verify_linearizability(
+        build,
+        StackSpec("ES"),
+        max_steps=250,
+        check_witness=True,
+        view=lambda trace: view_for(build.stack)(trace),
+        preemption_bound=2,
+    )
+    print(f"  {report}")
+    assert report.ok
+
+    print("\nLooking for a run where elimination actually fires...")
+    for run in explore_all(build, max_steps=250, preemption_bound=2):
+        if not run.completed:
+            continue
+        stack = build.stack
+        ar_trace = elim_array_view(
+            stack.elim.oid, stack.elim.subobject_ids
+        )(run.trace).project_object(stack.elim.oid)
+        swaps = [
+            e
+            for e in ar_trace
+            if is_swap_pair(e)
+            and POP_SENTINEL in {op.args[0] for op in e.operations}
+        ]
+        if not swaps:
+            continue
+        print("\n  raw auxiliary trace T (subobject elements):")
+        for element in run.trace:
+            print(f"    {element}")
+        viewed = view_for(stack)(run.trace).project_object("ES")
+        print("\n  F_ES(T) — the elimination-stack view:")
+        for element in viewed:
+            print(f"    {element}")
+        print(
+            "\n  The AR swap became a push linearized immediately before"
+            "\n  the pop that eliminated it — neither ever touched the"
+            "\n  central stack."
+        )
+        break
+    else:
+        raise AssertionError("no elimination run found")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: verify that the exchanger is concurrency-aware linearizable.
+
+Builds the wait-free exchanger of Figure 1, explores *every* interleaving
+of two concurrent ``exchange`` calls, and checks each run two ways:
+
+* the recorded auxiliary trace ``T`` is a witness the history agrees with
+  (Definition 5) — the paper's instrumentation-based proof technique;
+* an independent search finds *some* CA-trace of the specification the
+  history agrees with (Definition 6).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.checkers import CALChecker, verify_cal
+from repro.objects import Exchanger
+from repro.specs import ExchangerSpec
+from repro.substrate import Program, World, explore_all
+
+
+def setup(scheduler):
+    """Build a fresh world: one exchanger, two exchanging threads.
+
+    Exploration replays this factory for every interleaving, so the
+    whole world must be rebuilt each call.
+    """
+    world = World()
+    exchanger = Exchanger(world, "E")
+    program = Program(world)
+    program.thread("t1", lambda ctx: exchanger.exchange(ctx, 3))
+    program.thread("t2", lambda ctx: exchanger.exchange(ctx, 4))
+    return program.runtime(scheduler)
+
+
+def main() -> None:
+    # One-call verification: explore everything, check everything.
+    report = verify_cal(setup, ExchangerSpec("E"), max_steps=200)
+    print(f"exhaustive verification: {report}")
+    assert report.ok
+
+    # A closer look at what the runs contain.
+    outcomes = {}
+    sample_witness = None
+    checker = CALChecker(ExchangerSpec("E"))
+    for run in explore_all(setup, max_steps=200):
+        key = tuple(sorted(run.returns.items()))
+        outcomes[key] = outcomes.get(key, 0) + 1
+        if sample_witness is None and run.returns["t1"] == (True, 4):
+            sample_witness = checker.check(run.history).witness
+
+    print("\nreachable outcomes (runs per outcome):")
+    for outcome, count in sorted(outcomes.items(), key=str):
+        print(f"  {dict(outcome)}   x{count}")
+
+    print("\na successful run's explaining CA-trace (Def. 6 witness):")
+    print(f"  {sample_witness}")
+    print(
+        "\nNote the pair element: both exchanges 'take effect"
+        " simultaneously' — no sequential history can express this"
+        " without also admitting a one-sided exchange (§3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

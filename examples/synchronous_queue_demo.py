@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The synchronous queue — the paper's second exchanger client (§2).
+
+A handoff queue is itself a CA-object: a ``put`` and its ``take`` seem
+to take effect simultaneously, so its CA-spec consists purely of pair
+elements.  Unlike the elimination stack — whose view function splits an
+exchanger swap into a push followed by the pop it eliminates — the
+queue's view ``F_SQ`` keeps the swap as *one* CA-element of the queue.
+
+Run:  python examples/synchronous_queue_demo.py
+"""
+
+from repro.checkers import CALChecker, verify_cal
+from repro.objects.sync_queue import TAKE_SENTINEL, SyncQueue
+from repro.rg.views import compose_views, elim_array_view, sync_queue_view
+from repro.specs import SyncQueueSpec
+from repro.substrate import Program, World, explore_all
+
+
+def build(scheduler):
+    world = World()
+    queue = SyncQueue(world, "SQ", slots=1, max_attempts=2)
+    build.queue = queue
+    program = Program(world)
+    program.thread("p1", lambda ctx: queue.put(ctx, 5))
+    program.thread("c1", lambda ctx: queue.take(ctx))
+    return program.runtime(scheduler)
+
+
+def view_for(queue: SyncQueue):
+    return compose_views(
+        sync_queue_view(queue.oid, queue.elim.oid, TAKE_SENTINEL),
+        elim_array_view(queue.elim.oid, queue.elim.subobject_ids),
+    )
+
+
+def main() -> None:
+    print(__doc__)
+
+    report = verify_cal(
+        build,
+        SyncQueueSpec("SQ"),
+        max_steps=200,
+        view=lambda trace: view_for(build.queue)(trace),
+        preemption_bound=2,
+    )
+    print(f"exhaustive verification: {report}")
+    assert report.ok
+
+    for run in explore_all(build, max_steps=200, preemption_bound=2):
+        if not run.completed:
+            continue
+        print("\nsample run:")
+        print(f"  returns: {run.returns}")
+        viewed = view_for(build.queue)(run.trace).project_object("SQ")
+        print(f"  T_SQ = F_SQ(T): {viewed}")
+        print(
+            "\n  One pair element: the put and the take are simultaneous"
+            "\n  at the queue's own interface — the queue is a CA-object"
+            "\n  all the way up, not just in its elimination layer."
+        )
+        break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The motivating performance claim (E10): elimination beats a plain
+CAS-retry stack under high contention.
+
+Virtual-time contention simulation (see
+``repro.workloads.contention``): every thread gets the same time budget,
+effects cost virtual time (failed CAS = a bounced cache line = most
+expensive), and throughput is completed operations per 1000 time units
+across all threads.
+
+Run:  python examples/throughput_contention.py [--quick]
+"""
+
+import sys
+
+from repro.analysis.experiments import throughput_table
+from repro.workloads.contention import throughput_sweep
+
+
+def main() -> None:
+    print(__doc__)
+    quick = "--quick" in sys.argv
+    thread_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
+    seeds = [1] if quick else [1, 2, 3]
+    horizon = 1500.0 if quick else 3000.0
+    samples = throughput_sweep(
+        thread_counts, horizon=horizon, seeds=seeds
+    )
+    print(throughput_table(samples, title="ops / 1000 virtual time units"))
+
+    eliminated = {
+        (s.threads): s.eliminated_pairs
+        for s in samples
+        if s.kind == "elimination" and s.threads == thread_counts[-1]
+    }
+    print(
+        f"\neliminated pairs at {thread_counts[-1]} threads: "
+        f"{sum(eliminated.values())}"
+    )
+    print(
+        "\nShape to compare with Hendler et al. [10]: all three are"
+        "\nsimilar at 1-2 threads; the bare CAS-retry stack flattens as"
+        "\ncontention grows; backoff helps in the mid-range; the"
+        "\nelimination stack overtakes at high thread counts because"
+        "\ncolliding push/pop pairs complete off the hot path."
+    )
+
+
+if __name__ == "__main__":
+    main()

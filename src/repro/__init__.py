@@ -1,0 +1,75 @@
+"""repro — Concurrency-Aware Linearizability (CAL), executable.
+
+A reproduction of *"Brief announcement: Concurrency-aware linearizability"*
+(Hemed & Rinetzky, PODC 2014) and its full version *"Modular Verification
+of Concurrency-Aware Linearizability"* (Hemed, Rinetzky & Vafeiadis).
+
+The package provides:
+
+* :mod:`repro.substrate` — a deterministic cooperative-concurrency
+  simulator with exhaustive interleaving exploration;
+* :mod:`repro.core` — the CAL formalism (histories, CA-traces, the
+  agreement relation of Def. 5, CAL of Def. 6);
+* :mod:`repro.checkers` — classic (Herlihy–Wing) linearizability,
+  CAL, set- and interval-linearizability checkers;
+* :mod:`repro.rg` — a rely/guarantee runtime monitor (Figure 4) and the
+  view-function composition machinery of §4;
+* :mod:`repro.objects` — the paper's concurrent objects: the exchanger
+  (Figure 1), the elimination stack (Figure 2), and further CA-objects;
+* :mod:`repro.specs` — their specifications as CA-trace transition systems;
+* :mod:`repro.workloads` — client programs, including Figure 3's program P;
+* :mod:`repro.analysis` — experiment tables and reporting.
+
+Quickstart:
+
+.. code-block:: python
+
+    from repro import verify_cal
+    from repro.objects import Exchanger
+    from repro.specs import ExchangerSpec
+    from repro.substrate import Program, World
+
+    def setup(scheduler):
+        world = World()
+        exchanger = Exchanger(world, "E")
+        program = Program(world)
+        program.thread("t1", lambda ctx: exchanger.exchange(ctx, 3))
+        program.thread("t2", lambda ctx: exchanger.exchange(ctx, 4))
+        return program.runtime(scheduler)
+
+    report = verify_cal(setup, ExchangerSpec("E"), max_steps=200)
+    assert report.ok
+"""
+
+from repro.core import (
+    CAElement,
+    CATrace,
+    History,
+    Invocation,
+    Operation,
+    Response,
+    agrees,
+)
+from repro.checkers import (
+    CALChecker,
+    LinearizabilityChecker,
+    verify_cal,
+    verify_linearizability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAElement",
+    "CALChecker",
+    "CATrace",
+    "History",
+    "Invocation",
+    "LinearizabilityChecker",
+    "Operation",
+    "Response",
+    "agrees",
+    "verify_cal",
+    "verify_linearizability",
+    "__version__",
+]

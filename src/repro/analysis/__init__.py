@@ -1,0 +1,18 @@
+"""Experiment reporting: plain-text tables and aggregate summaries."""
+
+from repro.analysis.tables import Table, format_table
+from repro.analysis.timeline import render_timeline
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    checker_comparison_table,
+    throughput_table,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "Table",
+    "checker_comparison_table",
+    "format_table",
+    "render_timeline",
+    "throughput_table",
+]

@@ -1,0 +1,63 @@
+"""Experiment aggregation helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import Table
+from repro.checkers.verify import VerificationReport
+from repro.workloads.contention import ThroughputSample, mean_ops_per_ktime
+
+
+@dataclass
+class ExperimentRecord:
+    """One row of EXPERIMENTS.md: a claim and its measured verdict."""
+
+    experiment: str
+    claim: str
+    measured: str
+    holds: bool
+
+    def render(self) -> str:
+        mark = "✓" if self.holds else "✗"
+        return f"[{mark}] {self.experiment}: {self.claim} — measured: {self.measured}"
+
+
+def verification_row(
+    experiment: str, claim: str, report: VerificationReport
+) -> ExperimentRecord:
+    """Summarize a :class:`VerificationReport` as an experiment record."""
+    measured = (
+        f"{report.runs} runs checked, {len(report.failures)} failures, "
+        f"{report.incomplete} cut"
+    )
+    return ExperimentRecord(experiment, claim, measured, report.ok)
+
+
+def checker_comparison_table(
+    rows: Sequence[Tuple[str, bool, bool]],
+    title: str = "Sequential vs concurrency-aware specification (E1)",
+) -> Table:
+    """Rows of (history name, linearizable?, CAL?)."""
+    table = Table(title, ["history", "classic linearizability", "CAL"])
+    for name, lin, cal in rows:
+        table.add(name, "yes" if lin else "NO", "yes" if cal else "NO")
+    return table
+
+
+def throughput_table(
+    samples: Sequence[ThroughputSample],
+    title: str = "Simulated throughput (E10)",
+) -> Table:
+    """Mean ops/1000 virtual time units by kind and thread count."""
+    means = mean_ops_per_ktime(samples)
+    kinds = sorted({kind for kind, _ in means})
+    thread_counts = sorted({threads for _, threads in means})
+    table = Table(title, ["threads"] + list(kinds))
+    for threads in thread_counts:
+        table.add(
+            threads,
+            *[means.get((kind, threads), float("nan")) for kind in kinds],
+        )
+    return table

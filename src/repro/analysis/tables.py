@@ -1,0 +1,57 @@
+"""Minimal plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and formatted body rows."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> "Table":
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, header has {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+        return self
+
+    def render(self) -> str:
+        return format_table(self.title, self.headers, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render a fixed-width table with a title bar."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    divider = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * max(len(title), len(divider))]
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append(divider)
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""ASCII timelines of histories — Figure 3's visual language.
+
+Renders a history as one line per thread, operations drawn as intervals
+positioned by their invocation/response indices:
+
+    t1: |--exchange(3) ▷ (True, 4)---------|
+    t2:     |--exchange(4) ▷ (True, 3)-----|
+    t3:         |--exchange(7) ▷ (False, 7)----|
+
+Used by the examples and handy when staring at counterexample schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.history import History
+
+#: Width of one action column in characters.
+COLUMN = 4
+
+
+def _label(span) -> str:
+    if span.operation is not None:
+        op = span.operation
+        args = ", ".join(repr(a) for a in op.args)
+        value = ", ".join(repr(v) for v in op.value)
+        return f"{op.method}({args}) ▷ ({value})"
+    inv = span.invocation
+    args = ", ".join(repr(a) for a in inv.args)
+    return f"{inv.method}({args}) …"
+
+
+def render_timeline(history: History, column: int = 0) -> str:
+    """Render ``history`` as per-thread interval lines.
+
+    ``column`` is the character width of one action position; when 0 it
+    is auto-sized so that every operation's label fits inside its
+    interval.
+    """
+    if len(history) == 0:
+        return "(empty history)"
+    spans = history.spans()
+    threads = history.threads()
+    if column <= 0:
+        column = COLUMN
+        for span in spans:
+            span_len = max(
+                1,
+                (
+                    (span.res_index or len(history))
+                    - span.inv_index
+                ),
+            )
+            needed = (len(_label(span)) + 4 + span_len - 1) // span_len
+            column = max(column, needed)
+    width = (len(history) + 1) * column
+    lines: Dict[str, List[str]] = {
+        tid: [" "] * width for tid in threads
+    }
+    for span in spans:
+        start = span.inv_index * column
+        end = (
+            (span.res_index if span.res_index is not None else len(history))
+            * column
+        )
+        row = lines[span.invocation.tid]
+        row[start] = "|"
+        for position in range(start + 1, min(end + 1, width)):
+            row[position] = "-"
+        if span.res_index is not None:
+            row[end] = "|"
+        label = _label(span)
+        for offset, char in enumerate(label):
+            position = start + 2 + offset
+            if position < width - 1 and position < end:
+                row[position] = char
+    name_width = max(len(t) for t in threads)
+    out = []
+    for tid in threads:
+        body = "".join(lines[tid]).rstrip()
+        out.append(f"{tid.rjust(name_width)}: {body}")
+    return "\n".join(out)

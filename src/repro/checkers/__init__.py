@@ -1,0 +1,55 @@
+"""Checkers deciding membership in the paper's correctness conditions.
+
+* :mod:`repro.checkers.seqspec` — sequential specifications (state +
+  ``apply``), the currency of classic linearizability.
+* :mod:`repro.checkers.caspec` — concurrency-aware specifications (state +
+  ``step`` over CA-elements), the currency of CAL (§4).
+* :mod:`repro.checkers.adapter` — every sequential spec is a CA-spec with
+  singleton elements (§3); the bridge used by experiment E7.
+* :mod:`repro.checkers.linearizability` — classic Herlihy–Wing
+  linearizability via Wing–Gong style search.
+* :mod:`repro.checkers.cal` — the CAL checker: searches for a CA-trace of
+  the spec agreeing with the history (Def. 5/6), and validates recorded
+  witness traces produced by instrumentation.
+* :mod:`repro.checkers.setlin` — set-linearizability (Neiger, §6).
+* :mod:`repro.checkers.intervallin` — interval-linearizability
+  (Castañeda et al., §6), strictly more expressive than CAL.
+* :mod:`repro.checkers.verify` — whole-program drivers: explore all
+  interleavings of a program and check every run.
+* :mod:`repro.checkers.fuzz` — randomized (seeded-schedule) drivers for
+  workloads beyond exhaustive reach.
+"""
+
+from repro.checkers.seqspec import SequentialSpec
+from repro.checkers.caspec import CASpec
+from repro.checkers.adapter import SingletonAdapter
+from repro.checkers.linearizability import LinearizabilityChecker
+from repro.checkers.cal import CALChecker
+from repro.checkers.setlin import SetLinearizabilityChecker
+from repro.checkers.intervallin import IntervalLinearizabilityChecker
+from repro.checkers.verify import (
+    VerificationReport,
+    verify_cal,
+    verify_linearizability,
+)
+from repro.checkers.fuzz import (
+    FuzzReport,
+    fuzz_cal,
+    fuzz_linearizability,
+)
+
+__all__ = [
+    "CALChecker",
+    "CASpec",
+    "FuzzReport",
+    "IntervalLinearizabilityChecker",
+    "LinearizabilityChecker",
+    "SequentialSpec",
+    "SetLinearizabilityChecker",
+    "SingletonAdapter",
+    "VerificationReport",
+    "fuzz_cal",
+    "fuzz_linearizability",
+    "verify_cal",
+    "verify_linearizability",
+]

@@ -1,0 +1,66 @@
+"""Shared search scaffolding for the history checkers.
+
+Both the classic and the CAL checker explore assignments of a complete
+history's operations to positions in a candidate witness, constrained by
+the real-time order.  This module precomputes the constraint structure:
+per-operation predecessor sets and the *frontier* function (operations
+all of whose predecessors have been taken — by construction pairwise
+concurrent, hence candidates for the same CA-element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.history import History, OperationSpan
+
+
+@dataclass(frozen=True)
+class SearchProblem:
+    """Precomputed precedence structure of a complete history."""
+
+    spans: Tuple[OperationSpan, ...]
+    predecessors: Tuple[FrozenSet[int], ...]
+
+    @staticmethod
+    def of(history: History) -> "SearchProblem":
+        if not history.is_complete():
+            raise ValueError("search requires a complete history")
+        spans = history.spans()
+        preds: List[Set[int]] = [set() for _ in spans]
+        for i, earlier in enumerate(spans):
+            for j, later in enumerate(spans):
+                if i != j and history.precedes(earlier, later):
+                    preds[j].add(i)
+        return SearchProblem(
+            spans=spans,
+            predecessors=tuple(frozenset(p) for p in preds),
+        )
+
+    def frontier(self, taken: FrozenSet[int]) -> List[int]:
+        """Untaken operations whose predecessors are all taken.
+
+        Any two frontier operations are concurrent in the history: were
+        one ordered before the other, the later one's predecessor set
+        would contain the untaken earlier one.
+        """
+        return [
+            i
+            for i in range(len(self.spans))
+            if i not in taken and self.predecessors[i] <= taken
+        ]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def nonempty_subsets(items: Sequence[int]) -> List[Tuple[int, ...]]:
+    """All non-empty subsets, smallest first (favours singleton witnesses,
+    which keeps the classic-linearizability special case fast)."""
+    out: List[Tuple[int, ...]] = []
+    n = len(items)
+    for mask in range(1, 1 << n):
+        out.append(tuple(items[k] for k in range(n) if mask & (1 << k)))
+    out.sort(key=len)
+    return out

@@ -1,0 +1,123 @@
+"""The CAL checker (Definitions 5 and 6).
+
+Decides whether a history is concurrency-aware linearizable w.r.t. a
+CA-spec, by searching for a CA-trace in the spec that the (completed)
+history agrees with.
+
+The search works directly from the structure of Def. 5: process the
+history's operations in rounds, each round emitting one CA-element.
+Candidates for a round are the non-empty subsets of the current
+*frontier* (operations whose every real-time predecessor has already been
+emitted) — frontier operations are pairwise concurrent by construction,
+so any subset is a legal CA-element as far as the real-time order is
+concerned; the spec's ``step`` decides which subsets are semantically
+admissible.  Memoization on (emitted-set, spec-state) keeps the search
+polynomial in practice for the small widths that matter.
+
+:meth:`CALChecker.check_witness` validates a *recorded* trace (the
+auxiliary variable ``T`` of §4, projected/viewed for the object) instead
+of searching: the instrumentation's witness must (a) be in the spec and
+(b) agree with the observed history.  This is the executable counterpart
+of the paper's proof technique — the proofs establish exactly that the
+instrumented assignments always produce such a witness.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.checkers.caspec import CASpec
+from repro.checkers.result import CheckResult
+from repro.checkers._search import SearchProblem, nonempty_subsets
+from repro.core.agreement import agrees
+from repro.core.catrace import CAElement, CATrace
+from repro.core.history import History
+
+
+class CALChecker:
+    """Decides ``H`` CAL w.r.t. a CA-spec (Def. 6)."""
+
+    def __init__(self, spec: CASpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def check(self, history: History, project: bool = True) -> CheckResult:
+        """Search for a spec CA-trace that some completion agrees with."""
+        target = history.project_object(self.spec.oid) if project else history
+        if not target.is_well_formed():
+            return CheckResult(False, reason="ill-formed history")
+        if any(action.oid != self.spec.oid for action in target):
+            # Def. 5: a CA-trace of this object can only explain this
+            # object's operations.
+            return CheckResult(
+                False, reason="history contains other objects' operations"
+            )
+        best = CheckResult(False, reason="no agreeing CA-trace found")
+        candidates = lambda inv: self.spec.response_candidates_in(inv, target)
+        for completion in target.completions(candidates):
+            result = self._check_complete(completion)
+            best.nodes += result.nodes
+            if result.ok:
+                result.nodes = best.nodes
+                return result
+        return best
+
+    # ------------------------------------------------------------------
+    def _check_complete(self, history: History) -> CheckResult:
+        problem = SearchProblem.of(history)
+        total = len(problem)
+        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
+        elements: List[CAElement] = []
+        nodes = 0
+
+        def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
+            nonlocal nodes
+            nodes += 1
+            if len(taken) == total:
+                return True
+            key = (taken, state)
+            if key in seen:
+                return False
+            seen.add(key)
+            frontier = problem.frontier(taken)
+            for subset in nonempty_subsets(frontier):
+                ops = [problem.spans[i].operation for i in subset]
+                element = CAElement(self.spec.oid, ops)  # type: ignore[arg-type]
+                successor = self.spec.step(state, element)
+                if successor is None:
+                    continue
+                elements.append(element)
+                if dfs(taken | set(subset), successor):
+                    return True
+                elements.pop()
+            return False
+
+        if dfs(frozenset(), self.spec.initial()):
+            witness = CATrace(list(elements))
+            return CheckResult(
+                True, witness=witness, completion=history, nodes=nodes
+            )
+        return CheckResult(
+            False, reason="no agreeing CA-trace found", nodes=nodes
+        )
+
+    # ------------------------------------------------------------------
+    def check_witness(
+        self, history: History, trace: CATrace, project: bool = True
+    ) -> CheckResult:
+        """Validate a recorded witness trace against the observed history.
+
+        Checks (a) ``trace ∈ spec`` and (b) ``H ⊑_CAL trace`` (Def. 5).
+        """
+        target = history.project_object(self.spec.oid) if project else history
+        if not target.is_complete():
+            return CheckResult(
+                False, reason="witness validation needs a complete history"
+            )
+        if not self.spec.accepts(trace):
+            return CheckResult(False, reason="witness not in specification")
+        if not agrees(target, trace):
+            return CheckResult(
+                False, reason="history does not agree with witness (Def. 5)"
+            )
+        return CheckResult(True, witness=trace, completion=target)

@@ -1,0 +1,67 @@
+"""Concurrency-aware specifications (§4).
+
+A CA-spec is a transition system over *CA-elements*: ``step(state,
+element)`` returns the successor state when the element — a set of
+operations that seem to take effect simultaneously — is legal from
+``state``, and ``None`` otherwise.  The denoted set of CA-traces is the
+prefix-closed set of legal paths from ``initial()``.
+
+Example: the exchanger's spec has a single (trivial) state, and a legal
+element is either a matched swap pair or a failed singleton — see
+:class:`repro.specs.exchanger_spec.ExchangerSpec`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.core.actions import Invocation
+from repro.core.catrace import CAElement, CATrace
+from repro.core.history import History
+
+
+class CASpec(ABC):
+    """Base class for concurrency-aware object specifications."""
+
+    def __init__(self, oid: str) -> None:
+        self.oid = oid
+
+    @abstractmethod
+    def initial(self) -> Hashable:
+        """The initial abstract state."""
+
+    @abstractmethod
+    def step(
+        self, state: Hashable, element: CAElement
+    ) -> Optional[Hashable]:
+        """Successor state if ``element`` is legal from ``state``."""
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        """Return values worth trying when completing pending invocations."""
+        return ()
+
+    def response_candidates_in(
+        self, invocation: Invocation, history: "History"
+    ) -> Iterable[Tuple[Any, ...]]:
+        """Context-aware variant: completions may depend on the rest of
+        the history (e.g. a pending exchange can only complete
+        *successfully* with the value of some other exchange present in
+        the history).  Defaults to the context-free candidates."""
+        return self.response_candidates(invocation)
+
+    def accepts(self, trace: CATrace | Sequence[CAElement]) -> bool:
+        """Whether the CA-trace is in the specification."""
+        state = self.initial()
+        for element in trace:
+            if element.oid != self.oid:
+                return False
+            state = self.step(state, element)
+            if state is None:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.oid!r})"

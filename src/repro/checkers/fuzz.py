@@ -1,0 +1,135 @@
+"""Randomized (fuzz) verification drivers.
+
+Exhaustive exploration is exact but bounded to small thread counts;
+these drivers sample seeded random schedules instead, which scales to
+wider workloads (4+ threads, longer scripts) at the price of
+probabilistic coverage.  Every failure still comes with its seed, so
+counterexamples reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.checkers.cal import CALChecker
+from repro.checkers.caspec import CASpec
+from repro.checkers.linearizability import LinearizabilityChecker
+from repro.checkers.seqspec import SequentialSpec
+from repro.checkers.verify import ViewFn
+from repro.core.history import History
+from repro.substrate.explore import SetupFn, run_random
+
+
+@dataclass
+class FuzzFailure:
+    """One seeded run that violated the specification."""
+
+    seed: int
+    history: History
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"FuzzFailure(seed={self.seed}, {self.reason})"
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzzing campaign."""
+
+    runs: int = 0
+    incomplete: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.runs > 0 and not self.failures
+
+    def __repr__(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        return (
+            f"FuzzReport({verdict}, runs={self.runs}, "
+            f"cut={self.incomplete})"
+        )
+
+
+def fuzz_cal(
+    setup: SetupFn,
+    spec: CASpec,
+    seeds: Sequence[int] = range(50),
+    max_steps: Optional[int] = 5000,
+    check_witness: bool = True,
+    search: bool = False,
+    view: Optional[ViewFn] = None,
+    yield_bias: float = 0.0,
+) -> FuzzReport:
+    """Sample random schedules and check CAL on each complete run.
+
+    Defaults favour witness validation (linear per run) over search,
+    since fuzzing targets workloads where search would dominate.
+    """
+    checker = CALChecker(spec)
+    report = FuzzReport()
+    for seed in seeds:
+        run = run_random(
+            setup, seed=seed, max_steps=max_steps, yield_bias=yield_bias
+        )
+        if not run.completed:
+            report.incomplete += 1
+            continue
+        report.runs += 1
+        history = run.history
+        if check_witness:
+            trace = view(run.trace) if view is not None else run.trace
+            witness = trace.project_object(spec.oid)
+            result = checker.check_witness(history, witness)
+            if not result.ok:
+                report.failures.append(
+                    FuzzFailure(seed, history, result.reason)
+                )
+                continue
+        if search:
+            result = checker.check(history)
+            if not result.ok:
+                report.failures.append(
+                    FuzzFailure(seed, history, result.reason)
+                )
+    return report
+
+
+def fuzz_linearizability(
+    setup: SetupFn,
+    spec: SequentialSpec,
+    seeds: Sequence[int] = range(50),
+    max_steps: Optional[int] = 5000,
+    check_witness: bool = False,
+    view: Optional[ViewFn] = None,
+    yield_bias: float = 0.0,
+) -> FuzzReport:
+    """Sample random schedules and check linearizability on each run."""
+    checker = LinearizabilityChecker(spec)
+    report = FuzzReport()
+    for seed in seeds:
+        run = run_random(
+            setup, seed=seed, max_steps=max_steps, yield_bias=yield_bias
+        )
+        if not run.completed:
+            report.incomplete += 1
+            continue
+        report.runs += 1
+        history = run.history
+        if check_witness:
+            from repro.checkers.verify import _validate_singleton_witness
+
+            trace = view(run.trace) if view is not None else run.trace
+            witness = trace.project_object(spec.oid)
+            problem = _validate_singleton_witness(checker, history, witness)
+            if problem is not None:
+                report.failures.append(FuzzFailure(seed, history, problem))
+                continue
+        result = checker.check(history)
+        if not result.ok:
+            report.failures.append(
+                FuzzFailure(seed, history, result.reason)
+            )
+    return report

@@ -1,0 +1,100 @@
+"""Classic linearizability (Herlihy & Wing [12]) via Wing–Gong search.
+
+A complete history is linearizable w.r.t. a sequential specification if
+some total order of its operations (a) extends the real-time order and
+(b) is a legal path of the spec.  The checker performs a DFS over
+"minimal" (frontier) operations with memoization on (taken-set, state) —
+the standard Wing–Gong/Lowe algorithm.
+
+For histories with pending invocations, every completion (Def. 2) is
+tried: pending invocations are dropped or completed with responses
+suggested by ``spec.response_candidates``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.checkers.result import CheckResult
+from repro.checkers.seqspec import SequentialSpec
+from repro.checkers._search import SearchProblem
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement, CATrace
+from repro.core.history import History
+
+
+class LinearizabilityChecker:
+    """Decides ``H`` linearizable w.r.t. a sequential spec."""
+
+    def __init__(self, spec: SequentialSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def check(self, history: History, project: bool = True) -> CheckResult:
+        """Check ``history`` (projected to the spec's object by default)."""
+        target = history.project_object(self.spec.oid) if project else history
+        if not target.is_well_formed():
+            return CheckResult(False, reason="ill-formed history")
+        best = CheckResult(False, reason="no linearization found")
+        candidates = lambda inv: self.spec.response_candidates_in(inv, target)
+        for completion in target.completions(candidates):
+            result = self._check_complete(completion)
+            best.nodes += result.nodes
+            if result.ok:
+                result.nodes = best.nodes
+                return result
+        return best
+
+    # ------------------------------------------------------------------
+    def _check_complete(self, history: History) -> CheckResult:
+        problem = SearchProblem.of(history)
+        total = len(problem)
+        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
+        order: List[int] = []
+        nodes = 0
+
+        def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
+            nonlocal nodes
+            nodes += 1
+            if len(taken) == total:
+                return True
+            key = (taken, state)
+            if key in seen:
+                return False
+            seen.add(key)
+            for index in problem.frontier(taken):
+                op = problem.spans[index].operation
+                assert op is not None
+                successor = self.spec.apply(state, op)
+                if successor is None:
+                    continue
+                order.append(index)
+                if dfs(taken | {index}, successor):
+                    return True
+                order.pop()
+            return False
+
+        if dfs(frozenset(), self.spec.initial()):
+            ops = [problem.spans[i].operation for i in order]
+            witness = CATrace(
+                CAElement(op.oid, [op]) for op in ops if op is not None
+            )
+            return CheckResult(
+                True, witness=witness, completion=history, nodes=nodes
+            )
+        return CheckResult(
+            False, reason="no linearization found", nodes=nodes
+        )
+
+    # ------------------------------------------------------------------
+    def check_order(self, history: History, order: List[Operation]) -> bool:
+        """Validate an explicitly proposed linearization order: it must be
+        a permutation of the history's operations, extend the real-time
+        order, and be accepted by the spec."""
+        target = history.project_object(self.spec.oid)
+        if not target.is_complete():
+            return False
+        witness = CATrace(CAElement(op.oid, [op]) for op in order)
+        from repro.core.agreement import agrees  # local import, no cycle
+
+        return self.spec.accepts(order) and agrees(target, witness)

@@ -1,0 +1,34 @@
+"""Check results shared by all checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.catrace import CATrace
+from repro.core.history import History
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one history against one specification.
+
+    ``witness`` is the explaining CA-trace (for CAL/set-lin checks) or the
+    singleton CA-trace of the linearization order (for classic checks);
+    ``completion`` is the completed history the witness explains.
+    ``nodes`` counts search-tree nodes visited — the cost measure used by
+    the scaling and ablation experiments.
+    """
+
+    ok: bool
+    witness: Optional[CATrace] = None
+    completion: Optional[History] = None
+    nodes: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        verdict = "OK" if self.ok else f"FAIL({self.reason})"
+        return f"CheckResult({verdict}, nodes={self.nodes})"

@@ -1,0 +1,61 @@
+"""Sequential specifications.
+
+A sequential specification is a deterministic-state transition system over
+*operations*: ``apply(state, op)`` returns the successor state when ``op``
+is a legal next operation (its arguments *and* its result are consistent
+with ``state``) and ``None`` otherwise.  The set of histories it denotes
+is the prefix-closed set of sequential histories whose operation sequence
+is a legal path from ``initial()``.
+
+States must be hashable: the checkers memoize on (progress, state).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.core.actions import Invocation, Operation
+from repro.core.history import History
+
+
+class SequentialSpec(ABC):
+    """Base class for sequential object specifications."""
+
+    def __init__(self, oid: str) -> None:
+        self.oid = oid
+
+    @abstractmethod
+    def initial(self) -> Hashable:
+        """The initial abstract state."""
+
+    @abstractmethod
+    def apply(self, state: Hashable, op: Operation) -> Optional[Hashable]:
+        """Successor state if ``op`` is legal from ``state``, else ``None``."""
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        """Return values worth trying when completing a pending invocation
+        (Def. 2's ``complete(H)``).  Default: none, i.e. pending
+        invocations can only be dropped."""
+        return ()
+
+    def response_candidates_in(
+        self, invocation: Invocation, history: "History"
+    ) -> Iterable[Tuple[Any, ...]]:
+        """Context-aware variant of :meth:`response_candidates`; see
+        :meth:`repro.checkers.caspec.CASpec.response_candidates_in`."""
+        return self.response_candidates(invocation)
+
+    def accepts(self, ops: Sequence[Operation]) -> bool:
+        """Whether the operation sequence is a legal sequential history."""
+        state = self.initial()
+        for op in ops:
+            state = self.apply(state, op)
+            if state is None:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.oid!r})"

@@ -1,0 +1,54 @@
+"""Set-linearizability (Neiger [18], discussed in §6).
+
+Neiger's set-linearizability linearizes concurrent operations against a
+sequence of *sets* of simultaneous operations.  Modulo presentation, its
+witnesses coincide with CA-traces of a single object: CAL's Definitions
+4–6 are (as the paper notes) a formalization and generalization of
+Neiger's proposal — Neiger gave neither a formal definition nor a proof
+technique; the paper supplies both, plus object-modular specifications.
+
+Operationally, a set-linearizability check *is* a CAL check, so this
+checker is a thin veneer over :class:`~repro.checkers.cal.CALChecker`.
+It exists (a) to make experiment E8 read like the related-work it
+reproduces and (b) to host the set-sequential-spec helper
+:class:`BlockSpec`, which builds a CA-spec from a predicate over blocks
+and an initial state — the idiom of Neiger-style specifications such as
+the immediate snapshot's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from repro.checkers.cal import CALChecker
+from repro.checkers.caspec import CASpec
+from repro.core.catrace import CAElement
+
+
+class BlockSpec(CASpec):
+    """A CA-spec given by an initial state and a block transition function.
+
+    ``transition(state, element)`` returns the successor state or ``None``
+    — exactly :meth:`CASpec.step`, but packaged as a plain function so
+    Neiger-style set-sequential specs can be written inline.
+    """
+
+    def __init__(
+        self,
+        oid: str,
+        initial_state: Hashable,
+        transition: Callable[[Hashable, CAElement], Optional[Hashable]],
+    ) -> None:
+        super().__init__(oid)
+        self._initial = initial_state
+        self._transition = transition
+
+    def initial(self) -> Hashable:
+        return self._initial
+
+    def step(self, state: Hashable, element: CAElement) -> Optional[Hashable]:
+        return self._transition(state, element)
+
+
+class SetLinearizabilityChecker(CALChecker):
+    """Set-linearizability = CAL over a single object's CA-spec."""

@@ -1,0 +1,180 @@
+"""Whole-program verification drivers.
+
+These tie the substrate to the checkers: explore every interleaving of a
+program (exhaustively, up to a step bound) and check each run's history
+against a specification — by search (Def. 6 directly) and/or by
+validating the recorded auxiliary-trace witness (the paper's
+instrumentation-based proof technique, §4–§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.checkers.cal import CALChecker
+from repro.checkers.caspec import CASpec
+from repro.checkers.linearizability import LinearizabilityChecker
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.catrace import CATrace
+from repro.core.history import History
+from repro.substrate.explore import SetupFn, explore_all
+from repro.substrate.runtime import RunResult
+
+
+@dataclass
+class Failure:
+    """One run that violated the specification."""
+
+    schedule: List[int]
+    history: History
+    trace: CATrace
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"Failure({self.reason}; schedule={self.schedule})"
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate outcome of checking every explored run."""
+
+    runs: int = 0
+    incomplete: int = 0
+    nodes: int = 0
+    failures: List[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.runs > 0 and not self.failures
+
+    def __repr__(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        return (
+            f"VerificationReport({verdict}, runs={self.runs}, "
+            f"cut={self.incomplete}, nodes={self.nodes})"
+        )
+
+
+ViewFn = Callable[[CATrace], CATrace]
+
+
+def verify_cal(
+    setup: SetupFn,
+    spec: CASpec,
+    max_steps: Optional[int] = None,
+    check_witness: bool = True,
+    search: bool = True,
+    view: Optional[ViewFn] = None,
+    limit: Optional[int] = None,
+    preemption_bound: Optional[int] = None,
+) -> VerificationReport:
+    """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
+
+    ``check_witness`` validates the recorded auxiliary trace of each run
+    (viewed through ``view`` when the object is composite — §4's
+    ``T_o = F_o(T)``); ``search`` independently looks for *some* agreeing
+    spec trace (Def. 6).  Enabling both cross-validates instrumentation
+    against the definition.
+    """
+    checker = CALChecker(spec)
+    report = VerificationReport()
+    for run in explore_all(
+        setup,
+        max_steps=max_steps,
+        limit=limit,
+        preemption_bound=preemption_bound,
+    ):
+        if not run.completed:
+            report.incomplete += 1
+            continue
+        report.runs += 1
+        history = run.history
+        if check_witness:
+            trace = view(run.trace) if view is not None else run.trace
+            witness = trace.project_object(spec.oid)
+            result = checker.check_witness(history, witness)
+            report.nodes += result.nodes
+            if not result.ok:
+                report.failures.append(
+                    Failure(run.schedule, history, witness, result.reason)
+                )
+                continue
+        if search:
+            result = checker.check(history)
+            report.nodes += result.nodes
+            if not result.ok:
+                report.failures.append(
+                    Failure(run.schedule, history, run.trace, result.reason)
+                )
+    return report
+
+
+def verify_linearizability(
+    setup: SetupFn,
+    spec: SequentialSpec,
+    max_steps: Optional[int] = None,
+    check_witness: bool = False,
+    view: Optional[ViewFn] = None,
+    limit: Optional[int] = None,
+    preemption_bound: Optional[int] = None,
+) -> VerificationReport:
+    """Explore all runs of ``setup`` and check classic linearizability.
+
+    With ``check_witness``, the recorded trace (viewed through ``view``)
+    must consist of singleton elements forming a legal linearization that
+    the history agrees with — the modular elimination-stack proof (E5)
+    uses exactly this with ``view = F_ES``.
+    """
+    checker = LinearizabilityChecker(spec)
+    report = VerificationReport()
+    for run in explore_all(
+        setup,
+        max_steps=max_steps,
+        limit=limit,
+        preemption_bound=preemption_bound,
+    ):
+        if not run.completed:
+            report.incomplete += 1
+            continue
+        report.runs += 1
+        history = run.history
+        if check_witness:
+            trace = view(run.trace) if view is not None else run.trace
+            witness = trace.project_object(spec.oid)
+            problem = _validate_singleton_witness(
+                checker, history, witness
+            )
+            if problem is not None:
+                report.failures.append(
+                    Failure(run.schedule, history, witness, problem)
+                )
+                continue
+        result = checker.check(history)
+        report.nodes += result.nodes
+        if not result.ok:
+            report.failures.append(
+                Failure(run.schedule, history, run.trace, result.reason)
+            )
+    return report
+
+
+def _validate_singleton_witness(
+    checker: LinearizabilityChecker,
+    history: History,
+    witness: CATrace,
+) -> Optional[str]:
+    """Check a recorded singleton trace is a valid linearization witness."""
+    from repro.core.agreement import agrees
+
+    if any(not e.is_singleton() for e in witness):
+        return "witness contains non-singleton elements"
+    ops = [e.single() for e in witness]
+    if not checker.spec.accepts(ops):
+        return "witness rejected by sequential spec"
+    target = history.project_object(checker.spec.oid)
+    if not target.is_complete():
+        return "history incomplete at witness validation"
+    if not agrees(target, witness):
+        return "history does not agree with witness (Def. 5)"
+    return None

@@ -1,0 +1,26 @@
+"""The CAL formalism of §3.1, executable.
+
+* :mod:`repro.core.actions` — invocations, responses, operations (Def. 1, 4).
+* :mod:`repro.core.history` — histories, well-formedness, completeness,
+  completions, projections, the real-time order (Def. 2, 3).
+* :mod:`repro.core.catrace` — CA-elements and CA-traces (Def. 4).
+* :mod:`repro.core.agreement` — the agreement relation ``H ⊑_CAL T``
+  (Def. 5) and CAL itself (Def. 6).
+"""
+
+from repro.core.actions import Invocation, Operation, Response
+from repro.core.history import History, real_time_order
+from repro.core.catrace import CAElement, CATrace
+from repro.core.agreement import agrees, find_agreement
+
+__all__ = [
+    "CAElement",
+    "CATrace",
+    "History",
+    "Invocation",
+    "Operation",
+    "Response",
+    "agrees",
+    "find_agreement",
+    "real_time_order",
+]

@@ -1,0 +1,116 @@
+"""Object actions and operations (Definitions 1 and 4).
+
+An *object action* is either an invocation ``(t, inv o.f(n))`` or a
+response ``(t, res o.f ▷ n)``.  An *operation* ``(t, f(n) ▷ n')`` pairs an
+invocation with its matching response.
+
+Arguments and results are kept as tuples so that multi-argument methods
+and compound results (e.g. the exchanger's ``(bool, int)``) are uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple, Union
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    """Normalize arguments/results to a tuple."""
+    if isinstance(value, tuple):
+        return value
+    return (value,)
+
+
+@dataclass(frozen=True, order=True)
+class Invocation:
+    """``(t, inv o.f(args))`` — thread ``t`` starts method ``f`` on ``o``."""
+
+    tid: str
+    oid: str
+    method: str
+    args: Tuple[Any, ...] = ()
+
+    @property
+    def is_invocation(self) -> bool:
+        return True
+
+    @property
+    def is_response(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"({self.tid}, inv {self.oid}.{self.method}({args}))"
+
+
+@dataclass(frozen=True, order=True)
+class Response:
+    """``(t, res o.f ▷ value)`` — method ``f`` on ``o`` returns ``value``."""
+
+    tid: str
+    oid: str
+    method: str
+    value: Tuple[Any, ...] = ()
+
+    @property
+    def is_invocation(self) -> bool:
+        return False
+
+    @property
+    def is_response(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        value = ", ".join(repr(v) for v in self.value)
+        return f"({self.tid}, res {self.oid}.{self.method} ▷ ({value}))"
+
+
+Action = Union[Invocation, Response]
+
+
+@dataclass(frozen=True, order=True)
+class Operation:
+    """``(t, f(args) ▷ value)`` — a completed operation (Def. 4).
+
+    Operations are the elements CA-elements are built from.  ``oid`` is
+    carried along so an operation knows which object it belongs to, even
+    though Def. 4 attaches the object to the CA-element; this makes view
+    functions (§4) and projections straightforward.
+    """
+
+    tid: str
+    oid: str
+    method: str
+    args: Tuple[Any, ...] = ()
+    value: Tuple[Any, ...] = ()
+
+    @staticmethod
+    def of(
+        tid: str,
+        oid: str,
+        method: str,
+        args: Any = (),
+        value: Any = (),
+    ) -> "Operation":
+        """Build an operation, normalizing args/value to tuples."""
+        return Operation(tid, oid, method, _as_tuple(args), _as_tuple(value))
+
+    @staticmethod
+    def from_actions(inv: Invocation, res: Response) -> "Operation":
+        """Pair an invocation with its matching response."""
+        if (inv.tid, inv.oid, inv.method) != (res.tid, res.oid, res.method):
+            raise ValueError(f"mismatched actions: {inv} / {res}")
+        return Operation(inv.tid, inv.oid, inv.method, inv.args, res.value)
+
+    @property
+    def invocation(self) -> Invocation:
+        return Invocation(self.tid, self.oid, self.method, self.args)
+
+    @property
+    def response(self) -> Response:
+        return Response(self.tid, self.oid, self.method, self.value)
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        value = ", ".join(repr(v) for v in self.value)
+        return f"({self.tid}, {self.oid}.{self.method}({args}) ▷ ({value}))"

@@ -1,0 +1,287 @@
+"""Histories and the real-time order (Definitions 2 and 3).
+
+A history is a finite sequence of invocations and responses.  This module
+provides well-formedness / sequentiality / completeness checks, thread and
+object projections, matching of invocations to responses, the real-time
+order between operations, and the ``complete(H)`` construction used by
+Definition 6 (extend with responses, drop pending invocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.actions import Action, Invocation, Operation, Response
+
+
+@dataclass(frozen=True)
+class OperationSpan:
+    """An operation together with the indices of its actions in a history.
+
+    ``res_index`` is ``None`` for pending operations (invocation without a
+    matching response).
+    """
+
+    operation: Optional[Operation]
+    invocation: Invocation
+    inv_index: int
+    res_index: Optional[int]
+
+    @property
+    def pending(self) -> bool:
+        return self.res_index is None
+
+
+class History:
+    """An immutable sequence of object actions (Def. 2)."""
+
+    __slots__ = ("_actions", "_spans")
+
+    def __init__(self, actions: Iterable[Action] = ()) -> None:
+        self._actions: Tuple[Action, ...] = tuple(actions)
+        self._spans: Optional[Tuple[OperationSpan, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self._actions)
+
+    def __getitem__(self, index: int) -> Action:
+        return self._actions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, History):
+            return NotImplemented
+        return self._actions == other._actions
+
+    def __hash__(self) -> int:
+        return hash(self._actions)
+
+    def __repr__(self) -> str:
+        body = "; ".join(str(a) for a in self._actions)
+        return f"History[{body}]"
+
+    @property
+    def actions(self) -> Tuple[Action, ...]:
+        return self._actions
+
+    def append(self, *actions: Action) -> "History":
+        """Return a new history with ``actions`` appended."""
+        return History(self._actions + actions)
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def project_thread(self, tid: str) -> "History":
+        """``H|t`` — the subsequence of actions of thread ``tid``."""
+        return History(a for a in self._actions if a.tid == tid)
+
+    def project_object(self, oid: str) -> "History":
+        """``H|o`` — the subsequence of actions on object ``oid``."""
+        return History(a for a in self._actions if a.oid == oid)
+
+    def threads(self) -> List[str]:
+        """Thread identifiers in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for action in self._actions:
+            seen.setdefault(action.tid, None)
+        return list(seen)
+
+    def objects(self) -> List[str]:
+        """Object identifiers in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for action in self._actions:
+            seen.setdefault(action.oid, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Classification (Def. 2)
+    # ------------------------------------------------------------------
+    def is_sequential(self) -> bool:
+        """Alternating invocations and matching responses, starting with
+        an invocation (possibly ending with a pending invocation)."""
+        expect_invocation = True
+        last: Optional[Invocation] = None
+        for action in self._actions:
+            if expect_invocation:
+                if not action.is_invocation:
+                    return False
+                last = action  # type: ignore[assignment]
+            else:
+                if not action.is_response:
+                    return False
+                assert last is not None
+                if (action.tid, action.oid, action.method) != (
+                    last.tid,
+                    last.oid,
+                    last.method,
+                ):
+                    return False
+            expect_invocation = not expect_invocation
+        return True
+
+    def is_well_formed(self) -> bool:
+        """``H|t`` is sequential for every thread ``t``."""
+        return all(self.project_thread(t).is_sequential() for t in self.threads())
+
+    def is_complete(self) -> bool:
+        """Well-formed and every invocation has a matching response."""
+        if not self.is_well_formed():
+            return False
+        return not any(span.pending for span in self.spans())
+
+    # ------------------------------------------------------------------
+    # Matching invocations to responses
+    # ------------------------------------------------------------------
+    def spans(self) -> Tuple[OperationSpan, ...]:
+        """Pair every invocation with its matching response.
+
+        Because each ``H|t`` is sequential, matching is positional within a
+        thread: a response matches the immediately preceding unmatched
+        invocation of the same thread.
+        """
+        if self._spans is not None:
+            return self._spans
+        open_inv: Dict[str, Tuple[Invocation, int]] = {}
+        spans: List[OperationSpan] = []
+        pending_slot: Dict[str, int] = {}
+        for index, action in enumerate(self._actions):
+            if action.is_invocation:
+                if action.tid in open_inv:
+                    raise ValueError(
+                        f"ill-formed history: nested invocation by {action.tid}"
+                    )
+                open_inv[action.tid] = (action, index)  # type: ignore[assignment]
+                pending_slot[action.tid] = len(spans)
+                spans.append(
+                    OperationSpan(None, action, index, None)  # type: ignore[arg-type]
+                )
+            else:
+                if action.tid not in open_inv:
+                    raise ValueError(
+                        f"ill-formed history: response without invocation by "
+                        f"{action.tid}"
+                    )
+                inv, inv_index = open_inv.pop(action.tid)
+                slot = pending_slot.pop(action.tid)
+                operation = Operation.from_actions(inv, action)  # type: ignore[arg-type]
+                spans[slot] = OperationSpan(operation, inv, inv_index, index)
+        self._spans = tuple(spans)
+        return self._spans
+
+    def operations(self) -> List[Operation]:
+        """All completed operations, in invocation order."""
+        return [s.operation for s in self.spans() if s.operation is not None]
+
+    def pending_invocations(self) -> List[Invocation]:
+        """Invocations with no matching response."""
+        return [s.invocation for s in self.spans() if s.pending]
+
+    # ------------------------------------------------------------------
+    # Real-time order (Def. 3)
+    # ------------------------------------------------------------------
+    def precedes(self, earlier: OperationSpan, later: OperationSpan) -> bool:
+        """``earlier ≺_H later``: the response of ``earlier`` appears before
+        the invocation of ``later``."""
+        if earlier.res_index is None:
+            return False
+        return earlier.res_index < later.inv_index
+
+    def real_time_pairs(self) -> Set[Tuple[int, int]]:
+        """Indices ``(i, j)`` into :meth:`spans` with ``span_i ≺_H span_j``."""
+        spans = self.spans()
+        pairs: Set[Tuple[int, int]] = set()
+        for i, earlier in enumerate(spans):
+            for j, later in enumerate(spans):
+                if i != j and self.precedes(earlier, later):
+                    pairs.add((i, j))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Completions (Def. 2 / Def. 6)
+    # ------------------------------------------------------------------
+    def completions(
+        self,
+        response_candidates: Optional[
+            Callable[[Invocation], Iterable[Any]]
+        ] = None,
+    ) -> Iterator["History"]:
+        """Enumerate ``complete(H)``.
+
+        Each pending invocation is either *removed* or *extended* with a
+        response.  ``response_candidates`` maps a pending invocation to the
+        return values worth trying (typically supplied by the object's
+        specification); when omitted, pending invocations can only be
+        removed.
+
+        Yields complete histories; if ``H`` is already complete, yields
+        ``H`` itself first.
+        """
+        pending = self.pending_invocations()
+        if not pending:
+            yield self
+            return
+
+        choices: List[List[Optional[Response]]] = []
+        for invocation in pending:
+            options: List[Optional[Response]] = [None]  # None = drop
+            if response_candidates is not None:
+                for value in response_candidates(invocation):
+                    if not isinstance(value, tuple):
+                        value = (value,)
+                    options.append(
+                        Response(
+                            invocation.tid,
+                            invocation.oid,
+                            invocation.method,
+                            value,
+                        )
+                    )
+            choices.append(options)
+
+        pending_set = {id(inv) for inv in pending}
+        for combo in product(*choices):
+            dropped = {
+                id(inv)
+                for inv, choice in zip(pending, combo)
+                if choice is None
+            }
+            kept: List[Action] = []
+            for action in self._actions:
+                if action.is_invocation and id(action) in pending_set:
+                    if id(action) in dropped:
+                        continue
+                kept.append(action)
+            appended = [c for c in combo if c is not None]
+            yield History(tuple(kept) + tuple(appended))
+
+
+def real_time_order(history: History) -> Set[Tuple[int, int]]:
+    """Convenience wrapper for :meth:`History.real_time_pairs`."""
+    return history.real_time_pairs()
+
+
+def history_of_operations(ops: Sequence[Operation]) -> History:
+    """Build the sequential history ``inv₁ res₁ inv₂ res₂ …`` from ops."""
+    actions: List[Action] = []
+    for op in ops:
+        actions.append(op.invocation)
+        actions.append(op.response)
+    return History(actions)

@@ -1,0 +1,297 @@
+"""One-command experiment runner: ``python -m repro.experiments``.
+
+Runs a fast configuration of every reproduced experiment (E1–E13) and
+prints the paper-claim-vs-measured summary.  The full parameterizations
+with timings live in ``benchmarks/``; this module is the "show me the
+results in a minute" entry point for downstream users.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    checker_comparison_table,
+    throughput_table,
+    verification_row,
+)
+from repro.checkers import (
+    CALChecker,
+    LinearizabilityChecker,
+    SetLinearizabilityChecker,
+    verify_cal,
+    verify_linearizability,
+)
+from repro.rg.views import (
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+    sync_queue_view,
+)
+from repro.specs import (
+    ExchangerSpec,
+    ImmediateSnapshotSpec,
+    QueueSpec,
+    SequentializedExchangerSpec,
+    StackSpec,
+    SyncQueueSpec,
+)
+from repro.substrate import explore_all
+from repro.workloads.contention import throughput_sweep
+from repro.workloads.figure3 import (
+    figure3_history_h1,
+    figure3_history_h2,
+    figure3_history_h3,
+    figure3_history_h3_prefix,
+)
+from repro.workloads.programs import exchanger_program, snapshot_program
+
+
+def run_e1() -> List[ExperimentRecord]:
+    cal = CALChecker(ExchangerSpec("E"))
+    lax = LinearizabilityChecker(SequentializedExchangerSpec("E"))
+    rows = []
+    for name, history in [
+        ("H1", figure3_history_h1()),
+        ("H2", figure3_history_h2()),
+        ("H3", figure3_history_h3()),
+        ("H3' (undesired prefix)", figure3_history_h3_prefix()),
+    ]:
+        rows.append((name, lax.check(history).ok, cal.check(history).ok))
+    print(checker_comparison_table(rows))
+    ok = (
+        rows[0][2]
+        and rows[1][2]
+        and not rows[2][2]
+        and not rows[3][2]
+        and rows[3][1]  # the lax spec's fatal flaw
+    )
+    return [
+        ExperimentRecord(
+            "E1",
+            "no useful sequential exchanger spec; CA-spec exact",
+            "verdict table above",
+            ok,
+        )
+    ]
+
+
+def run_e2() -> List[ExperimentRecord]:
+    report = verify_cal(
+        exchanger_program([3, 4]), ExchangerSpec("E"), max_steps=200
+    )
+    return [
+        verification_row(
+            "E2", "exchanger (Fig. 1) is CAL — all interleavings", report
+        )
+    ]
+
+
+def run_e3() -> List[ExperimentRecord]:
+    from repro.objects.exchanger_verified import VerifiedExchanger
+    from repro.rg import (
+        GuaranteeMonitor,
+        StabilityMonitor,
+        exchanger_actions,
+        exchanger_invariant,
+    )
+    from repro.substrate import Program, World
+
+    def setup(scheduler):
+        world = World()
+        exchanger = VerifiedExchanger(world, "E")
+        program = Program(world)
+        program.monitor(GuaranteeMonitor(exchanger_actions(exchanger)))
+        program.monitor(exchanger_invariant(exchanger))
+        program.monitor(StabilityMonitor())
+        program.thread("t1", lambda ctx: exchanger.exchange(ctx, 3))
+        program.thread("t2", lambda ctx: exchanger.exchange(ctx, 4))
+        return program.runtime(scheduler)
+
+    runs = sum(
+        1 for _ in explore_all(setup, max_steps=300, preemption_bound=2)
+    )
+    return [
+        ExperimentRecord(
+            "E3",
+            "Figure-4 guarantee + invariant J + assertion stability",
+            f"{runs} runs, no violation",
+            runs > 0,
+        )
+    ]
+
+
+def run_e5() -> List[ExperimentRecord]:
+    from repro.objects import POP_SENTINEL, EliminationStack
+    from repro.substrate import Program, World
+
+    def setup(scheduler):
+        world = World()
+        stack = EliminationStack(world, "ES", slots=1, max_attempts=2)
+        setup.stack = stack
+        program = Program(world)
+        program.thread("t1", lambda ctx: stack.push(ctx, 7))
+        program.thread("t2", lambda ctx: stack.pop(ctx))
+        return program.runtime(scheduler)
+
+    def view(trace):
+        stack = setup.stack
+        return compose_views(
+            elimination_stack_view(
+                stack.oid, stack.central.oid, stack.elim.oid, POP_SENTINEL
+            ),
+            elim_array_view(stack.elim.oid, stack.elim.subobject_ids),
+        )(trace)
+
+    report = verify_linearizability(
+        setup,
+        StackSpec("ES"),
+        max_steps=250,
+        check_witness=True,
+        view=view,
+        preemption_bound=2,
+    )
+    return [
+        verification_row(
+            "E5",
+            "elimination stack linearizable, modular F_ES proof",
+            report,
+        )
+    ]
+
+
+def run_e6() -> List[ExperimentRecord]:
+    from repro.objects.sync_queue import TAKE_SENTINEL, SyncQueue
+    from repro.substrate import Program, World
+
+    def setup(scheduler):
+        world = World()
+        queue = SyncQueue(world, "SQ", slots=1, max_attempts=2)
+        setup.queue = queue
+        program = Program(world)
+        program.thread("p1", lambda ctx: queue.put(ctx, 5))
+        program.thread("c1", lambda ctx: queue.take(ctx))
+        return program.runtime(scheduler)
+
+    def view(trace):
+        queue = setup.queue
+        return compose_views(
+            sync_queue_view(queue.oid, queue.elim.oid, TAKE_SENTINEL),
+            elim_array_view(queue.elim.oid, queue.elim.subobject_ids),
+        )(trace)
+
+    report = verify_cal(
+        setup,
+        SyncQueueSpec("SQ"),
+        max_steps=200,
+        view=view,
+        preemption_bound=2,
+    )
+    return [
+        verification_row("E6", "synchronous queue is CAL", report)
+    ]
+
+
+def run_e8() -> List[ExperimentRecord]:
+    checker = SetLinearizabilityChecker(ImmediateSnapshotSpec("IS"))
+    runs = ok = 0
+    for run in explore_all(
+        snapshot_program([10, 20]), max_steps=200, preemption_bound=2
+    ):
+        if not run.completed:
+            continue
+        runs += 1
+        if checker.check(run.history).ok:
+            ok += 1
+    return [
+        ExperimentRecord(
+            "E8",
+            "immediate snapshot is set-linearizable",
+            f"{ok}/{runs} runs",
+            runs > 0 and ok == runs,
+        )
+    ]
+
+
+def run_e10(quick: bool) -> List[ExperimentRecord]:
+    thread_counts = [1, 4, 16] if quick else [1, 2, 4, 8, 16, 32]
+    samples = throughput_sweep(
+        thread_counts,
+        horizon=1500.0 if quick else 3000.0,
+        seeds=[1] if quick else [1, 2, 3],
+    )
+    print(throughput_table(samples))
+    from repro.workloads.contention import mean_ops_per_ktime
+
+    means = mean_ops_per_ktime(samples)
+    top = thread_counts[-1]
+    holds = means[("elimination", top)] > means[("treiber", top)]
+    return [
+        ExperimentRecord(
+            "E10",
+            "elimination beats CAS-retry stack under high contention",
+            f"elim {means[('elimination', top)]:.0f} vs treiber "
+            f"{means[('treiber', top)]:.0f} ops/ktime at {top} threads",
+            holds,
+        )
+    ]
+
+
+def run_e13() -> List[ExperimentRecord]:
+    from repro.objects import NaiveEliminationQueue
+    from repro.substrate import Program, World
+
+    def setup(scheduler):
+        world = World()
+        queue = NaiveEliminationQueue(world, "EQ", slots=1, max_attempts=2)
+        program = Program(world)
+        program.thread("t1", lambda ctx: queue.enqueue(ctx, 1))
+        program.thread("t2", lambda ctx: queue.enqueue(ctx, 2))
+        program.thread("t3", lambda ctx: queue.dequeue(ctx))
+        return program.runtime(scheduler)
+
+    report = verify_linearizability(
+        setup, QueueSpec("EQ"), max_steps=300, preemption_bound=2
+    )
+    return [
+        ExperimentRecord(
+            "E13",
+            "naive queue elimination is unsound — checker finds it",
+            f"{len(report.failures)} counterexamples in {report.runs} runs",
+            not report.ok and bool(report.failures),
+        )
+    ]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run a fast configuration of every experiment.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller E10 sweep (roughly 30s total instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    records: List[ExperimentRecord] = []
+    for runner in (run_e1, run_e2, run_e3, run_e5, run_e6, run_e8):
+        records.extend(runner())
+        print()
+    records.extend(run_e10(args.quick))
+    print()
+    records.extend(run_e13())
+    print("\n" + "=" * 68)
+    print("SUMMARY (see EXPERIMENTS.md for the full E1-E13 record)")
+    print("=" * 68)
+    for record in records:
+        print(record.render())
+    return 0 if all(r.holds for r in records) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

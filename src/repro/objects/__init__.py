@@ -1,0 +1,66 @@
+"""The paper's concurrent objects, implemented on the substrate.
+
+Every object follows the ownership discipline of §2: it is manipulated
+only through its methods, subobjects are used only by their containing
+object, and the shared cells of different objects are disjoint.
+
+* :mod:`repro.objects.exchanger` — the wait-free exchanger (Figure 1).
+* :mod:`repro.objects.elim_array` — the elimination array (Figure 2, left).
+* :mod:`repro.objects.treiber_stack` — the central lock-free stack
+  (Figure 2, ``Stack``).
+* :mod:`repro.objects.elimination_stack` — the elimination stack of
+  Hendler et al. (Figure 2, right).
+* :mod:`repro.objects.sync_queue` — a synchronous queue, the paper's
+  second exchanger client (§2, [22]).
+* :mod:`repro.objects.immediate_snapshot` — Borowsky–Gafni immediate
+  snapshot, the classic set-linearizable object (§6, Neiger).
+* :mod:`repro.objects.dual_stack` — a dual data structure (§6,
+  Scherer & Scott).
+* :mod:`repro.objects.registers` — plain linearizable objects (register,
+  counter) used to validate the singleton special case (E7).
+* :mod:`repro.objects.retry_stack` — the classic retrying Treiber stack
+  (the E10 baseline).
+* :mod:`repro.objects.ms_queue` — the Michael–Scott lock-free FIFO queue.
+* :mod:`repro.objects.elimination_queue` — the *naive* elimination queue
+  (Moir et al., §6 [17]), deliberately unsound: a negative case study
+  showing the checkers catching a real algorithmic subtlety.
+"""
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.exchanger import Exchanger, Offer
+from repro.objects.elim_array import ElimArray
+from repro.objects.treiber_stack import TreiberStack
+from repro.objects.elimination_stack import POP_SENTINEL, EliminationStack
+from repro.objects.sync_queue import SyncQueue
+from repro.objects.immediate_snapshot import ImmediateSnapshot
+from repro.objects.dual_stack import DualStack
+from repro.objects.dual_queue import DualQueue
+from repro.objects.fc_sync_queue import FCSyncQueue
+from repro.objects.rendezvous import RingRendezvous
+from repro.objects.ms_queue import MSQueue
+from repro.objects.elimination_queue import DEQ_SENTINEL, NaiveEliminationQueue
+from repro.objects.retry_stack import RetryingStack
+from repro.objects.registers import AtomicCounter, AtomicRegister
+
+__all__ = [
+    "AtomicCounter",
+    "AtomicRegister",
+    "ConcurrentObject",
+    "DEQ_SENTINEL",
+    "DualQueue",
+    "DualStack",
+    "ElimArray",
+    "EliminationStack",
+    "Exchanger",
+    "FCSyncQueue",
+    "ImmediateSnapshot",
+    "MSQueue",
+    "NaiveEliminationQueue",
+    "Offer",
+    "POP_SENTINEL",
+    "RetryingStack",
+    "RingRendezvous",
+    "SyncQueue",
+    "TreiberStack",
+    "operation",
+]

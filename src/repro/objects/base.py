@@ -1,0 +1,56 @@
+"""Concurrent-object base class and the ``@operation`` decorator.
+
+The decorator wraps a generator method so that its invocation and
+response are recorded in the history at the object's interface — the
+point "where control passes from the program to the object system and
+vice versa" (§3).  Both the invocation and the response are scheduling
+points, so exhaustive exploration covers every overlap pattern between
+operations.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Generator, Tuple
+
+from repro.substrate.context import Ctx
+from repro.substrate.runtime import World
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    if isinstance(value, tuple):
+        return value
+    return (value,)
+
+
+class ConcurrentObject:
+    """Base class: an object with a name, living in a world's heap."""
+
+    def __init__(self, world: World, oid: str) -> None:
+        self.world = world
+        self.oid = oid
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.oid!r})"
+
+
+def operation(
+    method: Callable[..., Generator[Any, Any, Any]],
+) -> Callable[..., Generator[Any, Any, Any]]:
+    """Mark a generator method as an interface operation.
+
+    Records ``(t, inv o.f(args))`` before the body runs and
+    ``(t, res o.f ▷ value)`` after it returns; the method's return value
+    is passed through to the caller.
+    """
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self: ConcurrentObject, ctx: Ctx, *args: Any):
+        yield from ctx.invoke(self.oid, name, args)
+        result = yield from method(self, ctx, *args)
+        yield from ctx.respond(self.oid, name, _as_tuple(result))
+        return result
+
+    wrapper.__wrapped_operation__ = True  # type: ignore[attr-defined]
+    return wrapper

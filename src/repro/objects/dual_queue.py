@@ -1,0 +1,152 @@
+"""The dual queue (Scherer & Scott [14], §6) — FIFO with waiting dequeues.
+
+Where the naive elimination queue (Moir et al., E13) breaks FIFO by
+letting an enqueue hand its value to an arbitrary waiting dequeuer, the
+dual queue gets it right by putting the *reservations themselves into
+the queue*: a dequeue on an empty queue appends a reservation node; an
+enqueue either appends a data node (no reservations pending) or fulfils
+the reservation **at the front** — so waiting dequeuers are served in
+FIFO order and values can never jump the line.
+
+Like the dual stack, this is a CA-object: a fulfilment is one CA-element
+pairing the enqueue with the dequeue it satisfies
+(:class:`repro.specs.dual_queue_spec.DualQueueSpec`).
+
+The implementation is a Michael–Scott-style linked queue whose nodes are
+either data or reservations; as in Scherer & Scott's algorithm the queue
+is always *homogeneous* (all-data or all-reservations), because an
+enqueue never appends behind a reservation and a dequeue never reserves
+behind data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded dual-queue operation ran out of retries."""
+
+
+class _Node:
+    """Queue node: data (value fixed) or reservation (slot awaits one)."""
+
+    __slots__ = ("value", "is_reservation", "next", "slot")
+
+    def __init__(
+        self, world: World, value: Any, is_reservation: bool
+    ) -> None:
+        self.value = value
+        self.is_reservation = is_reservation
+        self.next: Ref = world.heap.ref("dq.node.next", None)
+        self.slot: Ref = world.heap.ref("dq.node.slot", None)
+
+    def __repr__(self) -> str:
+        kind = "resv" if self.is_reservation else "data"
+        return f"_Node({kind}, {self.value!r})"
+
+
+class DualQueue(ConcurrentObject):
+    """FIFO queue whose dequeues wait (in order) instead of failing."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "DQ",
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        dummy = _Node(world, None, is_reservation=False)
+        self.head: Ref = world.heap.ref(f"{oid}.head", dummy)
+        self.tail: Ref = world.heap.ref(f"{oid}.tail", dummy)
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            yield from itertools.count()
+        else:
+            yield from range(self.max_attempts)
+
+    def _snapshot(self, ctx: Ctx):
+        """Read a consistent (head, tail, tail.next, head.next) snapshot."""
+        head = yield from ctx.read(self.head)
+        tail = yield from ctx.read(self.tail)
+        tail_next = yield from ctx.read(tail.next)
+        head_next = yield from ctx.read(head.next)
+        current_head = yield from ctx.read(self.head)
+        if head is not current_head:
+            return None
+        return head, tail, tail_next, head_next
+
+    def _append(self, ctx: Ctx, tail, tail_next, node) -> Any:
+        """One MS-queue append attempt; returns whether the link landed."""
+        if tail_next is not None:
+            yield from ctx.cas(self.tail, tail, tail_next)  # help
+            return False
+        linked = yield from ctx.cas(tail.next, None, node)
+        if linked:
+            yield from ctx.cas(self.tail, tail, node)
+        return linked
+
+    @operation
+    def enqueue(self, ctx: Ctx, v: Any):
+        """Append ``v``, or fulfil the *front* reservation if one waits."""
+        node = _Node(self.world, v, is_reservation=False)
+        for _ in self._attempts():
+            snapshot = yield from self._snapshot(ctx)
+            if snapshot is None:
+                continue
+            head, tail, tail_next, head_next = snapshot
+            if (
+                head_next is not None
+                and head_next.is_reservation
+            ):
+                # FIFO fulfilment: serve the reservation at the front.
+                claimed = yield from ctx.cas(head_next.slot, None, (v,))
+                # Help unlink the (now spent) reservation.
+                yield from ctx.cas(self.head, head, head_next)
+                if claimed:
+                    return True
+                continue
+            linked = yield from self._append(ctx, tail, tail_next, node)
+            if linked:
+                return True
+        raise AttemptsExhausted(f"enqueue({v!r}) by {ctx.tid}")
+
+    @operation
+    def dequeue(self, ctx: Ctx):
+        """Take the front value, or wait (in line) for an enqueue."""
+        for _ in self._attempts():
+            snapshot = yield from self._snapshot(ctx)
+            if snapshot is None:
+                continue
+            head, tail, tail_next, head_next = snapshot
+            if head_next is not None and not head_next.is_reservation:
+                swung = yield from ctx.cas(self.head, head, head_next)
+                if swung:
+                    return (True, head_next.value)
+                continue
+            # Empty (or reservations queued): append our reservation.
+            node = _Node(self.world, None, is_reservation=True)
+            linked = yield from self._append(ctx, tail, tail_next, node)
+            if not linked:
+                continue
+            for _ in self._attempts():
+                filled = yield from ctx.read(node.slot)
+                if filled is not None:
+                    # Help unlink ourselves if still at the front.
+                    current_head = yield from ctx.read(self.head)
+                    next_of_head = yield from ctx.read(current_head.next)
+                    if next_of_head is node:
+                        yield from ctx.cas(self.head, current_head, node)
+                    return (True, filled[0])
+                yield from ctx.pause("awaiting fulfilment")
+            raise AttemptsExhausted(f"dequeue() spin by {ctx.tid}")
+        raise AttemptsExhausted(f"dequeue() by {ctx.tid}")

@@ -1,0 +1,117 @@
+"""A dual stack (§6; Scherer & Scott's dual data structures).
+
+A stack whose ``pop`` on an empty stack does not fail but *waits*: it
+installs a reservation that a later ``push`` fulfils directly.  Scherer &
+Scott specify such objects with two linearization points per waiting
+operation (a "request" and a "follow-up"); the paper observes (§6) that
+dual data structures are CA-objects, and a CA-trace spec needs only *one*
+CA-element per fulfilment — the pair
+``DS.{(t, push(v) ▷ true), (t', pop() ▷ (true, v))}`` — because the
+fulfilling push and the completing pop "seem to take effect
+simultaneously".
+
+Implementation: a Treiber-style stack whose cells are either data or
+reservations.  ``push`` fulfils the top reservation if there is one,
+else pushes data; ``pop`` takes top data if present, else installs a
+reservation and spins on its slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class _Node:
+    """A stack node: data (``slot is None`` initially unused) or a
+    reservation (``is_reservation`` with a ``slot`` awaiting a value)."""
+
+    __slots__ = ("data", "next", "is_reservation", "slot")
+
+    def __init__(
+        self,
+        world: World,
+        data: Any,
+        next_node: Optional["_Node"],
+        is_reservation: bool,
+    ) -> None:
+        self.data = data
+        self.next = next_node
+        self.is_reservation = is_reservation
+        self.slot: Ref = world.heap.ref("dualstack.slot", None)
+
+    def __repr__(self) -> str:
+        kind = "resv" if self.is_reservation else "data"
+        return f"_Node({kind}, {self.data!r})"
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded dual-stack operation ran out of retries."""
+
+
+class DualStack(ConcurrentObject):
+    """A stack where ``pop`` waits for a ``push`` instead of failing."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "DS",
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        self.top: Ref = world.heap.ref(f"{oid}.top", None)
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            while True:
+                yield
+        else:
+            yield from iter(range(self.max_attempts))
+
+    @operation
+    def push(self, ctx: Ctx, v: Any):
+        """Push ``v``, fulfilling a waiting ``pop`` if one is queued."""
+        for _ in self._attempts():
+            head = yield from ctx.read(self.top)
+            if head is not None and head.is_reservation:
+                # Try to fulfil the waiting popper: claim its slot, then
+                # help remove the reservation node.
+                claimed = yield from ctx.cas(head.slot, None, (v,))
+                yield from ctx.cas(self.top, head, head.next)
+                if claimed:
+                    return True
+            else:
+                node = _Node(self.world, v, head, is_reservation=False)
+                ok = yield from ctx.cas(self.top, head, node)
+                if ok:
+                    return True
+        raise AttemptsExhausted(f"push({v!r}) by {ctx.tid}")
+
+    @operation
+    def pop(self, ctx: Ctx):
+        """Pop a value, waiting on a reservation if the stack is empty."""
+        for _ in self._attempts():
+            head = yield from ctx.read(self.top)
+            if head is not None and not head.is_reservation:
+                ok = yield from ctx.cas(self.top, head, head.next)
+                if ok:
+                    return (True, head.data)
+                continue
+            # Empty (or reservations queued): install our reservation.
+            node = _Node(self.world, None, head, is_reservation=True)
+            ok = yield from ctx.cas(self.top, head, node)
+            if not ok:
+                continue
+            for _ in self._attempts():
+                filled = yield from ctx.read(node.slot)
+                if filled is not None:
+                    return (True, filled[0])
+                yield from ctx.pause("awaiting fulfilment")
+            raise AttemptsExhausted(f"pop() spin by {ctx.tid}")
+        raise AttemptsExhausted(f"pop() by {ctx.tid}")

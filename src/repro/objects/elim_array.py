@@ -1,0 +1,51 @@
+"""The elimination array (Figure 2, ``class ElimArray``).
+
+An array of ``K`` exchangers; ``exchange`` picks a slot nondeterministically
+(the paper's ``random(0, K-1)``, modelled as scheduler choice so that
+exhaustive exploration covers every slot) and delegates to that exchanger.
+
+The array "essentially acts as an exchanger object, but is implemented as
+an array of exchangers to reduce contention" (§2.2).  Its specification is
+*the same* as a single exchanger's; the view function ``F_AR`` (§5)
+converts any subobject element ``E[i].S`` into ``AR.S`` — see
+:func:`repro.rg.views.elim_array_view`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.exchanger import Exchanger
+from repro.substrate.context import Ctx
+from repro.substrate.runtime import World
+
+
+class ElimArray(ConcurrentObject):
+    """Figure 2's ``ElimArray``: ``K`` exchanger subobjects."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "AR",
+        slots: int = 2,
+        wait_rounds: int = 1,
+    ) -> None:
+        super().__init__(world, oid)
+        if slots < 1:
+            raise ValueError("elimination array needs at least one slot")
+        self.exchangers: List[Exchanger] = [
+            Exchanger(world, f"{oid}/E[{i}]", wait_rounds=wait_rounds)
+            for i in range(slots)
+        ]
+
+    @property
+    def subobject_ids(self) -> List[str]:
+        return [e.oid for e in self.exchangers]
+
+    @operation
+    def exchange(self, ctx: Ctx, data: Any):
+        """``(bool, int) exchange(int data)`` — lines 3–6."""
+        slot = yield from ctx.choose(range(len(self.exchangers)))  # line 4
+        result = yield from self.exchangers[slot].exchange(ctx, data)
+        return result  # line 5

@@ -1,0 +1,108 @@
+"""A *naive* elimination FIFO queue — a deliberately subtle case study.
+
+Moir et al. ("Using elimination to implement scalable and lock-free FIFO
+queues", §6 reference [17]) observe that elimination, which is trivially
+sound for stacks — a colliding push/pop pair can always be linearized
+back to back — is **unsound for queues if applied naively**: an enqueue
+may eliminate with a dequeue only when the enqueued value could legally
+be at the head, i.e. when every earlier value has already been dequeued
+(their fix: only "aged" enqueues whose values have conceptually reached
+the head may eliminate).
+
+:class:`NaiveEliminationQueue` implements the naive (broken) protocol on
+purpose: a dequeue that *observed* an empty queue offers itself for
+elimination, but by the time an enqueuer matches it the queue may have
+become non-empty — the eliminated pair then violates FIFO order.
+
+This object exists to demonstrate that the checkers *find* such bugs:
+exhaustive exploration + the linearizability checker produce a concrete
+counterexample schedule (see ``tests/test_elimination_queue.py`` and the
+E13 benchmark).  The correct aging-based protocol requires timestamps
+and is sketched in Moir et al.; reproducing it is future work tracked in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.elim_array import ElimArray
+from repro.objects.ms_queue import MSQueue
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.runtime import World
+
+#: Value offered to the elimination layer by dequeuing threads.
+DEQ_SENTINEL = float("inf")
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded elimination-queue operation ran out of retries."""
+
+
+class NaiveEliminationQueue(ConcurrentObject):
+    """Michael–Scott queue + an elimination layer, combined *unsoundly*.
+
+    ``enqueue`` first tries the central queue a bounded number of times;
+    under contention it offers its value for elimination.  ``dequeue``
+    goes to the elimination layer after observing the queue empty.  The
+    missing ingredient versus Moir et al. is aging: nothing re-checks
+    that the queue is still empty when the exchange succeeds.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "EQ",
+        slots: int = 1,
+        wait_rounds: int = 1,
+        central_attempts: int = 1,
+        max_attempts: Optional[int] = 2,
+    ) -> None:
+        super().__init__(world, oid)
+        self.central = MSQueue(
+            world, f"{oid}/Q", max_attempts=None
+        )
+        self.elim = ElimArray(
+            world, f"{oid}/AR", slots=slots, wait_rounds=wait_rounds
+        )
+        self.central_attempts = central_attempts
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            yield from itertools.count()
+        else:
+            yield from range(self.max_attempts)
+
+    @operation
+    def enqueue(self, ctx: Ctx, v: Any):
+        """Enqueue ``v`` — possibly by (unsoundly) eliminating."""
+        if v == DEQ_SENTINEL:
+            raise ValueError("cannot enqueue the reserved DEQ_SENTINEL")
+        for _ in self._attempts():
+            # Naive protocol: try elimination first under the theory that
+            # a waiting dequeuer saw an empty queue "recently".
+            _b, d = yield from self.elim.exchange(ctx, v)
+            if d == DEQ_SENTINEL:
+                return True
+            ok = yield from self.central.enqueue(ctx, v)
+            if ok:
+                return True
+        raise AttemptsExhausted(f"enqueue({v!r}) by {ctx.tid}")
+
+    @operation
+    def dequeue(self, ctx: Ctx):
+        """Dequeue — waiting at the elimination layer when empty."""
+        for _ in self._attempts():
+            ok, v = yield from self.central.dequeue(ctx)
+            if ok:
+                return (True, v)
+            # Observed empty; offer to eliminate.  BUG (on purpose): the
+            # queue may become non-empty before an enqueuer matches us.
+            _b, v = yield from self.elim.exchange(ctx, DEQ_SENTINEL)
+            if v != DEQ_SENTINEL:
+                return (True, v)
+        raise AttemptsExhausted(f"dequeue() by {ctx.tid}")

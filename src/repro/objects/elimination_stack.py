@@ -1,0 +1,99 @@
+"""The elimination stack of Hendler et al. (Figure 2, right).
+
+A pushing (popping) thread first tries the central stack; if that fails
+due to contention, it tries to *eliminate* directly against a concurrent
+opposite operation through the elimination layer, offering its value (a
+pusher) or the ``POP_SENTINEL`` (a popper).  An exchange between a pusher
+and a popper transfers the value directly and both operations complete;
+an exchange between two same-type operations — or no exchange at all —
+makes the thread retry.
+
+``max_attempts`` bounds the retry loop for bounded exploration; the
+paper's code loops forever (``while(true)``), which corresponds to
+``max_attempts=None``.  When the bound is exhausted the operation raises
+:class:`AttemptsExhausted` — exploration treats such runs as cut.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.elim_array import ElimArray
+from repro.objects.treiber_stack import TreiberStack
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.runtime import World
+
+#: The reserved value popping threads offer to the elimination layer
+#: (Figure 2 line 26 uses ``INFINITY``; any value outside the pushed-value
+#: domain works).
+POP_SENTINEL = float("inf")
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded elimination-stack operation ran out of retries."""
+
+
+class EliminationStack(ConcurrentObject):
+    """Figure 2's ``EliminationStack``: a central stack + elimination layer."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "ES",
+        slots: int = 1,
+        wait_rounds: int = 1,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        self.central = TreiberStack(world, f"{oid}/S")  # line 27
+        self.elim = ElimArray(
+            world, f"{oid}/AR", slots=slots, wait_rounds=wait_rounds
+        )  # line 28
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            while True:
+                yield
+        else:
+            yield from iter(range(self.max_attempts))
+
+    @operation
+    def push(self, ctx: Ctx, v: Any):
+        """``bool push(int v)`` — lines 29–37.
+
+        Note the paper's success test (line 35) inspects only the returned
+        *value*: a failed exchange returns the thread's own value, which a
+        pusher's value (≠ ``POP_SENTINEL``) never matches, so consulting
+        the boolean is unnecessary.  We keep the code faithful.
+        """
+        if v == POP_SENTINEL:
+            raise ValueError("cannot push the reserved POP_SENTINEL value")
+        for _ in self._attempts():  # line 31
+            ok = yield from self.central.push(ctx, v)  # line 32
+            if ok:
+                return True  # line 33
+            _b, d = yield from self.elim.exchange(ctx, v)  # line 34
+            if d == POP_SENTINEL:  # line 35
+                return True  # line 36
+        raise AttemptsExhausted(f"push({v!r}) by {ctx.tid}")
+
+    @operation
+    def pop(self, ctx: Ctx):
+        """``(bool, int) pop()`` — lines 38–47.
+
+        Symmetrically to ``push``, line 45 inspects only the value: a
+        failed exchange hands a popper back its own ``POP_SENTINEL``, and
+        an exchange with another popper yields the partner's
+        ``POP_SENTINEL`` — both trigger a retry.
+        """
+        for _ in self._attempts():  # line 41
+            ok, v = yield from self.central.pop(ctx)  # line 42
+            if ok:
+                return (True, v)  # line 43
+            _b, v = yield from self.elim.exchange(ctx, POP_SENTINEL)  # line 44
+            if v != POP_SENTINEL:  # line 45
+                return (True, v)  # line 46
+        raise AttemptsExhausted(f"pop() by {ctx.tid}")

@@ -1,0 +1,110 @@
+"""The wait-free exchanger (Figure 1), with the paper's instrumentation.
+
+A thread offers a value; if it pairs up with a concurrently executing
+partner, the two atomically swap values and both return ``(True,
+partner_value)``; otherwise the thread returns ``(False, own_value)``.
+
+The implementation follows Figure 1 line by line:
+
+* ``init``  (line 15) — CAS ``g`` from ``null`` to the thread's fresh offer;
+* ``pass``  (line 18) — after waiting, CAS one's own ``hole`` to the
+  ``fail`` sentinel to withdraw the offer;
+* ``xchg``  (line 29) — CAS the *other* thread's ``hole`` from ``null`` to
+  one's own offer, completing the swap;
+* ``clean`` (line 31) — unconditional CAS of ``g`` back to ``null``,
+  helping remove an already-matched offer (preserves wait-freedom).
+
+Auxiliary instrumentation (§5.1): the successful ``xchg`` CAS *atomically*
+appends ``E.swap(g.tid, g.data, t, n.data)`` — a CA-element containing the
+operations of **both** threads — to the global trace variable ``T``; the
+failing returns append the failed-exchange singleton (the ``FAIL`` action
+of Figure 4).  The ``Offer.tid`` field is the auxiliary field the paper
+adds so ``XCHG`` can record the correct thread identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.core.catrace import failed_exchange_element, swap_element
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class Offer:
+    """An exchange offer: immutable ``tid``/``data`` plus the contended
+    ``hole`` pointer (the only shared-mutable field)."""
+
+    __slots__ = ("tid", "data", "hole")
+
+    def __init__(self, world: World, tid: str, data: Any) -> None:
+        self.tid = tid
+        self.data = data
+        self.hole: Ref = world.heap.ref(f"offer({tid},{data}).hole", None)
+
+    def __repr__(self) -> str:
+        return f"Offer(tid={self.tid}, data={self.data!r})"
+
+
+class Exchanger(ConcurrentObject):
+    """Figure 1's exchanger.
+
+    ``wait_rounds`` models ``sleep(50)``: the number of scheduling points
+    the initiating thread yields while waiting for a partner.  One round
+    already suffices for a partner to match under exhaustive exploration;
+    larger values enlarge the interleaving space without adding behaviours.
+    """
+
+    def __init__(self, world: World, oid: str = "E", wait_rounds: int = 1) -> None:
+        super().__init__(world, oid)
+        self.g: Ref = world.heap.ref(f"{oid}.g", None)
+        self.fail_sentinel = Offer(world, f"{oid}.FAIL", None)
+        self.wait_rounds = wait_rounds
+
+    @operation
+    def exchange(self, ctx: Ctx, v: Any):
+        """``(bool, int) exchange(int v)`` — Figure 1, lines 12–36."""
+        n = Offer(self.world, ctx.tid, v)  # line 13
+
+        installed = yield from ctx.cas(self.g, None, n)  # line 15: init
+        if installed:
+            yield from ctx.sleep(self.wait_rounds)  # line 17
+            withdrew = yield from ctx.cas(
+                n.hole, None, self.fail_sentinel
+            )  # line 18: pass
+            if withdrew:
+                # Nobody matched; log the failed exchange (FAIL action).
+                yield from ctx.log_trace(
+                    failed_exchange_element(self.oid, ctx.tid, v)
+                )
+                return (False, v)  # line 20
+            # A partner matched our offer; its XCHG already logged the
+            # swap CA-element for both of us.
+            partner = yield from ctx.read(n.hole)
+            return (True, partner.data)  # line 22
+
+        cur = yield from ctx.read(self.g)  # line 25
+        if cur is not None:  # line 27
+            oid = self.oid
+            tid = ctx.tid
+
+            def log_swap(world: World, cur=cur, tid=tid, v=v) -> None:
+                # XCHG (Figure 4): atomically with the successful CAS,
+                # record the CA-element containing *both* operations.
+                world.append_trace(
+                    [swap_element(oid, cur.tid, cur.data, tid, v)]
+                )
+
+            matched = yield from ctx.cas(
+                cur.hole, None, n, on_success=log_swap
+            )  # line 29: xchg
+            yield from ctx.cas(self.g, cur, None)  # line 31: clean
+            if matched:
+                return (True, cur.data)  # line 33
+
+        yield from ctx.log_trace(
+            failed_exchange_element(self.oid, ctx.tid, v)
+        )
+        return (False, v)  # line 35

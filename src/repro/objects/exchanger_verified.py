@@ -1,0 +1,208 @@
+"""The exchanger with Figure 1's proof outline embedded as runtime checks.
+
+This is the same algorithm as :class:`repro.objects.exchanger.Exchanger`,
+line for line, but every assertion of the paper's proof outline is issued
+at its program point:
+
+* point assertions (``ctx.assert_now``) are checked where they appear;
+* interval assertions (``ctx.assert_stable`` … ``ctx.retract``) are
+  registered over the window in which the outline relies on them and —
+  with a :class:`~repro.rg.monitor.StabilityMonitor` attached — re-checked
+  after *every* step by *any other* thread, which operationally discharges
+  the stability-under-rely side conditions of §4.
+
+The assertions used (Figure 4, bottom):
+
+* ``A        ≜ T_E|tid = T ∧ (g = null ∨ g.hole ≠ null ∨ g.tid ≠ tid)
+                ∧ n ↦ tid, v, null``
+* ``B(k)     ≜ k ≠ null ∧ k.tid ≠ tid ∧ T_E|tid = T · E.swap(tid, v, k.tid, k.data)``
+* line 16:  ``(T_E|tid = T ∧ n ↦ tid,v,null ∧ g = n) ∨ B(n.hole)``
+* line 26:  ``A ∧ (g = cur ∨ cur.hole ≠ null)``
+* line 30:  ``(¬s ∧ A ∨ s ∧ B(cur)) ∧ cur ≠ null ∧ cur.hole ≠ null``
+* the method postcondition (§4's exchanger specification).
+
+Exploring all interleavings of this object with the stability monitor
+attached is the executable counterpart of checking the paper's proof —
+a broken assertion or an unstable interval shows up as an
+:class:`~repro.rg.monitor.AssertionViolation` on a concrete schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.catrace import (
+    CATrace,
+    failed_exchange_element,
+    swap_element,
+)
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.exchanger import Offer
+from repro.substrate.context import Ctx
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class VerifiedExchanger(ConcurrentObject):
+    """Figure 1's exchanger + Figure 1's proof outline, both executable."""
+
+    def __init__(self, world: World, oid: str = "E", wait_rounds: int = 1) -> None:
+        super().__init__(world, oid)
+        self.g: Ref = world.heap.ref(f"{oid}.g", None)
+        self.fail_sentinel = Offer(world, f"{oid}.FAIL", None)
+        self.wait_rounds = wait_rounds
+
+    # ------------------------------------------------------------------
+    # Assertion builders (Figure 4, bottom block)
+    # ------------------------------------------------------------------
+    def _te_of(self, world: World, tid: str) -> CATrace:
+        """``T_E|tid`` — the exchanger's view of T, projected to ``tid``
+        (for a leaf object, ``F_E`` is undefined, so ``T_E = T|_E``)."""
+        return world.trace.project_object(self.oid).project_thread(tid)
+
+    def _assertion_a(self, tid: str, t0: CATrace, n: Offer):
+        def a_holds(world: World) -> bool:
+            if self._te_of(world, tid) != t0:
+                return False
+            g = self.g.peek()
+            own_ok = g is None or g.hole.peek() is not None or g.tid != tid
+            fresh = n.hole.peek() is None
+            return own_ok and fresh
+
+        return a_holds
+
+    def _assertion_b(self, tid: str, t0: CATrace, v: Any, partner: Offer):
+        swap = swap_element(self.oid, tid, v, partner.tid, partner.data)
+
+        def b_holds(world: World) -> bool:
+            return (
+                partner is not None
+                and partner is not self.fail_sentinel
+                and partner.tid != tid
+                and self._te_of(world, tid) == t0.append(swap)
+            )
+
+        return b_holds
+
+    def _assertion_line16(self, tid: str, t0: CATrace, v: Any, n: Offer):
+        def line16_holds(world: World) -> bool:
+            hole = n.hole.peek()
+            if hole is None:
+                # Left disjunct: not yet matched, our offer is installed.
+                return (
+                    self._te_of(world, tid) == t0 and self.g.peek() is n
+                )
+            # Right disjunct: B(n.hole).
+            return self._assertion_b(tid, t0, v, hole)(world)
+
+        return line16_holds
+
+    # ------------------------------------------------------------------
+    @operation
+    def exchange(self, ctx: Ctx, v: Any):
+        """Figure 1's ``exchange``, annotated."""
+        tid = ctx.tid
+        # {T_E|tid = T} — capture the logical variable T.
+        t0 = yield from ctx.query(lambda w: self._te_of(w, tid))
+
+        # From ¬InE(tid) and invariant J (line 11's T_E|tid = T context):
+        yield from ctx.assert_now(
+            "pre(J)",
+            lambda w: (
+                self.g.peek() is None
+                or self.g.peek().hole.peek() is not None
+                or self.g.peek().tid != tid
+            ),
+        )
+
+        n = Offer(self.world, tid, v)  # line 13
+        a_holds = self._assertion_a(tid, t0, n)
+        yield from ctx.assert_stable("A", a_holds)  # line 14
+
+        yield from ctx.retract("A")
+        installed = yield from ctx.cas(self.g, None, n)  # line 15: init
+        if installed:
+            line16 = self._assertion_line16(tid, t0, v, n)
+            yield from ctx.assert_stable("line16", line16)  # line 16
+            yield from ctx.sleep(self.wait_rounds)  # line 17
+            yield from ctx.retract("line16")
+            withdrew = yield from ctx.cas(
+                n.hole, None, self.fail_sentinel
+            )  # line 18: pass
+            if withdrew:
+                # line 19: T_E|tid still = T; the FAIL log establishes
+                # the failure postcondition.
+                yield from ctx.assert_now(
+                    "line19", lambda w: self._te_of(w, tid) == t0
+                )
+                yield from ctx.log_trace(
+                    failed_exchange_element(self.oid, tid, v)
+                )
+                yield from ctx.assert_now(
+                    "post(fail)",
+                    lambda w: self._te_of(w, tid)
+                    == t0.append(failed_exchange_element(self.oid, tid, v)),
+                )
+                return (False, v)  # line 20
+            # line 21: the partner's XCHG matched us — B(n.hole).
+            partner = yield from ctx.read(n.hole)
+            yield from ctx.assert_now(
+                "B(n.hole)", self._assertion_b(tid, t0, v, partner)
+            )
+            return (True, partner.data)  # line 22
+
+        # A survives the failed init CAS (own step; re-establish).
+        yield from ctx.assert_stable("A", a_holds)
+        cur = yield from ctx.read(self.g)  # line 25
+
+        # line 26: A ∧ (g = cur ∨ cur.hole ≠ null) — stable because cur
+        # can only leave g after its hole is filled.
+        def line26(world: World, cur=cur) -> bool:
+            if not a_holds(world):
+                return False
+            return (
+                cur is None
+                or self.g.peek() is cur
+                or cur.hole.peek() is not None
+            )
+
+        yield from ctx.retract("A")
+        yield from ctx.assert_stable("line26", line26)
+
+        if cur is not None:  # line 27
+            oid = self.oid
+
+            def log_swap(world: World, cur=cur) -> None:
+                world.append_trace(
+                    [swap_element(oid, cur.tid, cur.data, tid, v)]
+                )
+
+            yield from ctx.retract("line26")
+            matched = yield from ctx.cas(
+                cur.hole, None, n, on_success=log_swap
+            )  # line 29: xchg
+            # line 30: (¬s ∧ A ∨ s ∧ B(cur)) ∧ cur ≠ null ∧ cur.hole ≠ null
+            b_cur = self._assertion_b(tid, t0, v, cur)
+            yield from ctx.assert_now(
+                "line30",
+                lambda w, m=matched: (
+                    cur.hole.peek() is not None
+                    and (b_cur(w) if m else a_holds(w))
+                ),
+            )
+            yield from ctx.cas(self.g, cur, None)  # line 31: clean
+            if matched:
+                yield from ctx.assert_now("B(cur)", b_cur)  # line 32
+                return (True, cur.data)  # line 33
+        else:
+            yield from ctx.retract("line26")
+
+        yield from ctx.log_trace(
+            failed_exchange_element(self.oid, tid, v)
+        )
+        yield from ctx.assert_now(
+            "post(fail)",
+            lambda w: self._te_of(w, tid)
+            == t0.append(failed_exchange_element(self.oid, tid, v)),
+        )
+        return (False, v)  # line 35

@@ -1,0 +1,168 @@
+"""A flat-combining synchronous queue (§6; Hendler et al. [11]).
+
+Flat combining is the third implementation strategy for handoff objects
+the paper's related work touches (Sergey et al. verify Hendler et al.'s
+flat combining; [11] is their flat-combining *synchronous queue*): the
+exchanger pairs threads pairwise, the dual queue queues reservations,
+and flat combining funnels everything through a short-lived *combiner* —
+a thread that grabs a lock, scans the publication list of outstanding
+requests, and matches put/take pairs on everyone's behalf.
+
+This is still a CA-object with the *same* specification as the
+exchanger-based synchronous queue (:class:`repro.specs.SyncQueueSpec`
+instantiated at this object's id): a matched put/take pair seems to take
+effect simultaneously — here, at the combiner's commit.  The
+instrumentation logs the pair CA-element atomically with the first
+result write of the match (the paper's one-atomic-action-many-operations
+device again, this time executed by a *third* thread: the combiner logs
+operations of two other threads).
+
+Implementation notes:
+
+* the publication list is a Treiber-style push-only list of request
+  nodes (fresh node per operation; spent nodes stay and are skipped);
+* ``lock`` is a plain CAS spinlock — flat combining is lock-*based* by
+  design; waiting threads re-check their request's result slot between
+  lock attempts, so a parked thread whose request got combined never
+  needs the lock;
+* matching is FIFO over the scan order, pairing the oldest unmatched
+  put with the oldest unmatched take.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded flat-combining operation ran out of retries."""
+
+
+class _Request:
+    """A published request: immutable descriptor + result slot."""
+
+    __slots__ = ("kind", "value", "tid", "next", "result")
+
+    def __init__(
+        self, world: World, kind: str, value: Any, tid: str, next_node
+    ) -> None:
+        self.kind = kind  # "put" | "take"
+        self.value = value
+        self.tid = tid
+        self.next = next_node  # immutable after publication
+        self.result: Ref = world.heap.ref(f"fc.req[{tid}].result", None)
+
+    def __repr__(self) -> str:
+        return f"_Request({self.kind}, {self.value!r}, {self.tid})"
+
+
+class FCSyncQueue(ConcurrentObject):
+    """Flat-combining synchronous (handoff) queue."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "FC",
+        max_attempts: Optional[int] = 3,
+    ) -> None:
+        super().__init__(world, oid)
+        self.published: Ref = world.heap.ref(f"{oid}.published", None)
+        self.lock: Ref = world.heap.ref(f"{oid}.lock", None)
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            yield from itertools.count()
+        else:
+            yield from range(self.max_attempts)
+
+    # ------------------------------------------------------------------
+    def _publish(self, ctx: Ctx, kind: str, value: Any):
+        """Push a fresh request node onto the publication list."""
+        while True:
+            head = yield from ctx.read(self.published)
+            node = _Request(self.world, kind, value, ctx.tid, head)
+            ok = yield from ctx.cas(self.published, head, node)
+            if ok:
+                return node
+
+    def _combine(self, ctx: Ctx):
+        """Scan the publication list and match put/take pairs (combiner
+        role; caller holds the lock)."""
+        puts: List[_Request] = []
+        takes: List[_Request] = []
+        node = yield from ctx.read(self.published)
+        scanned: List[_Request] = []
+        while node is not None:
+            scanned.append(node)
+            node = node.next
+        # Oldest first (list is push-ordered, newest at the head).
+        for request in reversed(scanned):
+            state = yield from ctx.read(request.result)
+            if state is not None:
+                continue
+            if request.kind == "put":
+                puts.append(request)
+            else:
+                takes.append(request)
+        oid = self.oid
+        for put_req, take_req in zip(puts, takes):
+
+            def log_match(world: World, p=put_req, t=take_req) -> None:
+                element = CAElement(
+                    oid,
+                    [
+                        Operation.of(p.tid, oid, "put", (p.value,), (True,)),
+                        Operation.of(
+                            t.tid, oid, "take", (), (True, p.value)
+                        ),
+                    ],
+                )
+                world.append_trace([element])
+
+            # The match commits here: the pair element is logged
+            # atomically with the take's result write.
+            yield from ctx.write(
+                take_req.result, ("take", put_req.value), on_commit=log_match
+            )
+            yield from ctx.write(put_req.result, ("put", None))
+
+    # ------------------------------------------------------------------
+    def _await(self, ctx: Ctx, node: _Request):
+        """Wait for the request to be combined, combining if possible."""
+        for _ in self._attempts():
+            state = yield from ctx.read(node.result)
+            if state is not None:
+                return state
+            got_lock = yield from ctx.cas(self.lock, None, ctx.tid)
+            if got_lock:
+                yield from self._combine(ctx)
+                yield from ctx.write(self.lock, None)
+                state = yield from ctx.read(node.result)
+                if state is not None:
+                    return state
+            yield from ctx.pause("awaiting combiner")
+        raise AttemptsExhausted(f"{node.kind} by {ctx.tid}")
+
+    @operation
+    def put(self, ctx: Ctx, v: Any):
+        """Hand ``v`` to a concurrent ``take`` (via the combiner)."""
+        node = yield from self._publish(ctx, "put", v)
+        yield from self._await(ctx, node)
+        return True
+
+    @operation
+    def take(self, ctx: Ctx):
+        """Receive a value from a concurrent ``put`` (via the combiner)."""
+        node = yield from self._publish(ctx, "take", None)
+        state = yield from self._await(ctx, node)
+        return (True, state[1])

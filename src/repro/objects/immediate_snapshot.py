@@ -1,0 +1,76 @@
+"""Borowsky–Gafni immediate atomic snapshot (§6; Neiger's motivating
+example for set-linearizability).
+
+Each of ``n`` participating threads calls ``write_snap(v)`` exactly once:
+it deposits ``v`` and returns a *view* — a set of ``(tid, value)`` pairs —
+such that across all threads the views satisfy
+
+* **self-inclusion** — a thread's own pair is in its view;
+* **containment** — any two views are ordered by ``⊆``;
+* **immediacy** — if ``q``'s pair is in ``p``'s view, then ``q``'s view is
+  a subset of ``p``'s view.
+
+These are exactly the conditions expressible by a *set*-linearizable
+specification (a CA-trace of blocks where each operation's view is the
+union of its own block and all earlier blocks) and **not** by any
+sequential specification — with a sequential spec, two threads can never
+see each other, but immediate snapshot allows (indeed requires, in some
+executions) mutual visibility.
+
+The implementation is the classic one-shot levels algorithm: a thread
+descends levels ``n, n-1, …``; at each level it scans everyone's level
+and returns once it sees at least ``level`` threads at or below its own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class ImmediateSnapshot(ConcurrentObject):
+    """One-shot immediate snapshot for a fixed set of participants."""
+
+    def __init__(
+        self, world: World, oid: str = "IS", participants: Sequence[str] = ()
+    ) -> None:
+        super().__init__(world, oid)
+        if not participants:
+            raise ValueError("participants must be declared up front")
+        self.participants: Tuple[str, ...] = tuple(participants)
+        n = len(self.participants)
+        self.values: Dict[str, Ref] = {
+            t: world.heap.ref(f"{oid}.value[{t}]", None)
+            for t in self.participants
+        }
+        self.levels: Dict[str, Ref] = {
+            t: world.heap.ref(f"{oid}.level[{t}]", n + 1)
+            for t in self.participants
+        }
+
+    @operation
+    def write_snap(self, ctx: Ctx, v: Any):
+        """Deposit ``v`` and return a frozenset of ``(tid, value)`` pairs."""
+        me = ctx.tid
+        if me not in self.values:
+            raise ValueError(f"{me} is not a declared participant")
+        yield from ctx.write(self.values[me], v)
+        level = len(self.participants) + 1
+        while True:
+            level -= 1
+            yield from ctx.write(self.levels[me], level)
+            seen: List[str] = []
+            for t in self.participants:
+                other_level = yield from ctx.read(self.levels[t])
+                if other_level <= level:
+                    seen.append(t)
+            if len(seen) >= level:
+                view = []
+                for t in seen:
+                    value = yield from ctx.read(self.values[t])
+                    view.append((t, value))
+                return frozenset(view)

@@ -1,0 +1,144 @@
+"""The Michael–Scott lock-free FIFO queue.
+
+The standard two-pointer linked queue: ``enqueue`` links a node after
+``tail`` and swings ``tail`` (with helping); ``dequeue`` advances
+``head`` past a dummy node.  It is the substrate for the elimination
+queue of Moir et al. [17] (§6) and an additional subject for the
+E7 checker-coincidence experiments.
+
+Instrumentation: singleton CA-elements at the linearization points —
+the link-in CAS for enqueue, the head-swing CAS for a successful
+dequeue, and the empty-confirming read for an empty dequeue (observed
+atomically via a confirming CAS, as in the retrying stack).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded queue operation ran out of retries."""
+
+
+class _Node:
+    """A queue node: immutable value, mutable ``next`` pointer."""
+
+    __slots__ = ("value", "next")
+
+    def __init__(self, world: World, value: Any) -> None:
+        self.value = value
+        self.next: Ref = world.heap.ref("msq.node.next", None)
+
+    def __repr__(self) -> str:
+        return f"_Node({self.value!r})"
+
+
+class MSQueue(ConcurrentObject):
+    """Michael–Scott queue with a dummy head node."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "Q",
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        dummy = _Node(world, None)
+        self.head: Ref = world.heap.ref(f"{oid}.head", dummy)
+        self.tail: Ref = world.heap.ref(f"{oid}.tail", dummy)
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            yield from itertools.count()
+        else:
+            yield from range(self.max_attempts)
+
+    def _singleton(self, tid: str, method: str, args: Any, value: Any):
+        op = Operation.of(tid, self.oid, method, args, value)
+        return CAElement(self.oid, [op])
+
+    @operation
+    def enqueue(self, ctx: Ctx, value: Any):
+        """Append ``value``; retries the link-in CAS until it lands."""
+        tid = ctx.tid
+        node = _Node(self.world, value)
+        for _ in self._attempts():
+            tail = yield from ctx.read(self.tail)
+            nxt = yield from ctx.read(tail.next)
+            current_tail = yield from ctx.read(self.tail)
+            if tail is not current_tail:
+                continue
+            if nxt is not None:
+                # Help swing the lagging tail, then retry.
+                yield from ctx.cas(self.tail, tail, nxt)
+                continue
+
+            def log_enqueue(world: World) -> None:
+                world.append_trace(
+                    [self._singleton(tid, "enqueue", (value,), (True,))]
+                )
+
+            linked = yield from ctx.cas(
+                tail.next, None, node, on_success=log_enqueue
+            )
+            if linked:
+                yield from ctx.cas(self.tail, tail, node)
+                return True
+        raise AttemptsExhausted(f"enqueue({value!r}) by {tid}")
+
+    @operation
+    def dequeue(self, ctx: Ctx):
+        """Remove the front value; ``(False, 0)`` when observed empty."""
+        tid = ctx.tid
+        for _ in self._attempts():
+            head = yield from ctx.read(self.head)
+            tail = yield from ctx.read(self.tail)
+            nxt = yield from ctx.read(head.next)
+            current_head = yield from ctx.read(self.head)
+            if head is not current_head:
+                continue
+            if head is tail:
+                if nxt is None:
+
+                    def log_empty(world: World) -> None:
+                        world.append_trace(
+                            [self._singleton(tid, "dequeue", (), (False, 0))]
+                        )
+
+                    # Confirm emptiness atomically with the log.
+                    confirmed = yield from ctx.cas(
+                        head.next, None, None, on_success=log_empty
+                    )
+                    if confirmed:
+                        still_head = yield from ctx.read(self.head)
+                        if still_head is head:
+                            return (False, 0)
+                    continue
+                # Tail is lagging: help and retry.
+                yield from ctx.cas(self.tail, tail, nxt)
+                continue
+            if nxt is None:
+                continue  # inconsistent snapshot; retry
+
+            def log_dequeue(world: World, nxt=nxt) -> None:
+                world.append_trace(
+                    [self._singleton(tid, "dequeue", (), (True, nxt.value))]
+                )
+
+            swung = yield from ctx.cas(
+                self.head, head, nxt, on_success=log_dequeue
+            )
+            if swung:
+                return (True, nxt.value)
+        raise AttemptsExhausted(f"dequeue() by {tid}")

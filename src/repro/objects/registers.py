@@ -1,0 +1,95 @@
+"""Plain linearizable objects: atomic register and counter.
+
+These have perfectly good *sequential* specifications; they exercise the
+degenerate case of CAL — CA-traces of singleton elements (§3: sequential
+histories are the CA-traces whose elements are all singletons) — and
+validate that our CAL checker coincides with the classic linearizability
+checker on non-CA objects (experiment E7).
+
+Both objects are instrumented with singleton CA-elements at their
+linearization points, so they also exercise the auxiliary-trace machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class AtomicRegister(ConcurrentObject):
+    """A read/write register; every access is a single atomic step."""
+
+    def __init__(self, world: World, oid: str = "R", initial: Any = 0) -> None:
+        super().__init__(world, oid)
+        self.cell: Ref = world.heap.ref(f"{oid}.cell", initial)
+
+    def _singleton(self, tid: str, method: str, args: Any, value: Any):
+        op = Operation.of(tid, self.oid, method, args, value)
+        return CAElement(self.oid, [op])
+
+    @operation
+    def read(self, ctx: Ctx):
+        tid = ctx.tid
+
+        def log_read(world: World, value: Any) -> None:
+            # The read *is* the linearization point: log in the same step.
+            world.append_trace([self._singleton(tid, "read", (), (value,))])
+
+        value = yield from ctx.read(self.cell, on_result=log_read)
+        return value
+
+    @operation
+    def write(self, ctx: Ctx, value: Any):
+        tid = ctx.tid
+
+        def log_write(world: World) -> None:
+            world.append_trace(
+                [self._singleton(tid, "write", (value,), (None,))]
+            )
+
+        yield from ctx.write(self.cell, value, on_commit=log_write)
+        return None
+
+
+class AtomicCounter(ConcurrentObject):
+    """A fetch-and-increment counter implemented with a CAS loop."""
+
+    def __init__(self, world: World, oid: str = "C", initial: int = 0) -> None:
+        super().__init__(world, oid)
+        self.cell: Ref = world.heap.ref(f"{oid}.cell", initial)
+
+    @operation
+    def increment(self, ctx: Ctx):
+        """Atomically increment; returns the value *before* the increment."""
+        oid = self.oid
+        tid = ctx.tid
+        while True:
+            current = yield from ctx.read(self.cell)
+
+            def log_inc(world: World, current=current) -> None:
+                op = Operation.of(tid, oid, "increment", (), (current,))
+                world.append_trace([CAElement(oid, [op])])
+
+            ok = yield from ctx.cas(
+                self.cell, current, current + 1, on_success=log_inc
+            )
+            if ok:
+                return current
+
+    @operation
+    def read(self, ctx: Ctx):
+        oid = self.oid
+        tid = ctx.tid
+
+        def log_read(world: World, value: Any) -> None:
+            op = Operation.of(tid, oid, "read", (), (value,))
+            world.append_trace([CAElement(oid, [op])])
+
+        value = yield from ctx.read(self.cell, on_result=log_read)
+        return value

@@ -1,0 +1,104 @@
+"""A scanning ring rendezvous — the fourth CA-object family (§6, Afek,
+Hakimi & Morrison [1], "Fast and scalable rendezvousing").
+
+The paper lists [1, 11, 17, 22] as further CA-linearizable objects; this
+module completes the quartet (flat combining [11], elimination queues
+[17] and synchronous queues [22] live in sibling modules).  Afek et
+al.'s rendezvous structure is a ring of cells that waiters occupy and
+that searchers *scan*, rather than probing one random slot as the
+elimination array does — trading the array's statistical pairing for
+deterministic discovery.  We implement the non-adaptive core of their
+idea (the adaptivity machinery — ring resizing driven by contention —
+is a performance optimization orthogonal to correctness).
+
+The object satisfies the *same* CA-spec as the exchanger
+(:class:`repro.specs.ExchangerSpec`): matched swap pairs or failed
+singletons.  Four implementations, one specification — §4's modularity
+thesis in its strongest form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from repro.core.catrace import failed_exchange_element, swap_element
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.exchanger import Offer
+from repro.substrate.context import Ctx
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class RingRendezvous(ConcurrentObject):
+    """A ring of rendezvous cells with scanning searchers.
+
+    ``exchange(v)``: scan the ring for a waiting offer and try to match
+    it (CAS its ``hole`` from ``None`` to our offer, logging the swap
+    element atomically — the XCHG device again); if nobody waits,
+    install our own offer in a nondeterministically chosen cell and wait
+    to be matched, withdrawing via the ``fail`` sentinel on timeout.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "RV",
+        slots: int = 2,
+        wait_rounds: int = 1,
+        max_attempts: int = 1,
+    ) -> None:
+        super().__init__(world, oid)
+        if slots < 1:
+            raise ValueError("ring needs at least one cell")
+        self.ring: List[Ref] = [
+            world.heap.ref(f"{oid}.ring[{i}]", None) for i in range(slots)
+        ]
+        self.fail_sentinel = Offer(world, f"{oid}.FAIL", None)
+        self.wait_rounds = wait_rounds
+        self.max_attempts = max_attempts
+
+    @operation
+    def exchange(self, ctx: Ctx, v: Any):
+        """Attempt a rendezvous; ``(False, v)`` if none materializes."""
+        tid = ctx.tid
+        n = Offer(self.world, tid, v)
+        oid = self.oid
+        for _ in range(self.max_attempts):
+            # Phase 1: scan for a waiting partner.
+            for cell in self.ring:
+                waiting = yield from ctx.read(cell)
+                if waiting is None or waiting.tid == tid:
+                    continue
+
+                def log_swap(world: World, waiting=waiting) -> None:
+                    world.append_trace(
+                        [
+                            swap_element(
+                                oid, waiting.tid, waiting.data, tid, v
+                            )
+                        ]
+                    )
+
+                matched = yield from ctx.cas(
+                    waiting.hole, None, n, on_success=log_swap
+                )
+                yield from ctx.cas(cell, waiting, None)  # clean
+                if matched:
+                    return (True, waiting.data)
+            # Phase 2: nobody found — become a waiter.
+            slot = yield from ctx.choose(range(len(self.ring)))
+            installed = yield from ctx.cas(self.ring[slot], None, n)
+            if not installed:
+                continue  # cell got taken; rescan
+            yield from ctx.sleep(self.wait_rounds)
+            withdrew = yield from ctx.cas(
+                n.hole, None, self.fail_sentinel
+            )
+            yield from ctx.cas(self.ring[slot], n, None)  # clean own cell
+            if withdrew:
+                break  # timed out unmatched
+            partner = yield from ctx.read(n.hole)
+            return (True, partner.data)
+        yield from ctx.log_trace(failed_exchange_element(oid, tid, v))
+        return (False, v)

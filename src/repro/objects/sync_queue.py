@@ -1,0 +1,79 @@
+"""A synchronous queue — the paper's second exchanger client (§2, [22]).
+
+In a synchronous (handoff) queue, ``put`` and ``take`` must pair up:
+``put(v)`` completes only by handing ``v`` directly to a concurrent
+``take``, which returns it.  Like the exchanger, this is a CA-object: a
+matched put/take pair "seem to take effect simultaneously", and no useful
+sequential specification exists (a sequential ``put`` completing alone
+would be wrong for a handoff queue).
+
+The implementation is built *on top of* the exchanger, mirroring how the
+elimination stack uses the elimination layer: a putter offers its value,
+a taker offers ``TAKE_SENTINEL``; a successful exchange between a putter
+and a taker completes both, anything else retries.  The view function
+``F_SQ`` (:func:`repro.rg.views.sync_queue_view`) converts the
+exchanger's swap elements into single CA-elements pairing the put with
+the take — CA-elements of the queue itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.elim_array import ElimArray
+from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.runtime import World
+
+#: Value takers offer to the exchanger (outside the put-value domain).
+TAKE_SENTINEL = float("-inf")
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded synchronous-queue operation ran out of retries."""
+
+
+class SyncQueue(ConcurrentObject):
+    """A handoff queue built on an elimination array of exchangers."""
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "SQ",
+        slots: int = 1,
+        wait_rounds: int = 1,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        self.elim = ElimArray(
+            world, f"{oid}/AR", slots=slots, wait_rounds=wait_rounds
+        )
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            while True:
+                yield
+        else:
+            yield from iter(range(self.max_attempts))
+
+    @operation
+    def put(self, ctx: Ctx, v: Any):
+        """Hand ``v`` to a concurrent ``take``; retries until matched."""
+        if v == TAKE_SENTINEL:
+            raise ValueError("cannot put the reserved TAKE_SENTINEL value")
+        for _ in self._attempts():
+            _b, d = yield from self.elim.exchange(ctx, v)
+            if d == TAKE_SENTINEL:
+                return True
+        raise AttemptsExhausted(f"put({v!r}) by {ctx.tid}")
+
+    @operation
+    def take(self, ctx: Ctx):
+        """Receive a value from a concurrent ``put``; retries until matched."""
+        for _ in self._attempts():
+            _b, v = yield from self.elim.exchange(ctx, TAKE_SENTINEL)
+            if v != TAKE_SENTINEL:
+                return (True, v)
+        raise AttemptsExhausted(f"take() by {ctx.tid}")

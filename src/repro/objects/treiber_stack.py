@@ -1,0 +1,96 @@
+"""The central lock-free stack of Figure 2 (``class Stack``).
+
+A Treiber-style stack whose operations attempt a *single* CAS and report
+failure on contention instead of retrying — the retry loop lives in the
+client (the elimination stack), which uses a failure as its cue to try
+the elimination layer instead.
+
+Instrumentation: each operation appends its singleton CA-element to the
+auxiliary trace ``T`` at its linearization point — the successful CAS for
+effectful operations (atomically, via ``on_success``), or immediately
+after the failing CAS / empty check for read-only outcomes (any point
+inside the operation's interval is a valid linearization point for an
+operation without effect).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+from repro.objects.base import ConcurrentObject, operation
+from repro.substrate.context import Ctx
+from repro.substrate.memory import Ref
+from repro.substrate.runtime import World
+
+
+class Cell:
+    """An immutable stack cell (Figure 2, ``class Cell``)."""
+
+    __slots__ = ("data", "next")
+
+    def __init__(self, data: Any, next_cell: Optional["Cell"]) -> None:
+        self.data = data
+        self.next = next_cell
+
+    def __repr__(self) -> str:
+        return f"Cell({self.data!r})"
+
+
+class TreiberStack(ConcurrentObject):
+    """Figure 2's ``Stack``: single-attempt CAS-based push/pop."""
+
+    def __init__(self, world: World, oid: str = "S") -> None:
+        super().__init__(world, oid)
+        self.top: Ref = world.heap.ref(f"{oid}.top", None)
+
+    def _singleton(self, tid: str, method: str, args: Any, value: Any):
+        op = Operation.of(tid, self.oid, method, args, value)
+        return CAElement(self.oid, [op])
+
+    @operation
+    def push(self, ctx: Ctx, data: Any):
+        """``bool push(int data)`` — lines 10–14; fails under contention."""
+        head = yield from ctx.read(self.top)  # line 11
+        cell = Cell(data, head)  # line 12
+        oid = self.oid
+        tid = ctx.tid
+
+        def log_push(world: World) -> None:
+            world.append_trace(
+                [self._singleton(tid, "push", (data,), (True,))]
+            )
+
+        ok = yield from ctx.cas(self.top, head, cell, on_success=log_push)
+        if not ok:
+            yield from ctx.log_trace(
+                self._singleton(tid, "push", (data,), (False,))
+            )
+        return ok  # line 13
+
+    @operation
+    def pop(self, ctx: Ctx):
+        """``(bool, int) pop()`` — lines 15–23; ``(False, 0)`` on empty or
+        contention."""
+        head = yield from ctx.read(self.top)  # line 16
+        tid = ctx.tid
+        if head is None:  # line 17: EMPTY
+            yield from ctx.log_trace(
+                self._singleton(tid, "pop", (), (False, 0))
+            )
+            return (False, 0)  # line 18
+        rest = head.next  # line 19
+
+        def log_pop(world: World, head=head) -> None:
+            world.append_trace(
+                [self._singleton(tid, "pop", (), (True, head.data))]
+            )
+
+        ok = yield from ctx.cas(self.top, head, rest, on_success=log_pop)
+        if ok:
+            return (True, head.data)  # line 21
+        yield from ctx.log_trace(
+            self._singleton(tid, "pop", (), (False, 0))
+        )
+        return (False, 0)  # line 23

@@ -1,0 +1,56 @@
+"""Rely/guarantee machinery (§4–§5, Figure 4).
+
+* :mod:`repro.rg.views` — view functions ``F_o`` and their composition:
+  how a composite object defines its trace ``T_o`` as a function of its
+  subobjects' CA-elements (§4), including the paper's ``F_AR`` and
+  ``F_ES``.
+* :mod:`repro.rg.actions` — named actions (predicates over atomic
+  transitions) and guarantee/rely construction.
+* :mod:`repro.rg.monitor` — runtime monitors: every transition must be
+  justified by the acting thread's guarantee; global invariants (like
+  Figure 4's ``J``) must hold after every step; registered proof-outline
+  assertions must be *stable* under interference.
+* :mod:`repro.rg.exchanger_rg` — Figure 4 instantiated for an exchanger:
+  ``INIT``, ``CLEAN``, ``PASS``, ``XCHG``, ``FAIL``, and invariant ``J``.
+"""
+
+from repro.rg.views import (
+    ViewFunction,
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+    identity_view,
+    sync_queue_view,
+)
+from repro.rg.actions import Action, Transition, stutter
+from repro.rg.monitor import (
+    AssertionViolation,
+    GuaranteeMonitor,
+    GuaranteeViolation,
+    InvariantMonitor,
+    InvariantViolation,
+    RGViolation,
+    StabilityMonitor,
+)
+from repro.rg.exchanger_rg import exchanger_actions, exchanger_invariant
+
+__all__ = [
+    "Action",
+    "AssertionViolation",
+    "GuaranteeMonitor",
+    "GuaranteeViolation",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "RGViolation",
+    "StabilityMonitor",
+    "Transition",
+    "ViewFunction",
+    "compose_views",
+    "elim_array_view",
+    "elimination_stack_view",
+    "exchanger_actions",
+    "exchanger_invariant",
+    "identity_view",
+    "stutter",
+    "sync_queue_view",
+]

@@ -1,0 +1,89 @@
+"""Named actions: the vocabulary of rely/guarantee conditions (Figure 4).
+
+Following the paper (and the logics it builds on), rely and guarantee
+conditions are unions of *actions* — binary relations on shared state,
+parametrized by the acting thread.  Here an action is a named predicate
+over a :class:`Transition`: the acting thread, the pre/post heap
+snapshots and the pre/post auxiliary trace.
+
+A thread's guarantee ``G^t`` is a set of actions; a transition by ``t``
+must be a *stutter* (no change to heap or trace) or be permitted by some
+action of ``G^t``.  The rely ``R^t`` is, as in the paper, the union of
+the other threads' guarantees plus the frame action ``IRRELEVANT_o``
+(other objects may extend the trace and touch their own cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.catrace import CAElement, CATrace
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One atomic step: who acted and how the shared state changed."""
+
+    tid: str
+    effect: Any
+    result: Any
+    pre: Dict[str, Any]
+    post: Dict[str, Any]
+    pre_trace: CATrace
+    post_trace: CATrace
+
+    def changed_cells(self) -> List[str]:
+        """Names of heap cells whose value differs between pre and post.
+
+        Cells absent from ``pre`` (allocated by the acting thread during
+        this step) count as changed only if their value is not the
+        allocation default — thread-local initialization of fresh cells
+        is not interference.
+        """
+        changed = []
+        for name, value in self.post.items():
+            if name in self.pre:
+                before = self.pre[name]
+                if before is not value and before != value:
+                    changed.append(name)
+        return changed
+
+    def appended_elements(self) -> Tuple[CAElement, ...]:
+        """CA-elements appended to the auxiliary trace by this step."""
+        k = len(self.pre_trace)
+        return tuple(self.post_trace.elements[k:])
+
+    def is_stutter(self) -> bool:
+        """No observable change to heap or auxiliary trace."""
+        return not self.changed_cells() and not self.appended_elements()
+
+
+@dataclass(frozen=True)
+class Action:
+    """A named parametrized action, e.g. ``XCHG^t``."""
+
+    name: str
+    permits: Callable[[Transition], bool] = field(compare=False)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name})"
+
+
+def stutter(transition: Transition) -> bool:
+    """The implicit identity action present in every guarantee."""
+    return transition.is_stutter()
+
+
+def union(
+    actions: Sequence[Action],
+) -> Callable[[Transition], Optional[Action]]:
+    """Return a classifier: the first action permitting a transition."""
+
+    def classify(transition: Transition) -> Optional[Action]:
+        for action in actions:
+            if action.permits(transition):
+                return action
+        return None
+
+    return classify

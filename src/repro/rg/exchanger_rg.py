@@ -1,0 +1,151 @@
+"""Figure 4 instantiated: the exchanger's actions and invariant.
+
+The guarantee of thread ``t`` on an exchanger ``E`` is
+
+    ``G_E^t ≜ (INIT^t ∨ CLEAN^t ∨ PASS^t ∨ XCHG^t ∨ FAIL^t)``
+
+and the rely is the union of the other threads' guarantees plus the
+frame action (``IRRELEVANT``) — which, in the runtime monitor, is simply
+the fact that the monitor checks each transition against the *acting*
+thread's guarantee (stutters and other objects' actions are classified
+separately).
+
+Each action below is a predicate over one atomic transition, reading the
+pre/post heap snapshots and the pre/post auxiliary trace exactly as the
+paper's action formulas read the hooked/unhooked variables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.catrace import CAElement
+from repro.objects.exchanger import Exchanger, Offer
+from repro.rg.actions import Action, Transition
+from repro.rg.monitor import InvariantMonitor
+from repro.specs.exchanger_spec import is_failed_exchange, is_swap_pair
+from repro.substrate.runtime import World
+
+
+def _only_changed(transition: Transition, cell_name: str) -> bool:
+    return transition.changed_cells() == [cell_name]
+
+
+def exchanger_actions(exchanger: Exchanger) -> List[Action]:
+    """The five actions of Figure 4 for one exchanger instance."""
+    g_name = exchanger.g.name
+    fail = exchanger.fail_sentinel
+    oid = exchanger.oid
+
+    def init(tr: Transition) -> bool:
+        # INIT^t ≜ [∃n. g⃐ = null ∧ n.tid = t ∧ n.hole = null ∧ g = n]_g
+        if not _only_changed(tr, g_name) or tr.appended_elements():
+            return False
+        if tr.pre.get(g_name) is not None:
+            return False
+        offer = tr.post.get(g_name)
+        return (
+            isinstance(offer, Offer)
+            and offer is not fail
+            and offer.tid == tr.tid
+            and tr.post.get(offer.hole.name, "missing") is None
+        )
+
+    def clean(tr: Transition) -> bool:
+        # CLEAN^t ≜ [g⃐.hole ≠ null ∧ g = null]_g
+        if not _only_changed(tr, g_name) or tr.appended_elements():
+            return False
+        offer = tr.pre.get(g_name)
+        return (
+            isinstance(offer, Offer)
+            and tr.pre.get(offer.hole.name) is not None
+            and tr.post.get(g_name) is None
+        )
+
+    def pass_(tr: Transition) -> bool:
+        # PASS^t ≜ [g.hole⃐ = null ∧ g.tid = t ∧ g.hole = fail]_{g.hole}
+        offer = tr.pre.get(g_name)
+        if not isinstance(offer, Offer) or offer.tid != tr.tid:
+            return False
+        hole_name = offer.hole.name
+        if not _only_changed(tr, hole_name) or tr.appended_elements():
+            return False
+        return (
+            tr.pre.get(hole_name) is None
+            and tr.post.get(hole_name) is fail
+        )
+
+    def xchg(tr: Transition) -> bool:
+        # XCHG^t ≜ [∃n ≠ fail. n.tid = t ∧ g.hole⃐ = null ∧ g.tid ≠ t ∧
+        #           g.hole = n ∧ T = T⃐ · E.swap(g.tid, g.data, t, n.data)
+        #          ]_{g.hole, T}
+        offer = tr.pre.get(g_name)
+        if not isinstance(offer, Offer) or offer.tid == tr.tid:
+            return False
+        hole_name = offer.hole.name
+        if not _only_changed(tr, hole_name):
+            return False
+        if tr.pre.get(hole_name) is not None:
+            return False
+        mine = tr.post.get(hole_name)
+        if not isinstance(mine, Offer) or mine is fail or mine.tid != tr.tid:
+            return False
+        appended = tr.appended_elements()
+        if len(appended) != 1:
+            return False
+        element = appended[0]
+        if element.oid != oid or not is_swap_pair(element):
+            return False
+        expected_ops = {
+            (offer.tid, (offer.data,), (True, mine.data)),
+            (tr.tid, (mine.data,), (True, offer.data)),
+        }
+        actual_ops = {
+            (op.tid, op.args, op.value) for op in element.operations
+        }
+        return actual_ops == expected_ops
+
+    def fail_(tr: Transition) -> bool:
+        # FAIL^t ≜ [∃d. T = T⃐ · (E.{(t, ex(d) ▷ false, d)})]_T
+        if tr.changed_cells():
+            return False
+        appended = tr.appended_elements()
+        if len(appended) != 1:
+            return False
+        element = appended[0]
+        return (
+            element.oid == oid
+            and is_failed_exchange(element)
+            and element.single().tid == tr.tid
+        )
+
+    return [
+        Action(f"INIT({oid})", init),
+        Action(f"CLEAN({oid})", clean),
+        Action(f"PASS({oid})", pass_),
+        Action(f"XCHG({oid})", xchg),
+        Action(f"FAIL({oid})", fail_),
+    ]
+
+
+def in_exchanger(world: World, tid: str, oid: str) -> bool:
+    """``InE(t)``: thread ``t`` is currently executing a method of the
+    exchanger — it has a pending invocation on ``oid``."""
+    per_thread = world.history.project_thread(tid).project_object(oid)
+    return any(span.pending for span in per_thread.spans())
+
+
+def exchanger_invariant(exchanger: Exchanger) -> InvariantMonitor:
+    """Figure 4's ``J``: an unsatisfied offer in ``g`` belongs to a thread
+    currently participating in an exchange."""
+    oid = exchanger.oid
+
+    def j_holds(world: World) -> bool:
+        offer = exchanger.g.peek()
+        if offer is None:
+            return True
+        if offer.hole.peek() is not None:
+            return True
+        return in_exchanger(world, offer.tid, oid)
+
+    return InvariantMonitor(f"J({oid})", j_holds)

@@ -1,0 +1,161 @@
+"""Runtime rely/guarantee monitors.
+
+The paper discharges three kinds of proof obligations for the exchanger
+(§5.1); each has a runtime counterpart here, checked on *every* atomic
+step of *every* explored interleaving:
+
+* **Guarantee adherence** (:class:`GuaranteeMonitor`) — each transition
+  by thread ``t`` is a stutter or is permitted by an action of ``G^t``
+  (Figure 4's ``INIT ∨ CLEAN ∨ PASS ∨ XCHG ∨ FAIL``, plus the frame
+  action for other objects).
+* **Invariant preservation** (:class:`InvariantMonitor`) — a global
+  invariant (Figure 4's ``J``) holds after every step.
+* **Assertion stability** (:class:`StabilityMonitor`) — proof-outline
+  assertions registered by a thread (Figure 1's ``A``, ``B(k)``, …)
+  keep holding while *other* threads take steps; this is exactly the
+  stability side condition of rely/guarantee reasoning, checked
+  operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.catrace import CATrace
+from repro.rg.actions import Action, Transition
+from repro.substrate.runtime import World
+
+
+class RGViolation(AssertionError):
+    """Base class for rely/guarantee check failures."""
+
+
+class GuaranteeViolation(RGViolation):
+    """A transition was not justified by the acting thread's guarantee."""
+
+
+class InvariantViolation(RGViolation):
+    """A global invariant failed to hold after a step."""
+
+
+class AssertionViolation(RGViolation):
+    """A registered proof-outline assertion failed (at registration, or
+    later — i.e. it was not stable under interference)."""
+
+
+class GuaranteeMonitor:
+    """Checks every transition against the acting thread's guarantee.
+
+    ``actions`` are thread-parametrized: each sees the full transition
+    (including ``tid``) and decides whether it permits it.  A record of
+    (step index, action name) classifications is kept for inspection —
+    the E3 benchmark reports how often each Figure-4 action fires.
+    """
+
+    def __init__(self, actions: Sequence[Action]) -> None:
+        self.actions = list(actions)
+        self.classified: List[Tuple[int, str]] = []
+        self._step = 0
+
+    def on_transition(
+        self,
+        tid: str,
+        effect: Any,
+        result: Any,
+        pre: Dict[str, Any],
+        post: Dict[str, Any],
+        pre_trace: CATrace,
+        post_trace: CATrace,
+    ) -> None:
+        transition = Transition(
+            tid, effect, result, pre, post, pre_trace, post_trace
+        )
+        self._step += 1
+        if transition.is_stutter():
+            self.classified.append((self._step, "stutter"))
+            return
+        for action in self.actions:
+            if action.permits(transition):
+                self.classified.append((self._step, action.name))
+                return
+        raise GuaranteeViolation(
+            f"step {self._step}: transition by {tid} "
+            f"(effect={effect!r}, changed={transition.changed_cells()}, "
+            f"appended={transition.appended_elements()!r}) "
+            f"is justified by no action of its guarantee"
+        )
+
+    def action_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _, name in self.classified:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+class InvariantMonitor:
+    """Checks a global invariant after every step (and at start/finish)."""
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[World], bool],
+    ) -> None:
+        self.name = name
+        self.predicate = predicate
+        self._world: Optional[World] = None
+        self.checks = 0
+
+    def on_start(self, world: World) -> None:
+        self._world = world
+        self._check("initially")
+
+    def on_transition(
+        self, tid: str, effect: Any, result: Any, pre, post, pre_trace, post_trace
+    ) -> None:
+        self._check(f"after a step by {tid} ({effect!r})")
+
+    def on_finish(self, world: World) -> None:
+        self._check("at termination")
+
+    def _check(self, when: str) -> None:
+        assert self._world is not None, "monitor not started"
+        self.checks += 1
+        if not self.predicate(self._world):
+            raise InvariantViolation(f"invariant {self.name} violated {when}")
+
+
+class StabilityMonitor:
+    """Re-checks registered assertions after every interfering step.
+
+    Threads register assertions through the world's assertion registry
+    (see :meth:`repro.substrate.context.Ctx.assert_stable`); this monitor
+    enforces that each stays true until retracted, no matter which thread
+    acts — operational stability under the rely.
+    """
+
+    def __init__(self) -> None:
+        self._world: Optional[World] = None
+        self.rechecks = 0
+
+    def on_start(self, world: World) -> None:
+        self._world = world
+
+    def on_transition(
+        self, tid: str, effect: Any, result: Any, pre, post, pre_trace, post_trace
+    ) -> None:
+        assert self._world is not None
+        for (owner, name), predicate in list(
+            self._world.active_assertions.items()
+        ):
+            if owner == tid:
+                # Stability is an obligation under the *rely* — the other
+                # threads' steps.  The owner updates its own assertions as
+                # it moves through the proof outline.
+                continue
+            self.rechecks += 1
+            if not predicate(self._world):
+                raise AssertionViolation(
+                    f"assertion {name!r} of thread {owner} invalidated by a "
+                    f"step of {tid} ({effect!r}) — not stable under the rely"
+                )

@@ -1,0 +1,70 @@
+"""Rely/guarantee actions for the central stack (Figure 2's ``Stack``).
+
+The paper omits the central stack's proof as "a straightforward proof of
+linearizability" (§5); its action vocabulary is nevertheless needed to
+monitor composite elimination-stack runs, so we spell it out: a
+successful push/pop CAS changes ``top`` and logs the corresponding
+singleton element atomically; failed operations log an effect-free
+singleton without touching the heap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.objects.treiber_stack import Cell, TreiberStack
+from repro.rg.actions import Action, Transition
+
+
+def treiber_actions(stack: TreiberStack) -> List[Action]:
+    """PUSH / POP / FAILED actions for one central-stack instance."""
+    top_name = stack.top.name
+    oid = stack.oid
+
+    def _logged_singleton(tr: Transition, method: str, value) -> bool:
+        appended = tr.appended_elements()
+        if len(appended) != 1:
+            return False
+        element = appended[0]
+        if element.oid != oid or not element.is_singleton():
+            return False
+        op = element.single()
+        return op.tid == tr.tid and op.method == method and op.value == value
+
+    def push(tr: Transition) -> bool:
+        if tr.changed_cells() != [top_name]:
+            return False
+        cell = tr.post.get(top_name)
+        if not isinstance(cell, Cell) or tr.pre.get(top_name) is not cell.next:
+            return False
+        return _logged_singleton(tr, "push", (True,))
+
+    def pop(tr: Transition) -> bool:
+        if tr.changed_cells() != [top_name]:
+            return False
+        cell = tr.pre.get(top_name)
+        if not isinstance(cell, Cell) or tr.post.get(top_name) is not cell.next:
+            return False
+        return _logged_singleton(tr, "pop", (True, cell.data))
+
+    def failed(tr: Transition) -> bool:
+        if tr.changed_cells():
+            return False
+        appended = tr.appended_elements()
+        if len(appended) != 1:
+            return False
+        element = appended[0]
+        if element.oid != oid or not element.is_singleton():
+            return False
+        op = element.single()
+        if op.tid != tr.tid:
+            return False
+        return (op.method == "push" and op.value == (False,)) or (
+            op.method == "pop" and op.value == (False, 0)
+        )
+
+    return [
+        Action(f"PUSH({oid})", push),
+        Action(f"POP({oid})", pop),
+        Action(f"FAILED({oid})", failed),
+    ]

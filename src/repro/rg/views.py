@@ -1,0 +1,261 @@
+"""View functions ``F_o`` (§4) and the paper's instances (§5).
+
+A composite object does not get to instrument its subobjects — that
+would break encapsulation.  Instead it supplies a function ``F_o`` from
+the CA-elements of its *immediate* subobjects to CA-traces of its own
+operations.  The total extension ``F̂_o`` leaves unmapped elements
+untouched; the full view is the recursive composition over the nesting:
+
+    ``F_o ≜ F̂_o ∘ (F̂_{o₁} ∘ … ∘ F̂_{oₙ})``,   ``T_o ≜ F_o(T)``.
+
+``F̂_o`` is idempotent, and extensions of disjoint objects commute, so
+the composition order within one nesting level is irrelevant (§4).
+
+Instances below: ``F_AR`` (an exchange on any array slot *is* an exchange
+on the array), ``F_ES`` (a successful central-stack push/pop is an
+elimination-stack push/pop; an elimination swap is a push immediately
+followed by the pop it eliminated), and ``F_SQ`` (an exchanger swap
+between a putter and a taker is one put/take handoff pair).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement, CATrace
+from repro.specs.exchanger_spec import is_swap_pair
+
+TraceFn = Callable[[CATrace], CATrace]
+
+
+class ViewFunction:
+    """``F_o`` as a partial elementwise map, applied via total extension.
+
+    ``mapping(element)`` returns the replacement sequence of CA-elements
+    (possibly empty — the element is hidden) or ``None`` when undefined
+    (the element passes through unchanged — the ``F̂_o`` case).
+    """
+
+    def __init__(
+        self,
+        oid: str,
+        mapping: Callable[[CAElement], Optional[Sequence[CAElement]]],
+    ) -> None:
+        self.oid = oid
+        self._mapping = mapping
+
+    def total(self, element: CAElement) -> Sequence[CAElement]:
+        """``F̂_o``: the total extension of the partial map."""
+        mapped = self._mapping(element)
+        if mapped is None:
+            return (element,)
+        return tuple(mapped)
+
+    def apply(self, trace: CATrace) -> CATrace:
+        out: List[CAElement] = []
+        for element in trace:
+            out.extend(self.total(element))
+        return CATrace(out)
+
+    def __call__(self, trace: CATrace) -> CATrace:
+        return self.apply(trace)
+
+    def __repr__(self) -> str:
+        return f"ViewFunction(F_{self.oid})"
+
+
+def identity_view(oid: str) -> ViewFunction:
+    """The completely undefined ``F_o`` — used by leaf objects like the
+    exchanger (§5.1), for which ``T_o = T|_o``."""
+    return ViewFunction(oid, lambda _element: None)
+
+
+def compose_views(outer: TraceFn, *inner: TraceFn) -> TraceFn:
+    """``F_o ∘ (F_{o₁} ∘ … ∘ F_{oₙ})`` — inner views first."""
+
+    def apply(trace: CATrace) -> CATrace:
+        for view in inner:
+            trace = view(trace)
+        return outer(trace)
+
+    return apply
+
+
+# ----------------------------------------------------------------------
+# F_AR (§5): an exchange on any slot is an exchange on the array.
+# ----------------------------------------------------------------------
+def elim_array_view(
+    ar_oid: str, exchanger_oids: Iterable[str]
+) -> ViewFunction:
+    """``F_AR(E[i].S) ≜ (AR.S)`` — rename slot elements to the array."""
+    slots = frozenset(exchanger_oids)
+
+    def mapping(element: CAElement) -> Optional[Sequence[CAElement]]:
+        if element.oid not in slots:
+            return None
+        renamed = [
+            Operation(op.tid, ar_oid, op.method, op.args, op.value)
+            for op in element.operations
+        ]
+        return (CAElement(ar_oid, renamed),)
+
+    return ViewFunction(ar_oid, mapping)
+
+
+# ----------------------------------------------------------------------
+# F_ES (§5): the elimination stack's linearization points.
+# ----------------------------------------------------------------------
+def elimination_stack_view(
+    es_oid: str,
+    stack_oid: str,
+    ar_oid: str,
+    pop_sentinel: object = float("inf"),
+) -> ViewFunction:
+    """The paper's ``F_ES``:
+
+    * ``S.(t, push(n) ▷ true)          ↦ (ES.(t, push(n) ▷ true))``
+    * ``S.(t, pop() ▷ true, n)         ↦ (ES.(t, pop() ▷ true, n))``
+    * ``AR.{(t, ex(n) ▷ true, ∞), (t', ex(∞) ▷ true, n)}``, ``n ≠ ∞``
+      ``↦ (ES.(t, push(n) ▷ true)) · (ES.(t', pop() ▷ true, n))``
+      — the push linearized immediately *before* the pop it eliminates.
+    * ``S._ ↦ ε``, ``AR._ ↦ ε`` otherwise.
+    """
+
+    def mapping(element: CAElement) -> Optional[Sequence[CAElement]]:
+        if element.oid == stack_oid:
+            if element.is_singleton():
+                op = element.single()
+                if op.method == "push" and op.value == (True,):
+                    return (
+                        CAElement(
+                            es_oid,
+                            [
+                                Operation(
+                                    op.tid, es_oid, "push", op.args, (True,)
+                                )
+                            ],
+                        ),
+                    )
+                if (
+                    op.method == "pop"
+                    and len(op.value) == 2
+                    and op.value[0] is True
+                ):
+                    return (
+                        CAElement(
+                            es_oid,
+                            [Operation(op.tid, es_oid, "pop", (), op.value)],
+                        ),
+                    )
+            return ()  # F_ES(S._) ≜ ε
+        if element.oid == ar_oid:
+            if is_swap_pair(element):
+                ops = sorted(element.operations, key=str)
+                pusher = next(
+                    (
+                        op
+                        for op in ops
+                        if op.args[0] != pop_sentinel
+                        and op.value == (True, pop_sentinel)
+                    ),
+                    None,
+                )
+                popper = next(
+                    (
+                        op
+                        for op in ops
+                        if op.args[0] == pop_sentinel
+                        and op.value[0] is True
+                        and op.value[1] != pop_sentinel
+                    ),
+                    None,
+                )
+                if pusher is not None and popper is not None:
+                    value = pusher.args[0]
+                    return (
+                        CAElement(
+                            es_oid,
+                            [
+                                Operation(
+                                    pusher.tid,
+                                    es_oid,
+                                    "push",
+                                    (value,),
+                                    (True,),
+                                )
+                            ],
+                        ),
+                        CAElement(
+                            es_oid,
+                            [
+                                Operation(
+                                    popper.tid,
+                                    es_oid,
+                                    "pop",
+                                    (),
+                                    (True, value),
+                                )
+                            ],
+                        ),
+                    )
+            return ()  # F_ES(AR._) ≜ ε
+        return None
+
+    return ViewFunction(es_oid, mapping)
+
+
+# ----------------------------------------------------------------------
+# F_SQ: an exchanger swap between a putter and a taker is one handoff.
+# ----------------------------------------------------------------------
+def sync_queue_view(
+    sq_oid: str,
+    ar_oid: str,
+    take_sentinel: object = float("-inf"),
+) -> ViewFunction:
+    """Unlike ``F_ES``, the handoff stays a *single* CA-element of the
+    queue — the put and the take seem to take effect simultaneously at
+    the queue's own interface too (the queue is itself a CA-object)."""
+
+    def mapping(element: CAElement) -> Optional[Sequence[CAElement]]:
+        if element.oid != ar_oid:
+            return None
+        if is_swap_pair(element):
+            ops = sorted(element.operations, key=str)
+            putter = next(
+                (
+                    op
+                    for op in ops
+                    if op.args[0] != take_sentinel
+                    and op.value == (True, take_sentinel)
+                ),
+                None,
+            )
+            taker = next(
+                (
+                    op
+                    for op in ops
+                    if op.args[0] == take_sentinel
+                    and op.value[0] is True
+                    and op.value[1] != take_sentinel
+                ),
+                None,
+            )
+            if putter is not None and taker is not None:
+                value = putter.args[0]
+                return (
+                    CAElement(
+                        sq_oid,
+                        [
+                            Operation(
+                                putter.tid, sq_oid, "put", (value,), (True,)
+                            ),
+                            Operation(
+                                taker.tid, sq_oid, "take", (), (True, value)
+                            ),
+                        ],
+                    ),
+                )
+        return ()
+
+    return ViewFunction(sq_oid, mapping)

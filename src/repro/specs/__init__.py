@@ -1,0 +1,52 @@
+"""Object specifications.
+
+Concurrency-aware specs (transition systems over CA-elements, §4):
+
+* :class:`~repro.specs.exchanger_spec.ExchangerSpec` — matched swap pairs
+  or failed singletons; shared by the exchanger and the elimination array.
+* :class:`~repro.specs.sync_queue_spec.SyncQueueSpec` — put/take handoff
+  pairs.
+* :class:`~repro.specs.snapshot_spec.ImmediateSnapshotSpec` — Neiger-style
+  block spec of the immediate snapshot.
+* :class:`~repro.specs.dual_stack_spec.DualStackSpec` — LIFO with
+  fulfilment pairs for waiting pops.
+* :class:`~repro.specs.dual_queue_spec.DualQueueSpec` — FIFO with
+  fulfilment pairs for waiting dequeues (the correct E13 counterpart).
+
+Sequential specs (transition systems over operations):
+
+* :class:`~repro.specs.stack_spec.StackSpec` — strict LIFO stack (the
+  elimination stack's client-facing spec).
+* :class:`~repro.specs.stack_spec.CentralStackSpec` — Figure 2's central
+  stack, whose operations may fail under contention (§4's ``WF_S``).
+* :class:`~repro.specs.queue_spec.QueueSpec` — strict FIFO queue.
+* :class:`~repro.specs.register_spec.RegisterSpec` /
+  :class:`~repro.specs.register_spec.CounterSpec` — plain linearizable
+  objects for the singleton special case (E7).
+"""
+
+from repro.specs.exchanger_spec import (
+    ExchangerSpec,
+    SequentializedExchangerSpec,
+)
+from repro.specs.stack_spec import CentralStackSpec, StackSpec
+from repro.specs.queue_spec import QueueSpec
+from repro.specs.register_spec import CounterSpec, RegisterSpec
+from repro.specs.sync_queue_spec import SyncQueueSpec
+from repro.specs.snapshot_spec import ImmediateSnapshotSpec
+from repro.specs.dual_stack_spec import DualStackSpec
+from repro.specs.dual_queue_spec import DualQueueSpec
+
+__all__ = [
+    "CentralStackSpec",
+    "CounterSpec",
+    "DualQueueSpec",
+    "DualStackSpec",
+    "ExchangerSpec",
+    "ImmediateSnapshotSpec",
+    "QueueSpec",
+    "RegisterSpec",
+    "SequentializedExchangerSpec",
+    "StackSpec",
+    "SyncQueueSpec",
+]

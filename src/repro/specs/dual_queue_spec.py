@@ -1,0 +1,78 @@
+"""Concurrency-aware spec of the dual queue (§6, Scherer & Scott [14]).
+
+Mirrors :class:`~repro.specs.dual_stack_spec.DualStackSpec` with FIFO
+state:
+
+* ``DQ.{(t, enqueue(v) ▷ true)}`` — appends ``v``;
+* ``DQ.{(t, dequeue() ▷ (true, v))}`` — legal iff ``v`` is the front;
+* ``DQ.{(t, enqueue(v) ▷ true), (t', dequeue() ▷ (true, v))}`` — a
+  fulfilment pair, legal only on an **empty** queue (reservations and
+  data never coexist), leaving it empty.
+
+The contrast with the *naive* elimination queue (E13) is exactly here:
+the fulfilment element requires emptiness, and the implementation
+enforces it by queueing the reservations themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.checkers.caspec import CASpec
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+
+
+def _is_enqueue(op: Operation) -> bool:
+    return (
+        op.method == "enqueue" and len(op.args) == 1 and op.value == (True,)
+    )
+
+
+def _is_dequeue(op: Operation) -> bool:
+    return (
+        op.method == "dequeue"
+        and not op.args
+        and len(op.value) == 2
+        and op.value[0] is True
+    )
+
+
+class DualQueueSpec(CASpec):
+    """State is the tuple of queued data values, front first."""
+
+    def __init__(self, oid: str = "DQ") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def step(
+        self, state: Tuple[Any, ...], element: CAElement
+    ) -> Optional[Tuple[Any, ...]]:
+        if element.oid != self.oid:
+            return None
+        if element.is_singleton():
+            op = element.single()
+            if _is_enqueue(op):
+                return state + (op.args[0],)
+            if _is_dequeue(op) and state and state[0] == op.value[1]:
+                return state[1:]
+            return None
+        if len(element) == 2:
+            ops = sorted(element.operations, key=lambda op: op.method)
+            deq, enq = (
+                (ops[0], ops[1])
+                if ops[0].method == "dequeue"
+                else (ops[1], ops[0])
+            )
+            if (
+                _is_enqueue(enq)
+                and _is_dequeue(deq)
+                and enq.tid != deq.tid
+                and deq.value == (True, enq.args[0])
+                and not state
+            ):
+                return state
+            return None
+        return None

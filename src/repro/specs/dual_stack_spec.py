@@ -1,0 +1,75 @@
+"""Concurrency-aware spec of the dual stack (§6, Scherer & Scott [14]).
+
+Scherer & Scott specify dual data structures with *two* linearization
+points per waiting operation (the "request" and the "follow-up"); the
+paper observes that a CA-trace spec needs only one CA-element per
+fulfilment, streamlining the specification.  Concretely:
+
+* ``DS.{(t, push(v) ▷ true)}`` — an ordinary push; pushes ``v``.
+* ``DS.{(t, pop() ▷ (true, v))}`` — an ordinary pop; legal iff ``v`` is
+  the top of the stack.
+* ``DS.{(t, push(v) ▷ true), (t', pop() ▷ (true, v))}`` — a *fulfilment*
+  pair: a waiting pop is handed ``v`` directly by a concurrent push.
+  Legal only on an **empty** stack (a pop waits only when there is no
+  data — in the implementation, data nodes and reservations never
+  coexist), and the stack stays empty.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.checkers.caspec import CASpec
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+
+
+def _is_push(op: Operation) -> bool:
+    return op.method == "push" and len(op.args) == 1 and op.value == (True,)
+
+
+def _is_pop(op: Operation) -> bool:
+    return (
+        op.method == "pop"
+        and not op.args
+        and len(op.value) == 2
+        and op.value[0] is True
+    )
+
+
+class DualStackSpec(CASpec):
+    """State is the tuple of stacked data values, top last."""
+
+    def __init__(self, oid: str = "DS") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def step(
+        self, state: Tuple[Any, ...], element: CAElement
+    ) -> Optional[Tuple[Any, ...]]:
+        if element.oid != self.oid:
+            return None
+        if element.is_singleton():
+            op = element.single()
+            if _is_push(op):
+                return state + (op.args[0],)
+            if _is_pop(op) and state and state[-1] == op.value[1]:
+                return state[:-1]
+            return None
+        if len(element) == 2:
+            ops = sorted(element.operations, key=lambda op: op.method)
+            pop, push = (
+                (ops[0], ops[1]) if ops[0].method == "pop" else (ops[1], ops[0])
+            )
+            if (
+                _is_push(push)
+                and _is_pop(pop)
+                and push.tid != pop.tid
+                and pop.value == (True, push.args[0])
+                and not state
+            ):
+                return state
+            return None
+        return None

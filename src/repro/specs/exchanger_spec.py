@@ -1,0 +1,152 @@
+"""The exchanger's concurrency-aware specification (§4).
+
+The set of legal CA-traces is ``S₁S₂S₃…`` where each element ``Sᵢ`` is
+
+* ``E.swap(t, v, t', v')`` — the pair
+  ``E.{(t, ex(v) ▷ (true, v')), (t', ex(v') ▷ (true, v))}`` with
+  ``t ≠ t'``: two concurrent threads successfully swap values; or
+* ``E.{(t, ex(v) ▷ (false, v))}`` — a failed exchange returning the
+  thread's own value.
+
+The spec is stateless (any interleaving of swaps and failures is legal),
+which is exactly why a *sequential* spec is impossible: the pair element
+is irreducibly concurrent (§3's H₃ argument — splitting a swap into a
+sequence admits the undesired prefix in which one thread has exchanged
+without a partner).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.checkers.caspec import CASpec
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.actions import Invocation, Operation
+from repro.core.catrace import CAElement
+
+
+def is_swap_pair(element: CAElement, method: str = "exchange") -> bool:
+    """Whether ``element`` is a matched swap pair ``o.swap(t, v, t', v')``."""
+    if len(element) != 2:
+        return False
+    first, second = sorted(element.operations, key=str)
+    return _matches_swap(first, second, method) and _matches_swap(
+        second, first, method
+    )
+
+
+def _matches_swap(a: Operation, b: Operation, method: str) -> bool:
+    """``a`` is a successful exchange receiving ``b``'s offered value."""
+    return (
+        a.method == method
+        and b.method == method
+        and a.tid != b.tid
+        and len(a.args) == 1
+        and len(b.args) == 1
+        and a.value == (True, b.args[0])
+    )
+
+
+def is_failed_exchange(element: CAElement, method: str = "exchange") -> bool:
+    """Whether ``element`` is a failed singleton ``o.{(t, ex(v) ▷ false, v)}``."""
+    if not element.is_singleton():
+        return False
+    op = element.single()
+    return (
+        op.method == method
+        and len(op.args) == 1
+        and op.value == (False, op.args[0])
+    )
+
+
+class ExchangerSpec(CASpec):
+    """CA-spec of the exchanger (and of the elimination array, §5)."""
+
+    def __init__(self, oid: str = "E", method: str = "exchange") -> None:
+        super().__init__(oid)
+        self.method = method
+
+    def initial(self) -> Hashable:
+        return 0  # stateless: a single abstract state
+
+    def step(self, state: Hashable, element: CAElement) -> Optional[Hashable]:
+        if element.oid != self.oid:
+            return None
+        if is_swap_pair(element, self.method) or is_failed_exchange(
+            element, self.method
+        ):
+            return state
+        return None
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        """A pending ``exchange(v)`` can always be completed as a failure
+        (the wait-free path); successful completions require a concrete
+        partner and are found through the failure-free branch instead."""
+        if invocation.method == self.method and len(invocation.args) == 1:
+            return [(False, invocation.args[0])]
+        return ()
+
+    def response_candidates_in(
+        self, invocation: Invocation, history
+    ) -> Iterable[Tuple[Any, ...]]:
+        """Context-aware completions: besides failing, a pending
+        ``exchange(v)`` may have swapped with any *other* thread's
+        exchange present in the history — so ``(True, w)`` is worth
+        trying for each such offered value ``w``."""
+        if invocation.method != self.method or len(invocation.args) != 1:
+            return ()
+        candidates = [(False, invocation.args[0])]
+        seen = set()
+        for action in history:
+            if (
+                action.is_invocation
+                and action.oid == invocation.oid
+                and action.method == self.method
+                and action.tid != invocation.tid
+                and len(action.args) == 1
+                and action.args[0] not in seen
+            ):
+                seen.add(action.args[0])
+                candidates.append((True, action.args[0]))
+        return candidates
+
+
+class SequentializedExchangerSpec(SequentialSpec):
+    """The §3 strawman: the *least bad* sequential exchanger spec.
+
+    The only way a sequential specification can explain a successful
+    swap is to let exchanges pair up **across time**: a successful
+    ``exchange(v) ▷ (true, v')`` either consumes a previously "owed"
+    value ``v'`` or goes on account, waiting for a later partner.  This
+    spec explains ``H1``/``H3`` — but, being prefix-closed, it also
+    accepts ``H3'``, a thread exchanging without any partner ever
+    existing: the undesired behaviour that makes every sequential
+    exchanger spec "either too restrictive or too loose" (§3).
+
+    It exists in the library (rather than only in tests) because the E1
+    experiment and the Figure-3 walkthrough both need the strawman to
+    demonstrate the dilemma.
+    """
+
+    def __init__(self, oid: str = "E", method: str = "exchange") -> None:
+        super().__init__(oid)
+        self.method = method
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(self, state, op: Operation) -> Optional[Hashable]:
+        if op.method != self.method or len(op.args) != 1:
+            return None
+        value = op.args[0]
+        if op.value == (False, value):
+            return state
+        if len(op.value) == 2 and op.value[0] is True:
+            received = op.value[1]
+            if received in state:
+                index = state.index(received)
+                return state[:index] + state[index + 1 :]
+            return state + (value,)
+        return None

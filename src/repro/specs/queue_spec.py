@@ -1,0 +1,48 @@
+"""Sequential FIFO queue specification (for the E7 cross-validation
+suite; queues are the classic Herlihy–Wing linearizability example)."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.actions import Invocation, Operation
+
+
+class QueueSpec(SequentialSpec):
+    """Strict FIFO queue: state is the tuple of values, front first."""
+
+    def __init__(self, oid: str = "Q") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(
+        self, state: Tuple[Any, ...], op: Operation
+    ) -> Optional[Tuple[Any, ...]]:
+        if op.method == "enqueue" and len(op.args) == 1:
+            if op.value == (True,):
+                return state + (op.args[0],)
+            return None
+        if op.method == "dequeue" and not op.args:
+            if op.value == (False, 0):
+                return state if not state else None
+            if (
+                len(op.value) == 2
+                and op.value[0] is True
+                and state
+                and state[0] == op.value[1]
+            ):
+                return state[1:]
+            return None
+        return None
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        if invocation.method == "enqueue":
+            return [(True,)]
+        if invocation.method == "dequeue":
+            return [(False, 0)]
+        return ()

@@ -1,0 +1,65 @@
+"""Sequential specs of the register and counter (experiment E7).
+
+These objects are *not* concurrency-aware — the singleton-adapter of
+their sequential specs is their complete CA-spec, which validates §3's
+observation that classic linearizability is the singleton special case
+of CAL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.actions import Invocation, Operation
+
+
+class RegisterSpec(SequentialSpec):
+    """Atomic read/write register; state is the current value."""
+
+    def __init__(self, oid: str = "R", initial_value: Any = 0) -> None:
+        super().__init__(oid)
+        self._initial_value = initial_value
+
+    def initial(self) -> Hashable:
+        return self._initial_value
+
+    def apply(self, state: Hashable, op: Operation) -> Optional[Hashable]:
+        if op.method == "read" and not op.args:
+            if op.value == (state,):
+                return state
+            return None
+        if op.method == "write" and len(op.args) == 1:
+            if op.value == (None,):
+                return op.args[0]
+            return None
+        return None
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        if invocation.method == "write":
+            return [(None,)]
+        return ()
+
+
+class CounterSpec(SequentialSpec):
+    """Fetch-and-increment counter; state is the current count."""
+
+    def __init__(self, oid: str = "C", initial_value: int = 0) -> None:
+        super().__init__(oid)
+        self._initial_value = initial_value
+
+    def initial(self) -> Hashable:
+        return self._initial_value
+
+    def apply(self, state: int, op: Operation) -> Optional[int]:
+        if op.method == "increment" and not op.args:
+            if op.value == (state,):
+                return state + 1
+            return None
+        if op.method == "read" and not op.args:
+            if op.value == (state,):
+                return state
+            return None
+        return None

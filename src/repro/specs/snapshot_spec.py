@@ -1,0 +1,51 @@
+"""Set-sequential spec of the immediate atomic snapshot (§6, Neiger [18],
+Borowsky & Gafni [2]).
+
+A legal CA-trace is a sequence of *blocks*; the operations of one block
+deposit their values simultaneously and each returns the view consisting
+of everything deposited in its own block and all earlier blocks.  Each
+participant writes at most once (the object is one-shot).
+
+This is the canonical example of a specification expressible with sets of
+simultaneous operations but not sequentially: in any sequential history
+the first writer's view is a singleton, yet the immediate snapshot allows
+(and BG executions produce) runs where *every* view has size ≥ 2 because
+threads see each other mutually.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Hashable, Optional, Tuple
+
+from repro.checkers.caspec import CASpec
+from repro.core.catrace import CAElement
+
+
+class ImmediateSnapshotSpec(CASpec):
+    """Block spec: state is the frozenset of (tid, value) pairs deposited."""
+
+    def __init__(self, oid: str = "IS") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return frozenset()
+
+    def step(
+        self, state: FrozenSet[Tuple[str, Any]], element: CAElement
+    ) -> Optional[FrozenSet[Tuple[str, Any]]]:
+        if element.oid != self.oid:
+            return None
+        block = set()
+        for op in element.operations:
+            if op.method != "write_snap" or len(op.args) != 1:
+                return None
+            if any(tid == op.tid for tid, _ in state):
+                return None  # one-shot: each participant writes once
+            block.add((op.tid, op.args[0]))
+        if len(block) != len(element):
+            return None
+        union = frozenset(state | block)
+        for op in element.operations:
+            if op.value != (union,):
+                return None  # every view = own block ∪ earlier blocks
+        return union

@@ -1,0 +1,102 @@
+"""Sequential stack specifications.
+
+:class:`StackSpec` is the strict LIFO stack: pushes always succeed, a
+successful pop returns the top, and an empty-pop response is legal only
+on an empty stack.  This is the *client-facing* specification of the
+elimination stack (whose operations never return failure).
+
+:class:`CentralStackSpec` is §4's specification of Figure 2's central
+stack ``S``: operations may *fail* (returning ``False``) under
+contention, in which case they have no effect — the paper's ``WF_S``
+replays only the successful operations.  A failed pop is
+indistinguishable from an empty pop at the interface (both are
+``(False, 0)``), so ``(False, 0)`` responses are always legal and
+effect-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.actions import Invocation, Operation
+
+
+class StackSpec(SequentialSpec):
+    """Strict LIFO stack: state is the tuple of values, top last."""
+
+    def __init__(self, oid: str = "S") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(
+        self, state: Tuple[Any, ...], op: Operation
+    ) -> Optional[Tuple[Any, ...]]:
+        if op.method == "push" and len(op.args) == 1:
+            if op.value == (True,):
+                return state + (op.args[0],)
+            return None
+        if op.method == "pop" and not op.args:
+            if op.value == (False, 0):
+                return state if not state else None
+            if (
+                len(op.value) == 2
+                and op.value[0] is True
+                and state
+                and state[-1] == op.value[1]
+            ):
+                return state[:-1]
+            return None
+        return None
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        if invocation.method == "push":
+            return [(True,)]
+        if invocation.method == "pop":
+            return [(False, 0)]
+        return ()
+
+
+class CentralStackSpec(SequentialSpec):
+    """Figure 2's central stack: single-attempt ops that may fail."""
+
+    def __init__(self, oid: str = "S") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def apply(
+        self, state: Tuple[Any, ...], op: Operation
+    ) -> Optional[Tuple[Any, ...]]:
+        if op.method == "push" and len(op.args) == 1:
+            if op.value == (True,):
+                return state + (op.args[0],)
+            if op.value == (False,):
+                return state  # failed push: no effect, always legal
+            return None
+        if op.method == "pop" and not op.args:
+            if op.value == (False, 0):
+                return state  # contention or empty: no effect
+            if (
+                len(op.value) == 2
+                and op.value[0] is True
+                and state
+                and state[-1] == op.value[1]
+            ):
+                return state[:-1]
+            return None
+        return None
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        if invocation.method == "push":
+            return [(True,), (False,)]
+        if invocation.method == "pop":
+            return [(False, 0)]
+        return ()

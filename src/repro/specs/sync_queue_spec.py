@@ -1,0 +1,55 @@
+"""The synchronous queue's concurrency-aware specification (§2, [22]).
+
+A handoff queue completes operations only in matched pairs: every
+CA-element is ``SQ.{(t, put(v) ▷ true), (t', take() ▷ (true, v))}`` with
+``t ≠ t'``.  No singleton element is legal — a ``put`` that "completes"
+without a concurrent ``take`` (or vice versa) is precisely the undesired
+behaviour a sequential specification cannot exclude, mirroring the §3
+argument for the exchanger.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+from repro.checkers.caspec import CASpec
+from repro.core.actions import Invocation, Operation
+from repro.core.catrace import CAElement
+
+
+def is_handoff_pair(element: CAElement) -> bool:
+    """Whether ``element`` pairs a successful put with the matching take."""
+    if len(element) != 2:
+        return False
+    ops = sorted(element.operations, key=lambda op: op.method)
+    put, take = ops if ops[0].method == "put" else (ops[1], ops[0])
+    return (
+        put.method == "put"
+        and take.method == "take"
+        and put.tid != take.tid
+        and len(put.args) == 1
+        and put.value == (True,)
+        and take.value == (True, put.args[0])
+    )
+
+
+class SyncQueueSpec(CASpec):
+    """CA-spec of the synchronous queue: handoff pairs only."""
+
+    def __init__(self, oid: str = "SQ") -> None:
+        super().__init__(oid)
+
+    def initial(self) -> Hashable:
+        return 0
+
+    def step(self, state: Hashable, element: CAElement) -> Optional[Hashable]:
+        if element.oid != self.oid:
+            return None
+        if is_handoff_pair(element):
+            return state
+        return None
+
+    def response_candidates(
+        self, invocation: Invocation
+    ) -> Iterable[Tuple[Any, ...]]:
+        return ()  # puts/takes never complete alone

@@ -1,0 +1,67 @@
+"""Deterministic cooperative-concurrency substrate.
+
+The paper's algorithms (exchanger, elimination stack, ...) are written
+against an interleaving semantics where the atomic actions are loads,
+stores and CAS operations on shared locations.  This package provides
+exactly that semantics in executable form:
+
+* :mod:`repro.substrate.memory` — shared heap of atomic cells (:class:`Ref`).
+* :mod:`repro.substrate.effects` — the atomic actions threads may perform.
+* :mod:`repro.substrate.context` — the per-thread handle used by object code.
+* :mod:`repro.substrate.runtime` — the small-step interpreter.
+* :mod:`repro.substrate.schedulers` — pluggable sources of scheduling
+  nondeterminism (round-robin, seeded random, replay).
+* :mod:`repro.substrate.explore` — exhaustive (DFS) and randomized
+  exploration of all interleavings of a program.
+* :mod:`repro.substrate.program` — client-program plumbing.
+
+Threads are Python generators; every shared-memory access and every
+operation invocation/response is a yield point, so the scheduler owns all
+nondeterminism and runs are exactly reproducible.
+"""
+
+from repro.substrate.memory import Heap, Ref
+from repro.substrate.effects import (
+    CAS,
+    Invoke,
+    LogTrace,
+    Pause,
+    Read,
+    Respond,
+    Write,
+)
+from repro.substrate.context import Ctx
+from repro.substrate.runtime import Runtime, RunResult, World
+from repro.substrate.schedulers import (
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.substrate.explore import explore_all, run_once, run_random
+from repro.substrate.program import Program, spawn
+
+__all__ = [
+    "CAS",
+    "Ctx",
+    "Heap",
+    "Invoke",
+    "LogTrace",
+    "Pause",
+    "Program",
+    "RandomScheduler",
+    "Read",
+    "Ref",
+    "ReplayScheduler",
+    "Respond",
+    "RoundRobinScheduler",
+    "RunResult",
+    "Runtime",
+    "Scheduler",
+    "World",
+    "Write",
+    "explore_all",
+    "run_once",
+    "run_random",
+    "spawn",
+]

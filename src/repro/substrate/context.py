@@ -1,0 +1,139 @@
+"""Per-thread handle used by object code.
+
+Object methods are written as generators against a :class:`Ctx`:
+
+.. code-block:: python
+
+    def push(self, ctx, value):
+        head = yield from ctx.read(self.top)
+        ok = yield from ctx.cas(self.top, head, Cell(value, head))
+        return ok
+
+Every ``ctx`` primitive is a single atomic step (one yield point), so the
+scheduler controls the interleaving at exactly the granularity of the
+paper's operational semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.substrate.effects import (
+    CAS,
+    AssertNow,
+    AssertStable,
+    Choose,
+    Invoke,
+    LogTrace,
+    Pause,
+    Query,
+    Read,
+    Respond,
+    Retract,
+    Write,
+)
+from repro.substrate.memory import Ref
+
+
+class Ctx:
+    """The capability a thread uses to interact with the shared world."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: str) -> None:
+        self.tid = tid
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        ref: Ref,
+        on_result: Optional[Callable[[Any, Any], None]] = None,
+    ):
+        """Atomically read ``ref``; ``on_result(world, value)`` runs in-step."""
+        value = yield Read(ref, on_result)
+        return value
+
+    def write(
+        self,
+        ref: Ref,
+        value: Any,
+        on_commit: Optional[Callable[[Any], None]] = None,
+    ):
+        """Atomically write ``value``; ``on_commit(world)`` runs in-step."""
+        yield Write(ref, value, on_commit)
+
+    def cas(
+        self,
+        ref: Ref,
+        expected: Any,
+        new: Any,
+        on_success: Optional[Callable[[Any], None]] = None,
+    ):
+        """Atomic compare-and-swap; ``on_success(world)`` runs in-step."""
+        ok = yield CAS(ref, expected, new, on_success)
+        return ok
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def pause(self, reason: str = ""):
+        """A pure scheduling point (the exchanger's ``sleep(50)``)."""
+        yield Pause(reason)
+
+    def sleep(self, rounds: int = 1):
+        """Yield the processor ``rounds`` times."""
+        for _ in range(rounds):
+            yield Pause("sleep")
+
+    def choose(self, options: Sequence[Any]):
+        """Scheduler-controlled nondeterministic choice.
+
+        Used where the paper's code calls ``random()`` (e.g. slot selection
+        in the elimination array): modelling randomness as scheduler choice
+        lets exhaustive exploration cover every outcome.
+        """
+        value = yield Choose(tuple(options))
+        return value
+
+    # ------------------------------------------------------------------
+    # History / auxiliary trace
+    # ------------------------------------------------------------------
+    def invoke(self, oid: str, method: str, args: Tuple[Any, ...]):
+        """Record an invocation action (scheduling point)."""
+        yield Invoke(oid, method, args)
+
+    def respond(self, oid: str, method: str, value: Tuple[Any, ...]):
+        """Record a response action (scheduling point)."""
+        yield Respond(oid, method, value)
+
+    def log_trace(self, *elements: Any):
+        """Append CA-elements to the auxiliary trace ``T`` (own step)."""
+        yield LogTrace(tuple(elements))
+
+    def query(self, fn: Callable[[Any], Any]):
+        """Evaluate ``fn(world)`` atomically and return its result (used
+        to capture logical variables for proof-outline assertions)."""
+        value = yield Query(fn)
+        return value
+
+    # ------------------------------------------------------------------
+    # Proof-outline assertions (Figure 1 / §5.1)
+    # ------------------------------------------------------------------
+    def assert_now(self, name: str, predicate: Callable[[Any], bool]):
+        """Check a proof-outline assertion at this program point."""
+        yield AssertNow(name, predicate)
+
+    def assert_stable(self, name: str, predicate: Callable[[Any], bool]):
+        """Register an interval assertion, checked now and re-checked on
+        every step by any thread (when a StabilityMonitor is attached)
+        until :meth:`retract` — the stability obligation of R/G."""
+        yield AssertStable(name, predicate)
+
+    def retract(self, name: str):
+        """Retract an interval assertion registered by this thread."""
+        yield Retract(name)
+
+    def __repr__(self) -> str:
+        return f"Ctx({self.tid})"

@@ -1,0 +1,196 @@
+"""Atomic actions that threads yield to the runtime.
+
+Each effect corresponds to one atomic step of the paper's operational
+semantics.  A thread is a generator; yielding an effect hands control to
+the scheduler, which picks the next thread to take a step.  The runtime
+interprets the effect atomically and sends its result back into the
+generator the next time the thread is scheduled.
+
+The :class:`CAS` effect carries an optional ``on_success`` callback that
+runs *within the same atomic step* when the CAS succeeds.  This is the
+executable form of the paper's key proof device (§5.1): the linearization-
+point CAS of the exchanger atomically appends a CA-element recording the
+operations of *both* participating threads to the auxiliary trace
+variable ``T`` — "a single atomic action [treated] as a sequence of
+operations by different threads".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.substrate.memory import Ref
+
+
+class Effect:
+    """Base class for all atomic actions (used only for isinstance checks)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Read(Effect):
+    """Atomically read a shared cell; the step's result is its value.
+
+    ``on_result`` (if given) runs inside the same atomic step with
+    ``(world, value)`` — for operations whose linearization point is a
+    read (e.g. a register read), so the auxiliary-trace entry is appended
+    atomically with the read itself.
+    """
+
+    ref: Ref
+    on_result: Optional[Callable[[Any, Any], None]] = field(
+        default=None, compare=False
+    )
+
+
+@dataclass(frozen=True)
+class Write(Effect):
+    """Atomically write ``value`` to a shared cell; result is ``None``.
+
+    ``on_commit`` (if given) runs inside the same atomic step with the
+    world — for operations whose linearization point is a plain write.
+    """
+
+    ref: Ref
+    value: Any
+    on_commit: Optional[Callable[[Any], None]] = field(
+        default=None, compare=False
+    )
+
+
+@dataclass(frozen=True)
+class CAS(Effect):
+    """Atomic compare-and-swap.
+
+    If ``ref`` currently holds ``expected`` (identity-or-equality compare,
+    see :func:`same_value`), store ``new`` and return ``True``; otherwise
+    leave it unchanged and return ``False``.  On success, ``on_success``
+    (if given) runs inside the same atomic step with the
+    :class:`~repro.substrate.runtime.World` as argument — used to append
+    auxiliary-trace entries atomically with the linearization point.
+    """
+
+    ref: Ref
+    expected: Any
+    new: Any
+    on_success: Optional[Callable[["Any"], None]] = field(
+        default=None, compare=False
+    )
+
+
+@dataclass(frozen=True)
+class Pause(Effect):
+    """A pure scheduling point (models the exchanger's ``sleep``)."""
+
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Invoke(Effect):
+    """Record a method invocation ``(t, inv o.f(args))`` in the history.
+
+    Making the invocation itself a scheduling point ensures exhaustive
+    exploration generates *every* overlap pattern between operations, not
+    only those distinguished by their shared-memory accesses; the real-time
+    order of Definition 3 depends on where invocations fall.
+    """
+
+    oid: str
+    method: str
+    args: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Respond(Effect):
+    """Record a method response ``(t, res o.f ▷ value)`` in the history."""
+
+    oid: str
+    method: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Choose(Effect):
+    """Scheduler-resolved nondeterministic choice among ``options``.
+
+    Replaces ``random()`` in the paper's code (elimination-array slot
+    selection) so that exhaustive exploration enumerates every outcome and
+    randomized runs remain reproducible under a seeded scheduler.
+    """
+
+    options: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class LogTrace(Effect):
+    """Append CA-elements to the auxiliary trace variable ``T``.
+
+    Used for auxiliary assignments that are their own atomic action, e.g.
+    the paper's ``FAIL`` action logging an unsuccessful exchange at the
+    ``return`` statement (Figure 4).
+    """
+
+    elements: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Query(Effect):
+    """Evaluate ``fn(world)`` in-step and return the result.
+
+    Read-only by convention: used by proof outlines to capture logical
+    variables (e.g. the initial value of ``T_E|tid`` in Figure 1's
+    specification) without a race between reading and asserting.
+    """
+
+    fn: Callable[[Any], Any] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class AssertNow(Effect):
+    """Check ``predicate(world)`` immediately (a proof-outline assertion
+    at a program point).  Raises on failure."""
+
+    name: str
+    predicate: Callable[[Any], bool] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class AssertStable(Effect):
+    """Register ``predicate`` as an *interval* assertion of the issuing
+    thread: it is checked now and — when a
+    :class:`~repro.rg.monitor.StabilityMonitor` is attached — re-checked
+    after every step by any thread until retracted.  This operationalizes
+    rely/guarantee stability."""
+
+    name: str
+    predicate: Callable[[Any], bool] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class Retract(Effect):
+    """Retract a previously registered interval assertion."""
+
+    name: str
+
+
+def same_value(a: Any, b: Any) -> bool:
+    """Value comparison used by CAS.
+
+    Pointers (heap objects) compare by identity, matching the paper's CAS
+    on ``Offer`` pointers; plain values (ints, strings, ``None``) compare
+    by equality.
+    """
+    if a is b:
+        return True
+    if isinstance(a, (int, float, str, bool, tuple)) and isinstance(
+        b, (int, float, str, bool, tuple)
+    ):
+        return a == b
+    return False
+
+
+AnyEffect = Effect
+EffectResult = Any
+EffectSequence = Sequence[Effect]

@@ -1,0 +1,17 @@
+"""Substrate-level exception taxonomy."""
+
+from __future__ import annotations
+
+
+class ExplorationCut(Exception):
+    """Raised by object code to abandon the current run without failing
+    the exploration.
+
+    The paper's loops (``while(true)`` retries in the elimination stack,
+    spin-waits in the dual stack) never terminate under sufficiently
+    unfair schedules.  Bounded variants raise a subclass of this
+    exception when their retry budget runs out; the runtime reports the
+    run as *cut* (like a ``max_steps`` cut), and exhaustive exploration
+    skips it while still backtracking through its prefix — exactly the
+    treatment of unfair schedules in stateless model checking.
+    """

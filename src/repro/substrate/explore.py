@@ -1,0 +1,102 @@
+"""Exploration drivers: exhaustive DFS over all interleavings, plus
+single-run and randomized-run conveniences.
+
+Exhaustive exploration is *stateless*: each run rebuilds the entire world
+from a user-supplied ``setup`` factory and replays a prefix of decision
+indices recorded by :class:`~repro.substrate.schedulers.ReplayScheduler`.
+Backtracking flips the last decision that still has untried alternatives.
+This enumerates exactly the runs of the paper's interleaving semantics
+(bounded by ``max_steps``, so loops cannot diverge the search).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.substrate.runtime import RunResult, Runtime
+from repro.substrate.schedulers import (
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+SetupFn = Callable[[Scheduler], Runtime]
+
+
+def run_once(
+    setup: SetupFn,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """Run the program once under ``scheduler`` (round-robin by default)."""
+    runtime = setup(scheduler if scheduler is not None else RoundRobinScheduler())
+    return runtime.run(max_steps=max_steps)
+
+
+def run_random(
+    setup: SetupFn,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+    yield_bias: float = 0.0,
+) -> RunResult:
+    """Run once under a seeded random scheduler (reproducible fuzzing)."""
+    runtime = setup(RandomScheduler(seed=seed, yield_bias=yield_bias))
+    return runtime.run(max_steps=max_steps)
+
+
+def explore_all(
+    setup: SetupFn,
+    max_steps: Optional[int] = None,
+    include_incomplete: bool = False,
+    limit: Optional[int] = None,
+    preemption_bound: Optional[int] = None,
+) -> Iterator[RunResult]:
+    """Enumerate every run of the program (bounded by ``max_steps``).
+
+    Yields one :class:`RunResult` per distinct decision sequence.  Runs cut
+    at ``max_steps`` (unfair schedules that starve a loop, for instance)
+    are skipped unless ``include_incomplete`` is set; their prefixes are
+    still backtracked, so the search space stays complete up to the bound.
+
+    ``limit`` caps the number of *yielded* results (safety valve for
+    benchmarks).  ``preemption_bound`` switches to CHESS-style context-
+    bounded exploration (see
+    :class:`~repro.substrate.schedulers.ReplayScheduler`) — essential for
+    programs with retry loops, whose unbounded schedule spaces are
+    factorial.
+    """
+    prefix: list[int] = []
+    produced = 0
+    while True:
+        scheduler = ReplayScheduler(prefix, preemption_bound=preemption_bound)
+        runtime = setup(scheduler)
+        result = runtime.run(max_steps=max_steps)
+        result.schedule = scheduler.choices()
+        if result.completed or include_incomplete:
+            yield result
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        # Backtrack: flip the deepest decision with an untried alternative.
+        log = scheduler.log
+        depth = len(log) - 1
+        while depth >= 0 and log[depth][1] + 1 >= log[depth][0]:
+            depth -= 1
+        if depth < 0:
+            return
+        prefix = [chosen for _, chosen in log[:depth]] + [log[depth][1] + 1]
+
+
+def count_runs(
+    setup: SetupFn,
+    max_steps: Optional[int] = None,
+    preemption_bound: Optional[int] = None,
+) -> int:
+    """Number of complete runs (exhaustive-exploration size)."""
+    return sum(
+        1
+        for _ in explore_all(
+            setup, max_steps=max_steps, preemption_bound=preemption_bound
+        )
+    )

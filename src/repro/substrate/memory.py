@@ -1,0 +1,84 @@
+"""Shared memory: atomic cells and the heap that tracks them.
+
+The paper's programming language (§2) has object-local variables and
+dynamically allocated memory shared between threads.  Every *contended*
+location — one that more than one thread may access — is modelled as a
+:class:`Ref`, an atomic cell.  Immutable data (e.g. the ``tid`` and
+``data`` fields of an ``Offer``) needs no synchronization and is stored
+in plain Python attributes.
+
+The :class:`Heap` registers every allocated cell so that monitors (the
+rely/guarantee checker) can snapshot the entire shared state before and
+after each atomic action.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+
+class Ref:
+    """An atomic shared cell.
+
+    Object code never touches ``_value`` directly; all access goes through
+    the runtime by yielding :class:`~repro.substrate.effects.Read`,
+    :class:`~repro.substrate.effects.Write` or
+    :class:`~repro.substrate.effects.CAS` effects, which makes every access
+    a scheduling point.
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, value: Any = None) -> None:
+        self.name = name
+        self._value = value
+
+    def peek(self) -> Any:
+        """Read the cell *without* a scheduling point.
+
+        Only for monitors, assertions and tests — never for object code,
+        which must go through :class:`~repro.substrate.context.Ctx`.
+        """
+        return self._value
+
+    def poke(self, value: Any) -> None:
+        """Write the cell without a scheduling point (monitors/tests only)."""
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"Ref({self.name}={self._value!r})"
+
+
+class Heap:
+    """Registry of all shared cells allocated during a run.
+
+    A fresh :class:`Heap` is created per run (exploration replays rebuild
+    the entire world), so cell names only need to be unique within a run;
+    :meth:`ref` disambiguates duplicates automatically.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, Ref] = {}
+        self._counter = 0
+
+    def ref(self, name: str, value: Any = None) -> Ref:
+        """Allocate a new atomic cell with a unique name."""
+        if name in self._cells:
+            self._counter += 1
+            name = f"{name}#{self._counter}"
+        cell = Ref(name, value)
+        self._cells[name] = cell
+        return cell
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return the current value of every cell (for monitors)."""
+        return {name: cell.peek() for name, cell in self._cells.items()}
+
+    def cell(self, name: str) -> Optional[Ref]:
+        return self._cells.get(name)
+
+    def __iter__(self) -> Iterator[Ref]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)

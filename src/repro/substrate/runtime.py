@@ -1,0 +1,315 @@
+"""The small-step interpreter.
+
+A :class:`World` holds everything shared between threads: the heap, the
+history ``H`` (the record of invocations/responses at object interfaces,
+Def. 2) and the auxiliary trace variable ``T`` of §4 (a growing CA-trace).
+
+A :class:`Runtime` steps a set of generator threads under a scheduler.
+Each step: pick an enabled thread, resume its generator, interpret the
+yielded effect atomically, remember the result for the thread's next
+resumption.  Monitors observe every transition with pre/post snapshots of
+the shared state — this is the hook the rely/guarantee checker uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.actions import Invocation, Response
+from repro.core.catrace import CAElement, CATrace
+from repro.core.history import History
+from repro.substrate.context import Ctx
+from repro.substrate.effects import (
+    CAS,
+    AssertNow,
+    AssertStable,
+    Choose,
+    Effect,
+    Invoke,
+    LogTrace,
+    Pause,
+    Query,
+    Read,
+    Respond,
+    Retract,
+    Write,
+    same_value,
+)
+from repro.substrate.errors import ExplorationCut
+from repro.substrate.memory import Heap
+from repro.substrate.schedulers import Scheduler
+
+
+class SubstrateError(Exception):
+    """Base class for substrate failures."""
+
+
+class ThreadCrashed(SubstrateError):
+    """A thread generator raised an exception."""
+
+    def __init__(self, tid: str, cause: BaseException) -> None:
+        super().__init__(f"thread {tid} crashed: {cause!r}")
+        self.tid = tid
+        self.cause = cause
+
+
+class AssertionFailed(SubstrateError, AssertionError):
+    """A proof-outline assertion failed when issued."""
+
+    def __init__(self, tid: str, name: str, when: str) -> None:
+        super().__init__(f"assertion {name!r} of thread {tid} failed {when}")
+        self.tid = tid
+        self.name = name
+
+
+class World:
+    """Shared state of one run: heap + history ``H`` + auxiliary trace ``T``."""
+
+    def __init__(self) -> None:
+        self.heap = Heap()
+        self._actions: List[Any] = []
+        self._trace: List[CAElement] = []
+        #: Interval assertions registered via ``ctx.assert_stable`` —
+        #: keyed by (owner thread, assertion name); see StabilityMonitor.
+        self.active_assertions: Dict[
+            Tuple[str, str], Callable[["World"], bool]
+        ] = {}
+
+    # -- history -------------------------------------------------------
+    def record_invocation(
+        self, tid: str, oid: str, method: str, args: Tuple[Any, ...]
+    ) -> None:
+        self._actions.append(Invocation(tid, oid, method, args))
+
+    def record_response(
+        self, tid: str, oid: str, method: str, value: Tuple[Any, ...]
+    ) -> None:
+        self._actions.append(Response(tid, oid, method, value))
+
+    @property
+    def history(self) -> History:
+        return History(self._actions)
+
+    # -- auxiliary trace T (§4) -----------------------------------------
+    def append_trace(self, elements: Iterable[CAElement]) -> None:
+        for element in elements:
+            if not isinstance(element, CAElement):
+                raise TypeError(f"not a CA-element: {element!r}")
+            self._trace.append(element)
+
+    @property
+    def trace(self) -> CATrace:
+        return CATrace(self._trace)
+
+
+@dataclass
+class _Thread:
+    tid: str
+    generator: Generator[Effect, Any, Any]
+    inbox: Any = None
+    started: bool = False
+    finished: bool = False
+    result: Any = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run.
+
+    ``counters`` tallies effect outcomes (reads, writes, cas_success,
+    cas_failure, pauses, bookkeeping) — the raw material for simulated-
+    time cost models (see :mod:`repro.workloads.contention`).
+    """
+
+    history: History
+    trace: CATrace
+    returns: Dict[str, Any]
+    completed: bool
+    steps: int
+    schedule: List[int] = field(default_factory=list)
+    world: Optional[World] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        status = "completed" if self.completed else "cut"
+        return (
+            f"RunResult({status}, steps={self.steps}, "
+            f"|H|={len(self.history)}, |T|={len(self.trace)})"
+        )
+
+
+ProgramFn = Callable[[Ctx], Generator[Effect, Any, Any]]
+
+
+class Runtime:
+    """Steps a family of threads to completion under a scheduler."""
+
+    def __init__(
+        self,
+        world: World,
+        programs: Mapping[str, ProgramFn],
+        scheduler: Scheduler,
+        monitors: Sequence[Any] = (),
+    ) -> None:
+        self.world = world
+        self.scheduler = scheduler
+        self.monitors = list(monitors)
+        self._threads: Dict[str, _Thread] = {}
+        for tid, program in programs.items():
+            ctx = Ctx(tid)
+            self._threads[tid] = _Thread(tid, program(ctx))
+        self.steps = 0
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def enabled(self) -> List[str]:
+        return [t.tid for t in self._threads.values() if not t.finished]
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run until all threads finish or ``max_steps`` is reached."""
+        for monitor in self.monitors:
+            start = getattr(monitor, "on_start", None)
+            if start is not None:
+                start(self.world)
+        while True:
+            enabled = self.enabled()
+            if not enabled:
+                break
+            if max_steps is not None and self.steps >= max_steps:
+                return self._result(completed=False)
+            tid = self.scheduler.choose_thread(enabled)
+            try:
+                self.step_thread(tid)
+            except ThreadCrashed as crash:
+                if isinstance(crash.cause, ExplorationCut):
+                    return self._result(completed=False)
+                raise
+        for monitor in self.monitors:
+            finish = getattr(monitor, "on_finish", None)
+            if finish is not None:
+                finish(self.world)
+        return self._result(completed=True)
+
+    def _result(self, completed: bool) -> RunResult:
+        return RunResult(
+            history=self.world.history,
+            trace=self.world.trace,
+            returns={
+                t.tid: t.result
+                for t in self._threads.values()
+                if t.finished
+            },
+            completed=completed,
+            steps=self.steps,
+            world=self.world,
+            counters=dict(self.counters),
+        )
+
+    # ------------------------------------------------------------------
+    def step_thread(self, tid: str) -> None:
+        """Advance thread ``tid`` by one atomic step (public: used by the
+        virtual-time throughput runner and by tests)."""
+        thread = self._threads[tid]
+        try:
+            if thread.started:
+                effect = thread.generator.send(thread.inbox)
+            else:
+                thread.started = True
+                effect = next(thread.generator)
+        except StopIteration as stop:
+            thread.finished = True
+            thread.result = stop.value
+            self.steps += 1
+            return
+        except Exception as exc:  # noqa: BLE001 — surfaced with context
+            thread.finished = True
+            raise ThreadCrashed(tid, exc) from exc
+
+        want_snapshots = bool(self.monitors)
+        pre = self.world.heap.snapshot() if want_snapshots else None
+        pre_trace = self.world.trace if want_snapshots else None
+        thread.inbox = self._interpret(tid, effect)
+        self.steps += 1
+        if want_snapshots:
+            post = self.world.heap.snapshot()
+            post_trace = self.world.trace
+            for monitor in self.monitors:
+                monitor.on_transition(
+                    tid, effect, thread.inbox, pre, post, pre_trace, post_trace
+                )
+
+    def _count(self, key: str) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    def _interpret(self, tid: str, effect: Effect) -> Any:
+        if isinstance(effect, Read):
+            self._count("read")
+            value = effect.ref.peek()
+            if effect.on_result is not None:
+                effect.on_result(self.world, value)
+            return value
+        if isinstance(effect, Write):
+            self._count("write")
+            effect.ref.poke(effect.value)
+            if effect.on_commit is not None:
+                effect.on_commit(self.world)
+            return None
+        if isinstance(effect, CAS):
+            if same_value(effect.ref.peek(), effect.expected):
+                self._count("cas_success")
+                effect.ref.poke(effect.new)
+                if effect.on_success is not None:
+                    effect.on_success(self.world)
+                return True
+            self._count("cas_failure")
+            return False
+        if isinstance(effect, Pause):
+            self._count("pause")
+            return None
+        if isinstance(effect, Choose):
+            self._count("bookkeeping")
+            return self.scheduler.choose_value(effect.options)
+        if isinstance(effect, Invoke):
+            self._count("bookkeeping")
+            self.world.record_invocation(
+                tid, effect.oid, effect.method, effect.args
+            )
+            return None
+        if isinstance(effect, Respond):
+            self._count("bookkeeping")
+            self.world.record_response(
+                tid, effect.oid, effect.method, effect.value
+            )
+            return None
+        if isinstance(effect, LogTrace):
+            self._count("bookkeeping")
+            self.world.append_trace(effect.elements)
+            return None
+        if isinstance(effect, Query):
+            self._count("bookkeeping")
+            return effect.fn(self.world)
+        if isinstance(effect, AssertNow):
+            if not effect.predicate(self.world):
+                raise AssertionFailed(tid, effect.name, "at its program point")
+            return None
+        if isinstance(effect, AssertStable):
+            if not effect.predicate(self.world):
+                raise AssertionFailed(tid, effect.name, "at registration")
+            self.world.active_assertions[(tid, effect.name)] = effect.predicate
+            return None
+        if isinstance(effect, Retract):
+            self.world.active_assertions.pop((tid, effect.name), None)
+            return None
+        raise SubstrateError(f"unknown effect: {effect!r}")

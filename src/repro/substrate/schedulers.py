@@ -1,0 +1,176 @@
+"""Schedulers: the sources of all nondeterminism in a run.
+
+A scheduler makes two kinds of decisions: which enabled thread takes the
+next atomic step (:meth:`Scheduler.choose_thread`) and how in-program
+nondeterministic choices resolve (:meth:`Scheduler.choose_value`, backing
+:meth:`repro.substrate.context.Ctx.choose`).
+
+:class:`ReplayScheduler` makes both kinds of decisions from a single
+choice sequence and records every decision point it encounters; the
+exhaustive explorer (:mod:`repro.substrate.explore`) backtracks over that
+log to enumerate all runs.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List, Sequence, Tuple
+
+
+class Scheduler(ABC):
+    """Interface between the runtime and its source of nondeterminism."""
+
+    @abstractmethod
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        """Pick the thread to take the next atomic step."""
+
+    @abstractmethod
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        """Resolve an in-program nondeterministic choice."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic fair rotation; in-program choices take the first
+    option.  Useful for smoke tests and as a fast baseline."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        choice = enabled[self._next % len(enabled)]
+        self._next += 1
+        return choice
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        return options[0]
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform-random scheduling — reproducible fuzzing.
+
+    With ``yield_bias`` > 0 the scheduler prefers to keep running the same
+    thread (geometric persistence), which concentrates probability mass on
+    low-preemption schedules; useful for throughput-style workloads.
+    """
+
+    def __init__(self, seed: int = 0, yield_bias: float = 0.0) -> None:
+        self._rng = random.Random(seed)
+        self._bias = yield_bias
+        self._last: str | None = None
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        if (
+            self._bias > 0.0
+            and self._last in enabled
+            and self._rng.random() < self._bias
+        ):
+            return self._last
+        choice = self._rng.choice(list(enabled))
+        self._last = choice
+        return choice
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        return self._rng.choice(list(options))
+
+
+class ReplayScheduler(Scheduler):
+    """Follow a prefix of decision indices, then default to index 0.
+
+    Every decision point is appended to :attr:`log` as ``(arity, chosen)``.
+    The explorer uses the log to construct the next prefix to try.
+
+    ``preemption_bound`` enables CHESS-style iterative context bounding
+    (Musuvathi & Qadeer): once the run has preempted a still-enabled
+    thread ``preemption_bound`` times, the scheduler keeps running the
+    current thread (the decision point degenerates to arity 1, pruning
+    the subtree).  Voluntary switches — the previous thread finished —
+    are free.  Exploration under a bound is an *underapproximation*, but
+    small bounds are known to expose the overwhelming majority of
+    concurrency bugs while taming the factorial schedule space.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[int] = (),
+        preemption_bound: int | None = None,
+    ) -> None:
+        self._prefix: Tuple[int, ...] = tuple(prefix)
+        self.log: List[Tuple[int, int]] = []
+        self._bound = preemption_bound
+        self._preemptions = 0
+        self._last: str | None = None
+
+    def _decide(self, arity: int) -> int:
+        position = len(self.log)
+        if position < len(self._prefix):
+            choice = self._prefix[position]
+            if not 0 <= choice < arity:
+                raise ValueError(
+                    f"replay prefix out of range at {position}: "
+                    f"{choice} not in [0, {arity})"
+                )
+        else:
+            choice = 0
+        self.log.append((arity, choice))
+        return choice
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        if (
+            self._bound is not None
+            and self._preemptions >= self._bound
+            and self._last in enabled
+        ):
+            # Budget exhausted: no decision point, keep running.
+            return self._last
+        chosen = enabled[self._decide(len(enabled))]
+        if self._last is not None and self._last in enabled:
+            if chosen != self._last:
+                self._preemptions += 1
+        self._last = chosen
+        return chosen
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        return options[self._decide(len(options))]
+
+    def choices(self) -> List[int]:
+        """The decision indices actually taken in this run."""
+        return [chosen for _, chosen in self.log]
+
+
+class FixedScheduler(Scheduler):
+    """Drive a run with an explicit, complete schedule.
+
+    ``thread_order`` is consumed one entry per step; ``values`` one entry
+    per in-program choice.  Raises if the run needs more decisions than
+    provided — use for constructing specific interleavings in tests.
+    """
+
+    def __init__(
+        self,
+        thread_order: Sequence[str],
+        values: Sequence[Any] = (),
+    ) -> None:
+        self._threads = list(thread_order)
+        self._values = list(values)
+        self._t = 0
+        self._v = 0
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        while self._t < len(self._threads):
+            candidate = self._threads[self._t]
+            self._t += 1
+            if candidate in enabled:
+                return candidate
+        raise RuntimeError("FixedScheduler: thread order exhausted")
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        if self._v >= len(self._values):
+            raise RuntimeError("FixedScheduler: value choices exhausted")
+        value = self._values[self._v]
+        self._v += 1
+        if value not in options:
+            raise RuntimeError(
+                f"FixedScheduler: {value!r} not in options {options!r}"
+            )
+        return value

@@ -1,0 +1,45 @@
+"""Client programs and workload generators.
+
+* :mod:`repro.workloads.figure3` — the paper's program ``P`` and the
+  histories ``H1``, ``H2``, ``H3`` of Figure 3.
+* :mod:`repro.workloads.programs` — reusable setup factories for all the
+  objects (exchanger duels, stack mixes, queue handoffs, …).
+* :mod:`repro.workloads.synthetic` — synthetic histories/CA-traces for
+  checker scaling experiments (E12).
+* :mod:`repro.workloads.contention` — randomized contention workloads for
+  the throughput experiment (E10).
+"""
+
+from repro.workloads.figure3 import (
+    figure3_history_h1,
+    figure3_history_h2,
+    figure3_history_h3,
+    figure3_history_h3_prefix,
+    figure3_program,
+)
+from repro.workloads.programs import (
+    counter_program,
+    dual_stack_program,
+    elimination_stack_program,
+    exchanger_program,
+    register_program,
+    snapshot_program,
+    sync_queue_program,
+    treiber_program,
+)
+
+__all__ = [
+    "counter_program",
+    "dual_stack_program",
+    "elimination_stack_program",
+    "exchanger_program",
+    "figure3_history_h1",
+    "figure3_history_h2",
+    "figure3_history_h3",
+    "figure3_history_h3_prefix",
+    "figure3_program",
+    "register_program",
+    "snapshot_program",
+    "sync_queue_program",
+    "treiber_program",
+]

@@ -1,0 +1,186 @@
+"""Contention workloads for the throughput experiment (E10).
+
+The paper motivates the elimination stack with Hendler et al.'s claim
+that it "achieves high performance under high workloads by allowing
+concurrent pairs of push and pop operations to eliminate each other and
+thus reduce contention on the main stack" (§2.2).  The authors measured
+wall-clock throughput on real multiprocessors.
+
+**Substitution.**  Our substrate serializes atomic steps, so wall-clock
+parallelism must be *simulated*: each thread carries a virtual clock;
+performing an effect advances the acting thread's clock by that effect's
+cost; threads run "in parallel" by always stepping the thread with the
+smallest clock (a discrete-event simulation).  A run gives every thread
+the same time horizon, and throughput is completed operations per 1000
+time units *across all threads* — so more threads can raise throughput,
+exactly as more cores do.
+
+The cost model charges shared-memory coherence, the physical phenomenon
+behind the paper's contention story: a successful CAS must own the cache
+line (expensive), a *failed* CAS pays the ownership traffic and forces
+the retry's re-read (most expensive), plain reads are cheap, and backoff
+pauses simply burn time.  Under this model the three stacks reproduce the
+published *shape*: the bare CAS-retry stack collapses as threads grow
+(every retry bounces the single hot line), backoff flattens the collapse
+by trading contention for idle time, and the elimination stack converts
+colliding push/pop pairs into off-hot-path exchanges and keeps scaling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.objects.elimination_stack import EliminationStack
+from repro.objects.retry_stack import RetryingStack
+from repro.substrate.context import Ctx
+from repro.substrate.program import Program
+from repro.substrate.runtime import Runtime, World
+from repro.substrate.schedulers import RandomScheduler
+
+#: Effect costs in virtual time units (see module docstring).
+DEFAULT_COSTS: Mapping[str, float] = {
+    "read": 1.0,
+    "write": 2.0,
+    "cas_success": 6.0,
+    "cas_failure": 12.0,
+    "pause": 1.0,
+    "bookkeeping": 0.0,
+}
+
+STACK_KINDS = ("treiber", "treiber-backoff", "elimination")
+
+
+@dataclass
+class ThroughputSample:
+    """Result of one simulated throughput run."""
+
+    kind: str
+    threads: int
+    horizon: float
+    completed_ops: int
+    eliminated_pairs: int
+    cas_failures: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ops_per_ktime(self) -> float:
+        """Completed operations per 1000 virtual time units (all threads)."""
+        if self.horizon <= 0:
+            return 0.0
+        return 1000.0 * self.completed_ops / self.horizon
+
+
+def _worker(stack: Any, values: Sequence[int]):
+    """Endless alternation of push and pop; the horizon cuts the run."""
+
+    def body(ctx: Ctx):
+        index = 0
+        while True:
+            value = values[index % len(values)]
+            index += 1
+            yield from stack.push(ctx, value)
+            yield from stack.pop(ctx)
+
+    return body
+
+
+def _build(kind: str, world: World, threads: int, slots: Optional[int]):
+    if kind == "treiber":
+        return RetryingStack(world, "LS"), "LS"
+    if kind == "treiber-backoff":
+        return RetryingStack(world, "LS", backoff_base=1, backoff_cap=32), "LS"
+    if kind == "elimination":
+        stack = EliminationStack(
+            world,
+            "ES",
+            slots=slots if slots is not None else max(1, threads // 2),
+            wait_rounds=8,
+        )
+        return stack, "ES"
+    raise ValueError(f"unknown stack kind {kind!r}; expected {STACK_KINDS}")
+
+
+def run_throughput(
+    kind: str,
+    threads: int,
+    horizon: float = 3000.0,
+    seed: int = 1,
+    slots: Optional[int] = None,
+    costs: Mapping[str, float] = DEFAULT_COSTS,
+) -> ThroughputSample:
+    """One virtual-time contention run; see the module docstring."""
+    world = World()
+    stack, oid = _build(kind, world, threads, slots)
+    program = Program(world)
+    tids = [f"t{i}" for i in range(1, threads + 1)]
+    for index, tid in enumerate(tids, start=1):
+        seed_values = [100 * index + k for k in range(8)]
+        program.thread(tid, _worker(stack, seed_values))
+    runtime = program.runtime(RandomScheduler(seed=seed))
+
+    clocks = {tid: 0.0 for tid in tids}
+    jitter = random.Random(seed * 7919 + 13)
+    while True:
+        enabled = set(runtime.enabled())
+        live = [t for t in tids if t in enabled and clocks[t] < horizon]
+        if not live:
+            break
+        tid = min(live, key=lambda t: clocks[t])
+        before = dict(runtime.counters)
+        runtime.step_thread(tid)
+        delta = 0.0
+        for key, count in runtime.counters.items():
+            grew = count - before.get(key, 0)
+            if grew:
+                delta += grew * costs.get(key, 1.0)
+        # Tiny jitter desynchronizes identical threads (lockstep artefacts).
+        clocks[tid] += delta + 0.001 * jitter.random()
+
+    history = runtime.world.history.project_object(oid)
+    completed = sum(1 for span in history.spans() if not span.pending)
+    eliminated = sum(
+        1 for element in runtime.world.trace if len(element) == 2
+    )
+    return ThroughputSample(
+        kind=kind,
+        threads=threads,
+        horizon=horizon,
+        completed_ops=completed,
+        eliminated_pairs=eliminated,
+        cas_failures=runtime.counters.get("cas_failure", 0),
+        counters=dict(runtime.counters),
+    )
+
+
+def throughput_sweep(
+    thread_counts: Sequence[int],
+    horizon: float = 3000.0,
+    seeds: Sequence[int] = (1, 2, 3),
+    kinds: Sequence[str] = STACK_KINDS,
+    slots: Optional[int] = None,
+) -> List[ThroughputSample]:
+    """The full E10 sweep: every kind × thread-count × seed."""
+    samples = []
+    for kind in kinds:
+        for threads in thread_counts:
+            for seed in seeds:
+                samples.append(
+                    run_throughput(
+                        kind, threads, horizon=horizon, seed=seed, slots=slots
+                    )
+                )
+    return samples
+
+
+def mean_ops_per_ktime(
+    samples: Sequence[ThroughputSample],
+) -> Dict[Tuple[str, int], float]:
+    """Average throughput keyed by (kind, threads)."""
+    sums: Dict[Tuple[str, int], List[float]] = {}
+    for sample in samples:
+        sums.setdefault((sample.kind, sample.threads), []).append(
+            sample.ops_per_ktime
+        )
+    return {key: sum(vals) / len(vals) for key, vals in sums.items()}

@@ -1,0 +1,99 @@
+"""Figure 3: the client program ``P`` and the histories ``H1``–``H3``.
+
+``P  =  t1: exchg(3)  ‖  t2: exchg(4)  ‖  t3: exchg(7)``
+
+* ``H1`` — the concurrent history in which t1 and t2 swap (3 ↔ 4) with
+  fully overlapping operations while t3 fails; *can* occur when P runs.
+* ``H2`` — the same outcome presented as a CA-history: the t1/t2
+  operations overlap pairwise, t3's failure is sequential after them;
+  also a possible behaviour of P.
+* ``H3`` — a *sequential* "explanation" of H1: t1's whole operation,
+  then t2's, then t3's.  H3 itself cannot occur when P runs, and using
+  it as a specification history is what §3 shows to be unacceptable —
+  its prefix ``H3'`` (t1 exchanges 3 for 4 *alone*) would have to be in
+  the prefix-closed specification too.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.actions import Invocation, Response
+from repro.core.history import History
+from repro.objects.exchanger import Exchanger
+from repro.substrate.program import Program
+from repro.substrate.runtime import Runtime, World
+from repro.substrate.schedulers import Scheduler
+
+
+def figure3_program(scheduler: Scheduler, oid: str = "E") -> Runtime:
+    """Setup factory for ``P``: three threads exchanging 3, 4 and 7."""
+    world = World()
+    exchanger = Exchanger(world, oid)
+    program = Program(world)
+    program.thread("t1", lambda ctx: exchanger.exchange(ctx, 3))
+    program.thread("t2", lambda ctx: exchanger.exchange(ctx, 4))
+    program.thread("t3", lambda ctx: exchanger.exchange(ctx, 7))
+    return program.runtime(scheduler)
+
+
+def _inv(tid: str, value: int, oid: str) -> Invocation:
+    return Invocation(tid, oid, "exchange", (value,))
+
+
+def _res(tid: str, ok: bool, value, oid: str) -> Response:
+    return Response(tid, oid, "exchange", (ok, value))
+
+
+def figure3_history_h1(oid: str = "E") -> History:
+    """``H1``: t1/t2 overlap and swap; t3 overlaps both and fails."""
+    return History(
+        [
+            _inv("t1", 3, oid),
+            _inv("t2", 4, oid),
+            _inv("t3", 7, oid),
+            _res("t1", True, 4, oid),
+            _res("t2", True, 3, oid),
+            _res("t3", False, 7, oid),
+        ]
+    )
+
+
+def figure3_history_h2(oid: str = "E") -> History:
+    """``H2``: the CA-history — t1/t2 overlap pairwise, then t3 alone."""
+    return History(
+        [
+            _inv("t1", 3, oid),
+            _inv("t2", 4, oid),
+            _res("t1", True, 4, oid),
+            _res("t2", True, 3, oid),
+            _inv("t3", 7, oid),
+            _res("t3", False, 7, oid),
+        ]
+    )
+
+
+def figure3_history_h3(oid: str = "E") -> History:
+    """``H3``: the undesired sequential explanation of ``H1``."""
+    return History(
+        [
+            _inv("t1", 3, oid),
+            _res("t1", True, 4, oid),
+            _inv("t2", 4, oid),
+            _res("t2", True, 3, oid),
+            _inv("t3", 7, oid),
+            _res("t3", False, 7, oid),
+        ]
+    )
+
+
+def figure3_history_h3_prefix(oid: str = "E") -> History:
+    """``H3'``: the prefix of ``H3`` in which t1 exchanges *alone* —
+    the behaviour no client wants, forced on any prefix-closed
+    sequential specification that admits ``H3``."""
+    return History(
+        [
+            _inv("t1", 3, oid),
+            _res("t1", True, 4, oid),
+        ]
+    )

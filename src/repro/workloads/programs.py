@@ -1,0 +1,231 @@
+"""Reusable setup factories for verification drivers and benchmarks.
+
+Each factory returns a ``setup(scheduler) -> Runtime`` function suitable
+for :func:`repro.substrate.explore.explore_all` /
+:func:`repro.checkers.verify.verify_cal`, plus (where useful) the object
+metadata needed to build view functions.  Factories rebuild the entire
+world on every call — required for stateless exploration replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.objects.dual_stack import DualStack
+from repro.objects.elimination_stack import POP_SENTINEL, EliminationStack
+from repro.objects.exchanger import Exchanger
+from repro.objects.immediate_snapshot import ImmediateSnapshot
+from repro.objects.registers import AtomicCounter, AtomicRegister
+from repro.objects.sync_queue import SyncQueue
+from repro.objects.treiber_stack import TreiberStack
+from repro.substrate.program import Program, spawn
+from repro.substrate.runtime import Runtime, World
+from repro.substrate.schedulers import Scheduler
+
+SetupFn = Callable[[Scheduler], Runtime]
+
+
+def exchanger_program(
+    values: Sequence[Any],
+    oid: str = "E",
+    wait_rounds: int = 1,
+    monitors: Optional[Callable[[Exchanger, Program], None]] = None,
+) -> SetupFn:
+    """One thread per value, each performing a single ``exchange``.
+
+    ``monitors(exchanger, program)``, if given, can attach rely/guarantee
+    monitors to each fresh world (it is called once per replay).
+    """
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        exchanger = Exchanger(world, oid, wait_rounds=wait_rounds)
+        program = Program(world)
+        for index, value in enumerate(values, start=1):
+            program.thread(
+                f"t{index}",
+                lambda ctx, v=value: exchanger.exchange(ctx, v),
+            )
+        if monitors is not None:
+            monitors(exchanger, program)
+        return program.runtime(scheduler)
+
+    return setup
+
+
+@dataclass
+class StackWorkload:
+    """A per-thread script of stack operations.
+
+    Each entry is a list of ``("push", v)`` / ``("pop",)`` steps run
+    sequentially by one thread.
+    """
+
+    scripts: List[List[Tuple[Any, ...]]]
+
+    def thread_count(self) -> int:
+        return len(self.scripts)
+
+
+def _stack_calls(obj: Any, script: List[Tuple[Any, ...]]):
+    calls = []
+    for step in script:
+        if step[0] == "push":
+            calls.append(lambda ctx, v=step[1]: obj.push(ctx, v))
+        elif step[0] == "pop":
+            calls.append(lambda ctx: obj.pop(ctx))
+        else:
+            raise ValueError(f"unknown stack step {step!r}")
+    return calls
+
+
+def elimination_stack_program(
+    workload: StackWorkload,
+    oid: str = "ES",
+    slots: int = 1,
+    max_attempts: Optional[int] = 2,
+    monitors: Optional[Callable[[EliminationStack, Program], None]] = None,
+) -> SetupFn:
+    """Threads running scripted push/pop mixes on an elimination stack."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        stack = EliminationStack(
+            world, oid, slots=slots, max_attempts=max_attempts
+        )
+        program = Program(world)
+        for index, script in enumerate(workload.scripts, start=1):
+            program.thread(f"t{index}", spawn(*_stack_calls(stack, script)))
+        if monitors is not None:
+            monitors(stack, program)
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def treiber_program(
+    workload: StackWorkload,
+    oid: str = "S",
+) -> SetupFn:
+    """Threads running scripted push/pop mixes on a bare central stack
+    (operations may fail — Figure 2 semantics)."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        stack = TreiberStack(world, oid)
+        program = Program(world)
+        for index, script in enumerate(workload.scripts, start=1):
+            program.thread(f"t{index}", spawn(*_stack_calls(stack, script)))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def sync_queue_program(
+    puts: Sequence[Any],
+    takers: int,
+    oid: str = "SQ",
+    slots: int = 1,
+    max_attempts: Optional[int] = 2,
+) -> SetupFn:
+    """``len(puts)`` putters and ``takers`` takers on a synchronous queue."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        queue = SyncQueue(
+            world, oid, slots=slots, max_attempts=max_attempts
+        )
+        program = Program(world)
+        for index, value in enumerate(puts, start=1):
+            program.thread(
+                f"p{index}", lambda ctx, v=value: queue.put(ctx, v)
+            )
+        for index in range(1, takers + 1):
+            program.thread(f"c{index}", lambda ctx: queue.take(ctx))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def snapshot_program(
+    values: Sequence[Any],
+    oid: str = "IS",
+) -> SetupFn:
+    """Each of ``len(values)`` participants performs one ``write_snap``."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        tids = [f"t{i}" for i in range(1, len(values) + 1)]
+        snap = ImmediateSnapshot(world, oid, participants=tids)
+        program = Program(world)
+        for tid, value in zip(tids, values):
+            program.thread(
+                tid, lambda ctx, v=value: snap.write_snap(ctx, v)
+            )
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def dual_stack_program(
+    workload: StackWorkload,
+    oid: str = "DS",
+    max_attempts: Optional[int] = 4,
+) -> SetupFn:
+    """Threads running scripted push/pop mixes on a dual stack."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        stack = DualStack(world, oid, max_attempts=max_attempts)
+        program = Program(world)
+        for index, script in enumerate(workload.scripts, start=1):
+            program.thread(f"t{index}", spawn(*_stack_calls(stack, script)))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def register_program(
+    writers: Sequence[Any],
+    readers: int,
+    oid: str = "R",
+    initial: Any = 0,
+) -> SetupFn:
+    """Writers writing given values concurrently with ``readers`` readers."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        register = AtomicRegister(world, oid, initial=initial)
+        program = Program(world)
+        for index, value in enumerate(writers, start=1):
+            program.thread(
+                f"w{index}", lambda ctx, v=value: register.write(ctx, v)
+            )
+        for index in range(1, readers + 1):
+            program.thread(f"r{index}", lambda ctx: register.read(ctx))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def counter_program(
+    incrementers: int,
+    reads_per_thread: int = 0,
+    oid: str = "C",
+) -> SetupFn:
+    """``incrementers`` threads each incrementing once (plus optional reads)."""
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        counter = AtomicCounter(world, oid)
+        program = Program(world)
+        for index in range(1, incrementers + 1):
+            calls = [lambda ctx: counter.increment(ctx)]
+            calls += [
+                lambda ctx: counter.read(ctx) for _ in range(reads_per_thread)
+            ]
+            program.thread(f"t{index}", spawn(*calls))
+        return program.runtime(scheduler)
+
+    return setup

@@ -1,0 +1,143 @@
+"""Synthetic histories and CA-traces for checker-scaling experiments (E12).
+
+These generate *known-good* (and known-bad) inputs of controllable size
+so that checker cost can be measured as a function of history length and
+concurrency width without paying for simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.actions import Invocation, Operation, Response
+from repro.core.catrace import (
+    CAElement,
+    CATrace,
+    failed_exchange_element,
+    swap_element,
+)
+from repro.core.history import History
+
+
+def swap_chain_history(
+    pairs: int, oid: str = "E", width: int = 2
+) -> Tuple[History, CATrace]:
+    """A history of ``pairs`` successive disjoint swaps plus its witness.
+
+    Each round, ``width`` threads pair up in ``width // 2`` overlapping
+    swaps; rounds are sequential.  Returns (history, agreeing CA-trace).
+    """
+    if width % 2:
+        raise ValueError("width must be even")
+    actions = []
+    elements: List[CAElement] = []
+    value = 0
+    for round_index in range(pairs):
+        round_actions_inv = []
+        round_actions_res = []
+        for pair_index in range(width // 2):
+            t1 = f"t{round_index}.{2 * pair_index}"
+            t2 = f"t{round_index}.{2 * pair_index + 1}"
+            v1, v2 = value, value + 1
+            value += 2
+            round_actions_inv.append(Invocation(t1, oid, "exchange", (v1,)))
+            round_actions_inv.append(Invocation(t2, oid, "exchange", (v2,)))
+            round_actions_res.append(
+                Response(t1, oid, "exchange", (True, v2))
+            )
+            round_actions_res.append(
+                Response(t2, oid, "exchange", (True, v1))
+            )
+            elements.append(swap_element(oid, t1, v1, t2, v2))
+        actions.extend(round_actions_inv)
+        actions.extend(round_actions_res)
+    return History(actions), CATrace(elements)
+
+
+def failure_run_history(
+    count: int, oid: str = "E"
+) -> Tuple[History, CATrace]:
+    """``count`` sequential failed exchanges by one thread."""
+    actions = []
+    elements = []
+    for index in range(count):
+        actions.append(Invocation("t1", oid, "exchange", (index,)))
+        actions.append(Response("t1", oid, "exchange", (False, index)))
+        elements.append(failed_exchange_element(oid, "t1", index))
+    return History(actions), CATrace(elements)
+
+
+def wide_overlap_history(width: int, oid: str = "E") -> History:
+    """``width`` threads all overlapping: the even ones swap pairwise,
+    odd one (if any) fails.  Worst case for the frontier-subset search."""
+    actions = []
+    responses = []
+    for index in range(width):
+        tid = f"t{index}"
+        actions.append(Invocation(tid, oid, "exchange", (index,)))
+    for index in range(0, width - 1, 2):
+        a, b = f"t{index}", f"t{index + 1}"
+        responses.append(Response(a, oid, "exchange", (True, index + 1)))
+        responses.append(Response(b, oid, "exchange", (True, index)))
+    if width % 2:
+        tid = f"t{width - 1}"
+        responses.append(Response(tid, oid, "exchange", (False, width - 1)))
+    return History(actions + responses)
+
+
+def random_register_history(
+    operations: int,
+    threads: int,
+    oid: str = "R",
+    seed: int = 0,
+) -> History:
+    """A random *valid* register history produced by simulating a real
+    register under random interleaving of inv/lin/res phases."""
+    rng = random.Random(seed)
+    value = 0
+    actions = []
+    active: List[Tuple[str, str, Tuple, Tuple]] = []  # pending responses
+    thread_free = {f"t{i}": True for i in range(1, threads + 1)}
+    emitted = 0
+    while emitted < operations or active:
+        can_start = emitted < operations and any(thread_free.values())
+        if active and (not can_start or rng.random() < 0.5):
+            index = rng.randrange(len(active))
+            tid, method, args, value_tuple = active.pop(index)
+            actions.append(Response(tid, oid, method, value_tuple))
+            thread_free[tid] = True
+            continue
+        tid = rng.choice([t for t, free in thread_free.items() if free])
+        thread_free[tid] = False
+        emitted += 1
+        if rng.random() < 0.5:
+            new_value = rng.randrange(10)
+            actions.append(Invocation(tid, oid, "write", (new_value,)))
+            value = new_value  # linearize at invocation for validity
+            active.append((tid, "write", (new_value,), (None,)))
+        else:
+            actions.append(Invocation(tid, oid, "read", ()))
+            active.append((tid, "read", (), (value,)))
+    return History(actions)
+
+
+def corrupted(history: History, oid: str = "E") -> History:
+    """Flip one response value to make the history invalid (negative
+    test inputs for the checkers)."""
+    actions = list(history.actions)
+    for index in range(len(actions) - 1, -1, -1):
+        action = actions[index]
+        if action.is_response and action.oid == oid:
+            bad_value = tuple(
+                (v + 1) if isinstance(v, int) and not isinstance(v, bool)
+                else v
+                for v in action.value
+            )
+            if bad_value == action.value:
+                bad_value = action.value + (999,)
+            actions[index] = Response(
+                action.tid, action.oid, action.method, bad_value
+            )
+            return History(actions)
+    raise ValueError("history has no response to corrupt")

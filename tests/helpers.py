@@ -1,0 +1,60 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.core.actions import Invocation, Operation, Response
+from repro.core.history import History
+from repro.substrate.program import Program
+from repro.substrate.runtime import Runtime, World
+from repro.substrate.schedulers import Scheduler
+
+
+def inv(tid: str, oid: str, method: str, *args: Any) -> Invocation:
+    return Invocation(tid, oid, method, tuple(args))
+
+
+def res(tid: str, oid: str, method: str, *value: Any) -> Response:
+    return Response(tid, oid, method, tuple(value))
+
+
+def op(tid: str, oid: str, method: str, args=(), value=()) -> Operation:
+    return Operation.of(tid, oid, method, args, value)
+
+
+def seq_history(*ops: Operation) -> History:
+    """inv/res pairs in sequence."""
+    actions = []
+    for operation in ops:
+        actions.append(operation.invocation)
+        actions.append(operation.response)
+    return History(actions)
+
+
+def overlapped_history(*ops: Operation) -> History:
+    """All invocations first, then all responses (fully concurrent)."""
+    actions = [o.invocation for o in ops]
+    actions += [o.response for o in ops]
+    return History(actions)
+
+
+def single_object_setup(
+    build: Callable[[World], Any],
+    bodies: Sequence[Callable[[Any], Callable]],
+) -> Callable[[Scheduler], Runtime]:
+    """Setup factory: build an object, attach one thread per body.
+
+    ``bodies[i]`` receives the freshly built object and returns the
+    thread body (a function of ctx).
+    """
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        obj = build(world)
+        program = Program(world)
+        for index, make_body in enumerate(bodies, start=1):
+            program.thread(f"t{index}", make_body(obj))
+        return program.runtime(scheduler)
+
+    return setup

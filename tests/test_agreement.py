@@ -1,0 +1,251 @@
+"""The agreement relation ``H ⊑_CAL T`` (Definition 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Operation
+from repro.core.agreement import agrees, find_agreement, is_cal_history
+from repro.core.catrace import (
+    CAElement,
+    CATrace,
+    failed_exchange_element,
+    singleton_trace,
+    swap_element,
+)
+from repro.core.history import History, history_of_operations
+
+from tests.helpers import inv, op, overlapped_history, res, seq_history
+
+
+def _swap_history_overlapping(oid="E"):
+    return History(
+        [
+            inv("t1", oid, "exchange", 3),
+            inv("t2", oid, "exchange", 4),
+            res("t1", oid, "exchange", True, 4),
+            res("t2", oid, "exchange", True, 3),
+        ]
+    )
+
+
+class TestAgreementBasics:
+    def test_empty_agrees_with_empty(self):
+        assert agrees(History(), CATrace())
+
+    def test_empty_history_disagrees_with_nonempty_trace(self):
+        assert not agrees(
+            History(), CATrace([failed_exchange_element("E", "t1", 1)])
+        )
+
+    def test_incomplete_history_rejected(self):
+        with pytest.raises(ValueError):
+            agrees(History([inv("t1", "E", "exchange", 1)]), CATrace())
+
+    def test_swap_pair_agrees(self):
+        trace = CATrace([swap_element("E", "t1", 3, "t2", 4)])
+        assert agrees(_swap_history_overlapping(), trace)
+
+    def test_operation_count_mismatch(self):
+        trace = CATrace(
+            [
+                swap_element("E", "t1", 3, "t2", 4),
+                failed_exchange_element("E", "t3", 7),
+            ]
+        )
+        assert not agrees(_swap_history_overlapping(), trace)
+
+    def test_wrong_values_disagree(self):
+        trace = CATrace([swap_element("E", "t1", 3, "t2", 5)])
+        assert not agrees(_swap_history_overlapping(), trace)
+
+    def test_mapping_is_returned(self):
+        trace = CATrace([swap_element("E", "t1", 3, "t2", 4)])
+        mapping = find_agreement(_swap_history_overlapping(), trace)
+        assert mapping == {0: 0, 1: 0}
+
+
+class TestRealTimeConstraint:
+    def test_sequential_ops_must_map_to_ordered_elements(self):
+        # t1's failed exchange strictly precedes t2's; a trace listing
+        # them in the opposite order does not agree.
+        history = seq_history(
+            op("t1", "E", "exchange", (1,), (False, 1)),
+            op("t2", "E", "exchange", (2,), (False, 2)),
+        )
+        good = CATrace(
+            [
+                failed_exchange_element("E", "t1", 1),
+                failed_exchange_element("E", "t2", 2),
+            ]
+        )
+        bad = CATrace(
+            [
+                failed_exchange_element("E", "t2", 2),
+                failed_exchange_element("E", "t1", 1),
+            ]
+        )
+        assert agrees(history, good)
+        assert not agrees(history, bad)
+
+    def test_sequential_ops_cannot_share_an_element(self):
+        # Two non-overlapping exchanges cannot "seem simultaneous":
+        # even if a (ill-conceived) trace packed them into one element,
+        # the real-time order forbids π mapping both to it.
+        history = seq_history(
+            op("t1", "E", "exchange", (3,), (True, 4)),
+            op("t2", "E", "exchange", (4,), (True, 3)),
+        )
+        trace = CATrace([swap_element("E", "t1", 3, "t2", 4)])
+        assert not agrees(history, trace)
+
+    def test_overlapping_ops_may_share_an_element(self):
+        trace = CATrace([swap_element("E", "t1", 3, "t2", 4)])
+        assert agrees(_swap_history_overlapping(), trace)
+
+    def test_concurrent_ops_may_linearize_either_way(self):
+        history = overlapped_history(
+            op("t1", "E", "exchange", (1,), (False, 1)),
+            op("t2", "E", "exchange", (2,), (False, 2)),
+        )
+        forward = CATrace(
+            [
+                failed_exchange_element("E", "t1", 1),
+                failed_exchange_element("E", "t2", 2),
+            ]
+        )
+        backward = CATrace(
+            [
+                failed_exchange_element("E", "t2", 2),
+                failed_exchange_element("E", "t1", 1),
+            ]
+        )
+        assert agrees(history, forward)
+        assert agrees(history, backward)
+
+    def test_interleaved_chain(self):
+        # t1 [----------]
+        #        t2 [------------]
+        #                  t3 [--------]
+        # t1 ≺ t3 but t2 overlaps both.
+        history = History(
+            [
+                inv("t1", "E", "exchange", 1),
+                inv("t2", "E", "exchange", 2),
+                res("t1", "E", "exchange", False, 1),
+                inv("t3", "E", "exchange", 3),
+                res("t2", "E", "exchange", False, 2),
+                res("t3", "E", "exchange", False, 3),
+            ]
+        )
+        t1 = failed_exchange_element("E", "t1", 1)
+        t2 = failed_exchange_element("E", "t2", 2)
+        t3 = failed_exchange_element("E", "t3", 3)
+        assert agrees(history, CATrace([t1, t2, t3]))
+        assert agrees(history, CATrace([t2, t1, t3]))
+        assert agrees(history, CATrace([t1, t3, t2]))
+        assert not agrees(history, CATrace([t3, t1, t2]))
+        assert not agrees(history, CATrace([t3, t2, t1]))
+
+
+class TestSurjectivity:
+    def test_every_element_must_receive_an_operation(self):
+        history = seq_history(op("t1", "E", "exchange", (1,), (False, 1)))
+        trace = CATrace(
+            [
+                failed_exchange_element("E", "t1", 1),
+                failed_exchange_element("E", "t1", 1),
+            ]
+        )
+        assert not agrees(history, trace)
+
+    def test_duplicate_operations_by_one_thread(self):
+        # The same thread fails the same exchange twice sequentially;
+        # both occurrences must map to *different* elements, in order.
+        history = seq_history(
+            op("t1", "E", "exchange", (5,), (False, 5)),
+            op("t1", "E", "exchange", (5,), (False, 5)),
+        )
+        trace = CATrace(
+            [
+                failed_exchange_element("E", "t1", 5),
+                failed_exchange_element("E", "t1", 5),
+            ]
+        )
+        assert agrees(history, trace)
+
+    def test_duplicate_operations_cannot_collapse_into_one_element(self):
+        history = seq_history(
+            op("t1", "E", "exchange", (5,), (False, 5)),
+            op("t1", "E", "exchange", (5,), (False, 5)),
+        )
+        trace = CATrace([failed_exchange_element("E", "t1", 5)])
+        assert not agrees(history, trace)
+
+
+class TestIsCalHistory:
+    def test_pending_invocation_can_be_dropped(self):
+        history = History(
+            [
+                inv("t1", "E", "exchange", 1),
+                res("t1", "E", "exchange", False, 1),
+                inv("t2", "E", "exchange", 2),
+            ]
+        )
+        traces = [CATrace([failed_exchange_element("E", "t1", 1)])]
+        assert is_cal_history(history, traces)
+
+    def test_pending_invocation_can_be_completed(self):
+        history = History([inv("t1", "E", "exchange", 1)])
+        traces = [CATrace([failed_exchange_element("E", "t1", 1)])]
+        assert is_cal_history(
+            history, traces, response_candidates=lambda i: [(False, 1)]
+        )
+
+    def test_no_trace_matches(self):
+        history = _swap_history_overlapping()
+        traces = [CATrace([failed_exchange_element("E", "t1", 3)])]
+        assert not is_cal_history(history, traces)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+_raw_ops = st.lists(
+    st.tuples(st.sampled_from(["t1", "t2", "t3"]), st.integers(0, 3)),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(_raw_ops)
+@settings(max_examples=150)
+def test_sequential_history_agrees_with_its_singleton_trace(raw):
+    ops = [
+        op(t, "o", "f", (v,), (i,)) for i, (t, v) in enumerate(raw)
+    ]
+    history = history_of_operations(ops)
+    trace = singleton_trace(ops)
+    assert agrees(history, trace)
+
+
+@given(_raw_ops)
+@settings(max_examples=150)
+def test_sequential_history_disagrees_with_reversed_trace(raw):
+    ops = [op(t, "o", "f", (v,), (i,)) for i, (t, v) in enumerate(raw)]
+    if len(ops) < 2:
+        return
+    history = history_of_operations(ops)
+    reversed_trace = singleton_trace(list(reversed(ops)))
+    assert not agrees(history, reversed_trace)
+
+
+@given(st.sets(st.sampled_from(["t1", "t2", "t3", "t4"]), min_size=1))
+@settings(max_examples=50)
+def test_fully_overlapping_ops_agree_with_single_element(tids):
+    ops = [op(t, "o", "f", (0,), (ord(t[-1]),)) for t in sorted(tids)]
+    history = overlapped_history(*ops)
+    trace = CATrace([CAElement("o", ops)])
+    assert agrees(history, trace)

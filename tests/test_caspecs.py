@@ -1,0 +1,263 @@
+"""Concurrency-aware specifications: exchanger, synchronous queue,
+immediate snapshot, dual stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catrace import (
+    CAElement,
+    CATrace,
+    failed_exchange_element,
+    swap_element,
+)
+from repro.specs import (
+    DualStackSpec,
+    ExchangerSpec,
+    ImmediateSnapshotSpec,
+    SyncQueueSpec,
+)
+from repro.specs.exchanger_spec import is_failed_exchange, is_swap_pair
+
+from tests.helpers import op
+
+
+class TestExchangerSpec:
+    def setup_method(self):
+        self.spec = ExchangerSpec("E")
+
+    def test_swap_pair_accepted(self):
+        assert self.spec.accepts(
+            CATrace([swap_element("E", "t1", 3, "t2", 4)])
+        )
+
+    def test_failed_singleton_accepted(self):
+        assert self.spec.accepts(
+            CATrace([failed_exchange_element("E", "t1", 7)])
+        )
+
+    def test_mixed_trace_accepted(self):
+        assert self.spec.accepts(
+            CATrace(
+                [
+                    swap_element("E", "t1", 3, "t2", 4),
+                    failed_exchange_element("E", "t3", 7),
+                    swap_element("E", "t1", 5, "t3", 6),
+                ]
+            )
+        )
+
+    def test_successful_singleton_rejected(self):
+        # A lone successful exchange — the §3 "undesired behaviour".
+        lone = CAElement(
+            "E", [op("t1", "E", "exchange", (3,), (True, 4))]
+        )
+        assert not self.spec.accepts(CATrace([lone]))
+
+    def test_mismatched_values_rejected(self):
+        a = op("t1", "E", "exchange", (3,), (True, 9))
+        b = op("t2", "E", "exchange", (4,), (True, 3))
+        assert not self.spec.accepts(CATrace([CAElement("E", [a, b])]))
+
+    def test_failed_exchange_must_return_own_value(self):
+        bad = CAElement(
+            "E", [op("t1", "E", "exchange", (3,), (False, 4))]
+        )
+        assert not self.spec.accepts(CATrace([bad]))
+
+    def test_triple_element_rejected(self):
+        ops = [
+            op("t1", "E", "exchange", (1,), (True, 2)),
+            op("t2", "E", "exchange", (2,), (True, 1)),
+            op("t3", "E", "exchange", (3,), (False, 3)),
+        ]
+        assert not self.spec.accepts(CATrace([CAElement("E", ops)]))
+
+    def test_wrong_object_rejected(self):
+        assert not self.spec.accepts(
+            CATrace([failed_exchange_element("F", "t1", 7)])
+        )
+
+    def test_is_swap_pair_helper(self):
+        assert is_swap_pair(swap_element("E", "t1", 3, "t2", 4))
+        assert not is_swap_pair(failed_exchange_element("E", "t1", 3))
+
+    def test_is_failed_exchange_helper(self):
+        assert is_failed_exchange(failed_exchange_element("E", "t1", 3))
+        assert not is_failed_exchange(swap_element("E", "t1", 3, "t2", 4))
+
+    def test_response_candidates_offer_failure(self):
+        from repro.core.actions import Invocation
+
+        candidates = list(
+            self.spec.response_candidates(
+                Invocation("t1", "E", "exchange", (3,))
+            )
+        )
+        assert candidates == [(False, 3)]
+
+
+class TestSyncQueueSpec:
+    def setup_method(self):
+        self.spec = SyncQueueSpec("SQ")
+
+    def _pair(self, putter="t1", taker="t2", value=5):
+        return CAElement(
+            "SQ",
+            [
+                op(putter, "SQ", "put", (value,), (True,)),
+                op(taker, "SQ", "take", (), (True, value)),
+            ],
+        )
+
+    def test_handoff_pair_accepted(self):
+        assert self.spec.accepts(CATrace([self._pair()]))
+
+    def test_sequence_of_handoffs(self):
+        assert self.spec.accepts(
+            CATrace([self._pair(value=1), self._pair("t3", "t4", 2)])
+        )
+
+    def test_lone_put_rejected(self):
+        lone = CAElement("SQ", [op("t1", "SQ", "put", (5,), (True,))])
+        assert not self.spec.accepts(CATrace([lone]))
+
+    def test_lone_take_rejected(self):
+        lone = CAElement("SQ", [op("t1", "SQ", "take", (), (True, 5))])
+        assert not self.spec.accepts(CATrace([lone]))
+
+    def test_value_mismatch_rejected(self):
+        bad = CAElement(
+            "SQ",
+            [
+                op("t1", "SQ", "put", (5,), (True,)),
+                op("t2", "SQ", "take", (), (True, 6)),
+            ],
+        )
+        assert not self.spec.accepts(CATrace([bad]))
+
+    def test_same_thread_pair_rejected(self):
+        bad = CAElement(
+            "SQ",
+            [
+                op("t1", "SQ", "put", (5,), (True,)),
+                op("t1", "SQ", "take", (), (True, 5)),
+            ],
+        )
+        assert not self.spec.accepts(CATrace([bad]))
+
+
+class TestImmediateSnapshotSpec:
+    def setup_method(self):
+        self.spec = ImmediateSnapshotSpec("IS")
+
+    def _write(self, tid, value, view):
+        return op(tid, "IS", "write_snap", (value,), (frozenset(view),))
+
+    def test_single_writer_sees_itself(self):
+        element = CAElement("IS", [self._write("t1", 5, {("t1", 5)})])
+        assert self.spec.accepts(CATrace([element]))
+
+    def test_block_of_two_sees_both(self):
+        both = {("t1", 5), ("t2", 6)}
+        element = CAElement(
+            "IS",
+            [self._write("t1", 5, both), self._write("t2", 6, both)],
+        )
+        assert self.spec.accepts(CATrace([element]))
+
+    def test_later_block_sees_earlier(self):
+        first = CAElement("IS", [self._write("t1", 5, {("t1", 5)})])
+        second = CAElement(
+            "IS",
+            [self._write("t2", 6, {("t1", 5), ("t2", 6)})],
+        )
+        assert self.spec.accepts(CATrace([first, second]))
+
+    def test_later_block_must_see_earlier(self):
+        first = CAElement("IS", [self._write("t1", 5, {("t1", 5)})])
+        second = CAElement("IS", [self._write("t2", 6, {("t2", 6)})])
+        assert not self.spec.accepts(CATrace([first, second]))
+
+    def test_block_member_missing_own_write_rejected(self):
+        element = CAElement("IS", [self._write("t1", 5, set())])
+        assert not self.spec.accepts(CATrace([element]))
+
+    def test_double_write_by_same_thread_rejected(self):
+        first = CAElement("IS", [self._write("t1", 5, {("t1", 5)})])
+        second = CAElement(
+            "IS", [self._write("t1", 6, {("t1", 5), ("t1", 6)})]
+        )
+        assert not self.spec.accepts(CATrace([first, second]))
+
+    def test_partial_view_within_block_rejected(self):
+        # Both in one block but t1 only sees itself: blocks are atomic.
+        element = CAElement(
+            "IS",
+            [
+                self._write("t1", 5, {("t1", 5)}),
+                self._write("t2", 6, {("t1", 5), ("t2", 6)}),
+            ],
+        )
+        assert not self.spec.accepts(CATrace([element]))
+
+
+class TestDualStackSpec:
+    def setup_method(self):
+        self.spec = DualStackSpec("DS")
+
+    def test_plain_lifo(self):
+        trace = CATrace(
+            [
+                CAElement("DS", [op("t1", "DS", "push", (1,), (True,))]),
+                CAElement("DS", [op("t2", "DS", "pop", (), (True, 1))]),
+            ]
+        )
+        assert self.spec.accepts(trace)
+
+    def test_pop_wrong_top_rejected(self):
+        trace = CATrace(
+            [
+                CAElement("DS", [op("t1", "DS", "push", (1,), (True,))]),
+                CAElement("DS", [op("t1", "DS", "push", (2,), (True,))]),
+                CAElement("DS", [op("t2", "DS", "pop", (), (True, 1))]),
+            ]
+        )
+        assert not self.spec.accepts(trace)
+
+    def test_fulfilment_pair_on_empty(self):
+        pair = CAElement(
+            "DS",
+            [
+                op("t1", "DS", "push", (1,), (True,)),
+                op("t2", "DS", "pop", (), (True, 1)),
+            ],
+        )
+        assert self.spec.accepts(CATrace([pair]))
+
+    def test_fulfilment_pair_on_nonempty_rejected(self):
+        push = CAElement("DS", [op("t1", "DS", "push", (9,), (True,))])
+        pair = CAElement(
+            "DS",
+            [
+                op("t2", "DS", "push", (1,), (True,)),
+                op("t3", "DS", "pop", (), (True, 1)),
+            ],
+        )
+        assert not self.spec.accepts(CATrace([push, pair]))
+
+    def test_fulfilment_leaves_stack_unchanged(self):
+        pair = CAElement(
+            "DS",
+            [
+                op("t1", "DS", "push", (1,), (True,)),
+                op("t2", "DS", "pop", (), (True, 1)),
+            ],
+        )
+        after = CAElement("DS", [op("t3", "DS", "pop", (), (True, 9))])
+        assert not self.spec.accepts(CATrace([pair, after]))
+
+    def test_pop_on_empty_singleton_rejected(self):
+        # A dual stack's pop never returns empty — it waits.
+        lone = CAElement("DS", [op("t1", "DS", "pop", (), (False, 0))])
+        assert not self.spec.accepts(CATrace([lone]))

@@ -1,0 +1,205 @@
+"""CA-elements and CA-traces (Definition 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Operation
+from repro.core.catrace import (
+    CAElement,
+    CATrace,
+    failed_exchange_element,
+    group_by_object,
+    singleton_trace,
+    swap_element,
+)
+
+from tests.helpers import op
+
+
+class TestCAElement:
+    def test_empty_element_rejected(self):
+        with pytest.raises(ValueError):
+            CAElement("o", [])
+
+    def test_foreign_operation_rejected(self):
+        with pytest.raises(ValueError):
+            CAElement("o", [op("t1", "other", "f")])
+
+    def test_singleton(self):
+        element = CAElement("o", [op("t1", "o", "f", (1,), (2,))])
+        assert element.is_singleton()
+        assert element.single().tid == "t1"
+
+    def test_single_on_pair_raises(self):
+        element = swap_element("o", "t1", 1, "t2", 2)
+        assert not element.is_singleton()
+        with pytest.raises(ValueError):
+            element.single()
+
+    def test_threads(self):
+        element = swap_element("o", "t1", 1, "t2", 2)
+        assert element.threads() == frozenset({"t1", "t2"})
+
+    def test_mentions_thread(self):
+        element = swap_element("o", "t1", 1, "t2", 2)
+        assert element.mentions_thread("t1")
+        assert not element.mentions_thread("t3")
+
+    def test_equality_is_set_based(self):
+        a = CAElement(
+            "o", [op("t1", "o", "f"), op("t2", "o", "f")]
+        )
+        b = CAElement(
+            "o", [op("t2", "o", "f"), op("t1", "o", "f")]
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_duplicate_operations_collapse(self):
+        only = op("t1", "o", "f", (1,), (2,))
+        element = CAElement("o", [only, only])
+        assert len(element) == 1
+
+
+class TestSwapHelpers:
+    def test_swap_element_shape(self):
+        element = swap_element("E", "t1", 3, "t2", 4)
+        values = {(o.tid, o.args, o.value) for o in element}
+        assert values == {
+            ("t1", (3,), (True, 4)),
+            ("t2", (4,), (True, 3)),
+        }
+
+    def test_swap_element_is_symmetric(self):
+        assert swap_element("E", "t1", 3, "t2", 4) == swap_element(
+            "E", "t2", 4, "t1", 3
+        )
+
+    def test_swap_with_self_rejected(self):
+        with pytest.raises(ValueError):
+            swap_element("E", "t1", 3, "t1", 4)
+
+    def test_failed_exchange_element(self):
+        element = failed_exchange_element("E", "t1", 7)
+        assert element.is_singleton()
+        operation = element.single()
+        assert operation.value == (False, 7)
+        assert operation.args == (7,)
+
+
+class TestCATrace:
+    def _trace(self) -> CATrace:
+        return CATrace(
+            [
+                swap_element("E", "t1", 1, "t2", 2),
+                failed_exchange_element("E", "t3", 3),
+                CAElement("S", [op("t1", "S", "push", (5,), (True,))]),
+            ]
+        )
+
+    def test_length_and_indexing(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert trace[1].is_singleton()
+
+    def test_project_thread_keeps_whole_elements(self):
+        trace = self._trace()
+        projected = trace.project_thread("t2")
+        assert len(projected) == 1
+        # t1's operation stays in the element even though we projected to t2.
+        assert projected[0].mentions_thread("t1")
+
+    def test_project_object(self):
+        trace = self._trace()
+        assert len(trace.project_object("E")) == 2
+        assert len(trace.project_object("S")) == 1
+        assert len(trace.project_object("Q")) == 0
+
+    def test_project_objects(self):
+        trace = self._trace()
+        assert len(trace.project_objects({"E", "S"})) == 3
+
+    def test_append_returns_new_trace(self):
+        trace = self._trace()
+        extended = trace.append(failed_exchange_element("E", "t4", 9))
+        assert len(trace) == 3
+        assert len(extended) == 4
+
+    def test_concat(self):
+        trace = self._trace()
+        assert len(trace.concat(trace)) == 6
+
+    def test_operation_count(self):
+        assert self._trace().operation_count() == 4
+
+    def test_equality(self):
+        assert self._trace() == self._trace()
+        assert hash(self._trace()) == hash(self._trace())
+
+    def test_canonical_history_is_complete(self):
+        history = self._trace().canonical_history()
+        assert history.is_complete()
+        assert len(history.operations()) == 4
+
+    def test_canonical_history_overlaps_element_operations(self):
+        trace = CATrace([swap_element("E", "t1", 1, "t2", 2)])
+        history = trace.canonical_history()
+        # both invocations precede both responses
+        kinds = [a.is_invocation for a in history]
+        assert kinds == [True, True, False, False]
+
+    def test_group_by_object(self):
+        groups = group_by_object(self._trace())
+        assert set(groups) == {"E", "S"}
+        assert len(groups["E"]) == 2
+
+    def test_singleton_trace(self):
+        ops = [op("t1", "o", "f", (1,), (0,)), op("t2", "o", "g", (), (1,))]
+        trace = singleton_trace(ops)
+        assert len(trace) == 2
+        assert all(e.is_singleton() for e in trace)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+_element = st.builds(
+    lambda tids, v: CAElement(
+        "o",
+        [op(t, "o", "f", (v,), (i,)) for i, t in enumerate(sorted(tids))],
+    ),
+    st.sets(st.sampled_from(["t1", "t2", "t3"]), min_size=1, max_size=3),
+    st.integers(0, 5),
+)
+
+
+@given(st.lists(_element, max_size=6))
+@settings(max_examples=150)
+def test_projection_to_object_is_identity_for_single_object(elements):
+    trace = CATrace(elements)
+    assert trace.project_object("o") == trace
+    assert len(trace.project_object("other")) == 0
+
+
+@given(st.lists(_element, max_size=6))
+@settings(max_examples=150)
+def test_thread_projection_is_monotone(elements):
+    trace = CATrace(elements)
+    for tid in ["t1", "t2", "t3"]:
+        projected = trace.project_thread(tid)
+        assert len(projected) <= len(trace)
+        # projecting twice is the same as once (idempotent)
+        assert projected.project_thread(tid) == projected
+
+
+@given(st.lists(_element, max_size=5))
+@settings(max_examples=100)
+def test_canonical_history_agrees_with_its_trace(elements):
+    from repro.core.agreement import agrees
+
+    trace = CATrace(elements)
+    history = trace.canonical_history()
+    assert agrees(history, trace)

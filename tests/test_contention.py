@@ -1,0 +1,108 @@
+"""Experiment E10 machinery: the virtual-time contention simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.contention import (
+    DEFAULT_COSTS,
+    STACK_KINDS,
+    ThroughputSample,
+    mean_ops_per_ktime,
+    run_throughput,
+    throughput_sweep,
+)
+
+
+class TestRunThroughput:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_throughput("bogus", 2)
+
+    def test_sample_fields(self):
+        sample = run_throughput("treiber", 2, horizon=500.0, seed=1)
+        assert sample.kind == "treiber"
+        assert sample.threads == 2
+        assert sample.completed_ops > 0
+        assert sample.ops_per_ktime > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_throughput("treiber", 4, horizon=500.0, seed=9)
+        b = run_throughput("treiber", 4, horizon=500.0, seed=9)
+        assert a.completed_ops == b.completed_ops
+
+    def test_different_seeds_differ(self):
+        samples = {
+            run_throughput("treiber", 4, horizon=800.0, seed=s).completed_ops
+            for s in range(4)
+        }
+        assert len(samples) > 1
+
+    def test_contention_causes_cas_failures(self):
+        single = run_throughput("treiber", 1, horizon=800.0)
+        many = run_throughput("treiber", 8, horizon=800.0)
+        assert single.cas_failures == 0
+        assert many.cas_failures > 0
+
+    def test_elimination_pairs_occur_under_contention(self):
+        sample = run_throughput("elimination", 8, horizon=2000.0)
+        assert sample.eliminated_pairs > 0
+
+    def test_no_elimination_with_one_thread(self):
+        sample = run_throughput("elimination", 1, horizon=500.0)
+        assert sample.eliminated_pairs == 0
+
+
+class TestShape:
+    """The published qualitative shape (Hendler et al.), in miniature."""
+
+    def test_parallel_speedup_at_low_contention(self):
+        one = run_throughput("treiber", 1, horizon=1000.0)
+        two = run_throughput("treiber", 2, horizon=1000.0)
+        assert two.ops_per_ktime > 1.3 * one.ops_per_ktime
+
+    def test_treiber_scaling_degrades(self):
+        # Throughput per added thread collapses at high contention.
+        t4 = run_throughput("treiber", 4, horizon=1500.0)
+        t16 = run_throughput("treiber", 16, horizon=1500.0)
+        assert t16.ops_per_ktime < 4 * t4.ops_per_ktime * (16 / 4) / 2
+
+    def test_elimination_wins_at_high_contention(self):
+        kinds = {}
+        for kind in ("treiber", "elimination"):
+            samples = [
+                run_throughput(kind, 32, horizon=2000.0, seed=s)
+                for s in (1, 2, 3)
+            ]
+            kinds[kind] = sum(s.ops_per_ktime for s in samples) / 3
+        assert kinds["elimination"] > kinds["treiber"]
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self):
+        samples = throughput_sweep(
+            [1, 2], horizon=300.0, seeds=[1], kinds=("treiber",)
+        )
+        assert len(samples) == 2
+        means = mean_ops_per_ktime(samples)
+        assert set(means) == {("treiber", 1), ("treiber", 2)}
+
+    def test_mean_aggregates_seeds(self):
+        samples = [
+            ThroughputSample("k", 2, 1000.0, 10, 0, 0),
+            ThroughputSample("k", 2, 1000.0, 30, 0, 0),
+        ]
+        means = mean_ops_per_ktime(samples)
+        assert means[("k", 2)] == pytest.approx(20.0)
+
+    def test_costs_cover_all_counter_keys(self):
+        sample = run_throughput("elimination", 4, horizon=500.0)
+        for key in sample.counters:
+            assert key in DEFAULT_COSTS, f"no cost for counter {key!r}"
+
+    def test_stack_kinds_constant(self):
+        assert set(STACK_KINDS) == {
+            "treiber",
+            "treiber-backoff",
+            "elimination",
+        }

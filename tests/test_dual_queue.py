@@ -1,0 +1,128 @@
+"""The dual queue: FIFO with in-order waiting dequeues — the *correct*
+counterpart to E13's broken naive elimination queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import CALChecker
+from repro.objects import DualQueue
+from repro.specs import DualQueueSpec
+from repro.substrate import Program, World, explore_all, spawn
+
+
+def dq_setup(scripts, max_attempts=5):
+    def setup(scheduler):
+        world = World()
+        queue = DualQueue(world, "DQ", max_attempts=max_attempts)
+        program = Program(world)
+        for index, script in enumerate(scripts, start=1):
+            calls = []
+            for step in script:
+                if step[0] == "enq":
+                    calls.append(
+                        lambda ctx, v=step[1]: queue.enqueue(ctx, v)
+                    )
+                else:
+                    calls.append(lambda ctx: queue.dequeue(ctx))
+            program.thread(f"t{index}", spawn(*calls))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+class TestPlainFifo:
+    def test_sequential_fifo(self):
+        checker = CALChecker(DualQueueSpec("DQ"))
+        setup = dq_setup([[("enq", 1), ("enq", 2), ("deq",), ("deq",)]])
+        complete = 0
+        for run in explore_all(setup, max_steps=200):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["t1"] == [True, True, (True, 1), (True, 2)]
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+    def test_concurrent_enqueues_then_dequeues(self):
+        checker = CALChecker(DualQueueSpec("DQ"))
+        setup = dq_setup(
+            [[("enq", 1)], [("enq", 2)], [("deq",), ("deq",)]]
+        )
+        complete = 0
+        for run in explore_all(setup, max_steps=300, preemption_bound=1):
+            if not run.completed:
+                continue
+            complete += 1
+            got = [r[1] for r in run.returns["t3"]]
+            assert sorted(got) == [1, 2]
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+
+class TestWaitingDequeue:
+    def test_dequeue_waits_for_enqueue(self):
+        checker = CALChecker(DualQueueSpec("DQ"))
+        setup = dq_setup([[("deq",)], [("enq", 7)]])
+        complete = 0
+        for run in explore_all(setup, max_steps=250, preemption_bound=3):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["t1"] == [(True, 7)]
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+    def test_lone_dequeue_never_completes(self):
+        setup = dq_setup([[("deq",)]], max_attempts=3)
+        for run in explore_all(setup, max_steps=100):
+            assert not run.completed
+
+    def test_waiting_dequeues_served_in_fifo_order(self):
+        """The crucial difference from the naive elimination queue:
+        reservations are fulfilled in order, so with sequenced dequeues
+        d1 (first) always receives the first value enqueued."""
+        checker = CALChecker(DualQueueSpec("DQ"))
+
+        def setup(scheduler):
+            world = World()
+            queue = DualQueue(world, "DQ", max_attempts=6)
+            program = Program(world)
+
+            def sequencer(ctx):
+                # d1's reservation strictly precedes d2's, then values
+                # 1 then 2 are enqueued.
+                first = yield from queue.dequeue(ctx)
+                return first
+
+            program.thread("d1", sequencer)
+            program.thread(
+                "rest",
+                spawn(
+                    lambda ctx: queue.enqueue(ctx, 1),
+                    lambda ctx: queue.enqueue(ctx, 2),
+                ),
+            )
+            return program.runtime(scheduler)
+
+        complete = 0
+        for run in explore_all(setup, max_steps=250, preemption_bound=2):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["d1"] == (True, 1)
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+    def test_no_fifo_violation_in_e13_workload(self):
+        """The exact workload that breaks the naive elimination queue is
+        fine on the dual queue."""
+        checker = CALChecker(DualQueueSpec("DQ"))
+        setup = dq_setup([[("enq", 1)], [("enq", 2)], [("deq",)]])
+        complete = 0
+        for run in explore_all(setup, max_steps=300, preemption_bound=2):
+            if not run.completed:
+                continue
+            complete += 1
+            assert checker.check(run.history).ok, run.history
+        assert complete > 0

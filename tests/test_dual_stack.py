@@ -1,0 +1,122 @@
+"""Experiment E9: the dual stack (Scherer & Scott, §6) is a CA-object —
+fulfilment pairs seem simultaneous — and is CAL w.r.t. the single-
+element-per-fulfilment spec (obviating the two-linearization-point
+treatment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import CALChecker
+from repro.objects import DualStack
+from repro.specs import DualStackSpec
+from repro.substrate import Program, World, explore_all, spawn
+
+
+def ds_setup(scripts, max_attempts=4):
+    def setup(scheduler):
+        world = World()
+        stack = DualStack(world, "DS", max_attempts=max_attempts)
+        program = Program(world)
+        for index, script in enumerate(scripts, start=1):
+            calls = []
+            for step in script:
+                if step[0] == "push":
+                    calls.append(lambda ctx, v=step[1]: stack.push(ctx, v))
+                else:
+                    calls.append(lambda ctx: stack.pop(ctx))
+            program.thread(f"t{index}", spawn(*calls))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+class TestPlainStackBehaviour:
+    def test_push_then_pop_sequential(self):
+        checker = CALChecker(DualStackSpec("DS"))
+        complete = 0
+        for run in explore_all(
+            ds_setup([[("push", 1), ("pop",)]]), max_steps=100
+        ):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["t1"] == [True, (True, 1)]
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+    def test_lifo_order(self):
+        for run in explore_all(
+            ds_setup([[("push", 1), ("push", 2), ("pop",), ("pop",)]]),
+            max_steps=150,
+        ):
+            if run.completed:
+                assert run.returns["t1"] == [
+                    True,
+                    True,
+                    (True, 2),
+                    (True, 1),
+                ]
+
+
+class TestWaitingPop:
+    def test_pop_waits_for_push(self):
+        """A pop started on the empty stack blocks until a push arrives,
+        then returns that value; every complete run is CAL."""
+        checker = CALChecker(DualStackSpec("DS"))
+        complete = 0
+        for run in explore_all(
+            ds_setup([[("pop",)], [("push", 7)]]),
+            max_steps=200,
+            preemption_bound=3,
+        ):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["t1"] == [(True, 7)]
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+    def test_fulfilment_pair_witness_also_explains(self):
+        """The paper's point (§6): the CA-spec lets the fulfilment be
+        *one* CA-element — no request/follow-up double linearization
+        point.  Both witness styles explain a fulfilment history."""
+        from repro.core.agreement import agrees
+        from repro.core.catrace import CAElement, CATrace
+        from tests.helpers import op, overlapped_history
+
+        push = op("t2", "DS", "push", (7,), (True,))
+        pop = op("t1", "DS", "pop", (), (True, 7))
+        history = overlapped_history(push, pop)
+        spec = DualStackSpec("DS")
+        pair_witness = CATrace([CAElement("DS", [push, pop])])
+        singleton_witness = CATrace(
+            [CAElement("DS", [push]), CAElement("DS", [pop])]
+        )
+        for witness in (pair_witness, singleton_witness):
+            assert spec.accepts(witness)
+            assert agrees(history, witness)
+
+    def test_lone_pop_never_completes(self):
+        for run in explore_all(
+            ds_setup([[("pop",)]], max_attempts=3), max_steps=100
+        ):
+            assert not run.completed
+
+    def test_two_waiting_pops_two_pushes(self):
+        checker = CALChecker(DualStackSpec("DS"))
+        complete = 0
+        for run in explore_all(
+            ds_setup([[("pop",)], [("pop",)], [("push", 1), ("push", 2)]]),
+            max_steps=250,
+            preemption_bound=1,
+        ):
+            if not run.completed:
+                continue
+            complete += 1
+            got = sorted(
+                run.returns["t1"][0][1:] + run.returns["t2"][0][1:]
+            )
+            assert got == [1, 2]
+            assert checker.check(run.history).ok
+        assert complete > 0

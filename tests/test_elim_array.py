@@ -1,0 +1,97 @@
+"""Experiment E4: the elimination array is CAL with the *same* spec as a
+single exchanger, verified through ``F_AR``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import CALChecker, verify_cal
+from repro.core.actions import Operation
+from repro.objects import ElimArray
+from repro.rg.views import elim_array_view
+from repro.specs import ExchangerSpec
+from repro.substrate import Program, World, explore_all
+from repro.substrate.schedulers import Scheduler
+
+
+def elim_array_setup(values, slots=2):
+    def setup(scheduler: Scheduler):
+        world = World()
+        array = ElimArray(world, "AR", slots=slots)
+        setup.array = array
+        program = Program(world)
+        for index, value in enumerate(values, start=1):
+            program.thread(
+                f"t{index}", lambda ctx, v=value: array.exchange(ctx, v)
+            )
+        return program.runtime(scheduler)
+
+    return setup
+
+
+class TestElimArrayIsAnExchanger:
+    def test_two_threads_one_slot_all_runs_cal(self):
+        setup = elim_array_setup([3, 4], slots=1)
+        view = elim_array_view("AR", ["AR/E[0]"])
+        report = verify_cal(
+            setup=setup,
+            spec=ExchangerSpec("AR"),
+            max_steps=250,
+            view=view,
+        )
+        assert report.ok
+        assert report.runs > 0
+
+    def test_two_threads_two_slots(self):
+        setup = elim_array_setup([3, 4], slots=2)
+        view = elim_array_view("AR", ["AR/E[0]", "AR/E[1]"])
+        report = verify_cal(
+            setup=setup,
+            spec=ExchangerSpec("AR"),
+            max_steps=250,
+            view=view,
+            preemption_bound=3,
+        )
+        assert report.ok
+        assert report.runs > 0
+
+    def test_same_slot_required_for_swap(self):
+        # With two slots, threads only swap when they chose the same slot.
+        setup = elim_array_setup([3, 4], slots=2)
+        swap_runs = 0
+        fail_runs = 0
+        for run in explore_all(setup, max_steps=250, preemption_bound=2):
+            if run.returns["t1"][0]:
+                swap_runs += 1
+            else:
+                fail_runs += 1
+        assert swap_runs > 0
+        assert fail_runs > 0
+
+    def test_three_threads_one_slot(self):
+        setup = elim_array_setup([1, 2, 3], slots=1)
+        view = elim_array_view("AR", ["AR/E[0]"])
+        report = verify_cal(
+            setup=setup,
+            spec=ExchangerSpec("AR"),
+            max_steps=300,
+            view=view,
+            preemption_bound=1,
+        )
+        assert report.ok
+
+    def test_interface_history_matches_subobject_history(self):
+        # Every AR.exchange delegates to exactly one slot exchange with
+        # the same argument and result.
+        setup = elim_array_setup([3, 4], slots=2)
+        for run in explore_all(setup, max_steps=250, preemption_bound=2):
+            ar_ops = run.history.project_object("AR").operations()
+            slot_ops = [
+                o
+                for oid in ("AR/E[0]", "AR/E[1]")
+                for o in run.history.project_object(oid).operations()
+            ]
+            assert len(ar_ops) == len(slot_ops)
+            assert sorted(
+                (o.tid, o.args, o.value) for o in ar_ops
+            ) == sorted((o.tid, o.args, o.value) for o in slot_ops)

@@ -1,0 +1,97 @@
+"""The naive elimination queue (Moir et al., §6 [17]) is NOT
+linearizable — and the checkers find the violation.
+
+Elimination is sound for *stacks* (E5: a colliding push/pop pair
+linearizes back to back at any point) but unsound for FIFO queues
+without aging: an eliminated enqueue/dequeue pair jumps the line past
+values enqueued earlier.  This is the strongest kind of evidence the
+tooling can offer: a concrete, replayable counterexample schedule for a
+plausible-looking algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import LinearizabilityChecker, verify_linearizability
+from repro.objects import DEQ_SENTINEL, NaiveEliminationQueue
+from repro.specs import QueueSpec
+from repro.substrate import Program, World, explore_all
+from repro.substrate.schedulers import ReplayScheduler
+
+
+def eq_setup(scheduler):
+    world = World()
+    queue = NaiveEliminationQueue(world, "EQ", slots=1, max_attempts=2)
+    program = Program(world)
+    program.thread("t1", lambda ctx: queue.enqueue(ctx, 1))
+    program.thread("t2", lambda ctx: queue.enqueue(ctx, 2))
+    program.thread("t3", lambda ctx: queue.dequeue(ctx))
+    return program.runtime(scheduler)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return verify_linearizability(
+        eq_setup,
+        QueueSpec("EQ"),
+        max_steps=300,
+        preemption_bound=2,
+    )
+
+
+class TestBugFound:
+    def test_violation_detected(self, report):
+        assert not report.ok
+        assert report.failures
+
+    def test_most_runs_are_fine(self, report):
+        # The bug needs a precise race; the bulk of schedules are legal.
+        assert report.runs > len(report.failures)
+
+    def test_counterexample_shape(self, report):
+        """Every counterexample exhibits line-jumping: the dequeue
+        returns a value whose enqueue cannot be ordered first."""
+        for failure in report.failures:
+            ops = failure.history.project_object("EQ").operations()
+            deq = next(o for o in ops if o.method == "dequeue")
+            assert deq.value[0] is True
+
+    def test_counterexample_replays(self, report):
+        failure = report.failures[0]
+        runtime = eq_setup(ReplayScheduler(failure.schedule))
+        result = runtime.run(max_steps=300)
+        assert result.history == failure.history
+        checker = LinearizabilityChecker(QueueSpec("EQ"))
+        assert not checker.check(result.history).ok
+
+
+class TestCentralPathIsSound:
+    def test_without_elimination_contention_queue_is_fine(self):
+        """With the elimination path unreachable (dequeue never observes
+        empty), the composite behaves like the MS queue."""
+
+        def setup(scheduler):
+            world = World()
+            queue = NaiveEliminationQueue(
+                world, "EQ", slots=1, max_attempts=3
+            )
+            program = Program(world)
+
+            def producer_consumer(ctx):
+                yield from queue.enqueue(ctx, 1)
+                result = yield from queue.dequeue(ctx)
+                return result
+
+            program.thread("t1", producer_consumer)
+            return program.runtime(scheduler)
+
+        checker = LinearizabilityChecker(QueueSpec("EQ"))
+        complete = 0
+        for run in explore_all(setup, max_steps=200):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["t1"] == (True, 1)
+            assert checker.check(run.history).ok
+        assert complete > 0

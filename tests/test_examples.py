@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion (their internal
+assertions double as integration checks)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "figure3_walkthrough.py",
+    "synchronous_queue_demo.py",
+]
+
+SLOW_EXAMPLES = [
+    "elimination_stack_demo.py",
+    "rely_guarantee_proof.py",
+    "bug_hunting.py",
+]
+
+
+def _run(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_throughput_example_quick():
+    result = _run("throughput_contention.py", "--quick")
+    assert result.returncode == 0, result.stderr
+    assert "elimination" in result.stdout
+
+
+def test_examples_directory_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | set(SLOW_EXAMPLES) | {
+        "throughput_contention.py"
+    }
+    assert on_disk == covered, "add new examples to the smoke tests"

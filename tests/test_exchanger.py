@@ -1,0 +1,184 @@
+"""Experiment E2: the exchanger implementation (Figure 1) is CAL.
+
+Exhaustive exploration over all interleavings: every run's history is
+CAL w.r.t. the §4 spec, the recorded witness trace always validates
+(instrumentation soundness), exactly the expected outcomes occur, and
+the object is wait-free (every run completes — no cuts at a generous
+step bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import CALChecker, verify_cal
+from repro.objects import Exchanger
+from repro.specs import ExchangerSpec
+from repro.specs.exchanger_spec import is_swap_pair
+from repro.substrate import Program, World, explore_all
+from repro.workloads.programs import exchanger_program
+
+
+@pytest.fixture(scope="module")
+def two_thread_runs():
+    return list(
+        explore_all(exchanger_program([3, 4]), max_steps=200)
+    )
+
+
+class TestTwoThreads:
+    def test_every_run_completes_wait_free(self, two_thread_runs):
+        assert two_thread_runs
+        assert all(run.completed for run in two_thread_runs)
+
+    def test_only_swap_or_double_failure(self, two_thread_runs):
+        outcomes = {
+            tuple(sorted(run.returns.items())) for run in two_thread_runs
+        }
+        assert outcomes == {
+            (("t1", (False, 3)), ("t2", (False, 4))),
+            (("t1", (True, 4)), ("t2", (True, 3))),
+        }
+
+    def test_both_outcomes_reachable(self, two_thread_runs):
+        swaps = [
+            r for r in two_thread_runs if r.returns["t1"] == (True, 4)
+        ]
+        failures = [
+            r for r in two_thread_runs if r.returns["t1"] == (False, 3)
+        ]
+        assert swaps and failures
+
+    def test_every_history_is_cal(self, two_thread_runs):
+        checker = CALChecker(ExchangerSpec("E"))
+        for run in two_thread_runs:
+            assert checker.check(run.history).ok
+
+    def test_every_recorded_witness_validates(self, two_thread_runs):
+        checker = CALChecker(ExchangerSpec("E"))
+        for run in two_thread_runs:
+            witness = run.trace.project_object("E")
+            assert checker.check_witness(run.history, witness).ok
+
+    def test_swap_runs_log_exactly_one_pair_element(self, two_thread_runs):
+        for run in two_thread_runs:
+            pairs = [e for e in run.trace if len(e) == 2]
+            if run.returns["t1"] == (True, 4):
+                assert len(pairs) == 1
+                assert is_swap_pair(pairs[0])
+            else:
+                assert not pairs
+
+    def test_trace_operations_match_history_operations(self, two_thread_runs):
+        for run in two_thread_runs:
+            history_ops = sorted(
+                str(op) for op in run.history.operations()
+            )
+            trace_ops = sorted(str(op) for op in run.trace.operations())
+            assert history_ops == trace_ops
+
+
+class TestDriver:
+    def test_verify_cal_driver_two_threads(self):
+        report = verify_cal(
+            exchanger_program([1, 2]),
+            ExchangerSpec("E"),
+            max_steps=200,
+        )
+        assert report.ok
+        assert report.runs > 1000
+        assert report.incomplete == 0
+
+    def test_verify_cal_driver_three_threads_bounded(self):
+        report = verify_cal(
+            exchanger_program([1, 2, 3]),
+            ExchangerSpec("E"),
+            max_steps=300,
+            preemption_bound=2,
+        )
+        assert report.ok
+        assert report.runs > 100
+
+
+class TestThreeThreads:
+    def test_at_most_one_swap_per_run(self):
+        for run in explore_all(
+            exchanger_program([3, 4, 7]),
+            max_steps=300,
+            preemption_bound=2,
+        ):
+            swaps = [e for e in run.trace if len(e) == 2]
+            assert len(swaps) <= 1
+
+    def test_all_pairings_reachable(self):
+        # Any two of the three threads can swap.
+        pairings = set()
+        for run in explore_all(
+            exchanger_program([3, 4, 7]),
+            max_steps=300,
+            preemption_bound=3,
+        ):
+            for element in run.trace:
+                if len(element) == 2:
+                    pairings.add(frozenset(element.threads()))
+        assert pairings == {
+            frozenset({"t1", "t2"}),
+            frozenset({"t1", "t3"}),
+            frozenset({"t2", "t3"}),
+        }
+
+
+class TestSequentialUse:
+    def test_lone_exchange_fails(self):
+        report = verify_cal(
+            exchanger_program([9]), ExchangerSpec("E"), max_steps=100
+        )
+        assert report.ok
+        for run in explore_all(exchanger_program([9]), max_steps=100):
+            assert run.returns["t1"] == (False, 9)
+
+    def test_same_thread_two_sequential_exchanges_fail(self):
+        from repro.substrate import Program, World, spawn
+
+        def setup(scheduler):
+            world = World()
+            exchanger = Exchanger(world, "E")
+            program = Program(world)
+            program.thread(
+                "t1",
+                spawn(
+                    lambda ctx: exchanger.exchange(ctx, 1),
+                    lambda ctx: exchanger.exchange(ctx, 2),
+                ),
+            )
+            return program.runtime(scheduler)
+
+        for run in explore_all(setup, max_steps=100):
+            assert run.returns["t1"] == [(False, 1), (False, 2)]
+
+
+class TestWaitRounds:
+    def test_longer_wait_preserves_cal(self):
+        report = verify_cal(
+            exchanger_program([1, 2], wait_rounds=3),
+            ExchangerSpec("E"),
+            max_steps=300,
+            preemption_bound=2,
+        )
+        assert report.ok
+
+
+class TestWaitFreedom:
+    def test_operation_duration_is_bounded(self):
+        """Wait-freedom, measured: across *all* interleavings, the number
+        of scheduler steps any single exchange spends between its
+        invocation and its response is bounded by a constant (no
+        schedule can make an operation take unboundedly long in its own
+        steps — here we bound the whole-run window, which dominates)."""
+        longest = 0
+        for run in explore_all(exchanger_program([3, 4]), max_steps=200):
+            for span in run.history.spans():
+                assert span.res_index is not None
+                longest = max(longest, span.res_index - span.inv_index)
+        # The window is bounded by the two ops' combined step count.
+        assert longest <= 30

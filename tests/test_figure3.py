@@ -1,0 +1,164 @@
+"""Experiment E1 (Figure 3 + §3): the exchanger has no useful sequential
+specification, but a precise concurrency-aware one.
+
+The paper's argument, machine-checked:
+
+1. ``H1`` and ``H2`` can occur when ``P`` runs (found by exploration).
+2. ``H3`` — the only kind of sequential history that could "explain" a
+   successful swap — can *not* occur when ``P`` runs.
+3. ``H1``/``H2`` are CAL w.r.t. the exchanger's CA-spec; their swap is
+   explained by a single pair element.
+4. No *singleton-only* (i.e. sequential) explanation of ``H1`` exists
+   unless the spec admits one-sided successes — and then it also admits
+   the undesired prefix ``H3'`` (a thread exchanging without a partner).
+5. Exploration confirms no reachable history ever shows a one-sided
+   success, so a specification admitting ``H3'`` is "too loose" and one
+   without it (i.e. failures only) is "too restrictive".
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import pytest
+
+from repro.checkers import CALChecker, LinearizabilityChecker
+from repro.checkers.caspec import CASpec
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.actions import Operation
+from repro.core.agreement import agrees
+from repro.core.catrace import CAElement, CATrace
+from repro.specs import ExchangerSpec
+from repro.substrate.explore import explore_all
+from repro.workloads.figure3 import (
+    figure3_history_h1,
+    figure3_history_h2,
+    figure3_history_h3,
+    figure3_history_h3_prefix,
+    figure3_program,
+)
+
+
+from repro.specs import SequentializedExchangerSpec as LaxSequentialExchangerSpec
+
+
+@pytest.fixture(scope="module")
+def explored_histories():
+    histories = []
+    for run in explore_all(figure3_program, max_steps=200, preemption_bound=2):
+        histories.append(run.history)
+    return histories
+
+
+class TestReachability:
+    def test_h1_overlap_pattern_reachable(self, explored_histories):
+        # Some run swaps 3<->4 with t3 failing (H1/H2's outcome).
+        cal = CALChecker(ExchangerSpec("E"))
+        target = {
+            ("t1", (True, 4)),
+            ("t2", (True, 3)),
+            ("t3", (False, 7)),
+        }
+        found = [
+            h
+            for h in explored_histories
+            if {(o.tid, o.value) for o in h.operations()} == target
+        ]
+        assert found, "the H1/H2 outcome must be reachable"
+        assert all(cal.check(h).ok for h in found)
+
+    def test_h2_exact_history_reachable(self, explored_histories):
+        assert figure3_history_h2() in explored_histories
+
+    def test_h3_not_reachable(self, explored_histories):
+        assert figure3_history_h3() not in explored_histories
+
+    def test_no_one_sided_success_ever(self, explored_histories):
+        for history in explored_histories:
+            ops = history.operations()
+            successes = [o for o in ops if o.value[0] is True]
+            # successes must come in matched pairs
+            assert len(successes) % 2 == 0
+            values = sorted((o.args[0], o.value[1]) for o in successes)
+            mirrored = sorted((o.value[1], o.args[0]) for o in successes)
+            assert values == mirrored
+
+
+class TestCALVerdicts:
+    def setup_method(self):
+        self.cal = CALChecker(ExchangerSpec("E"))
+
+    def test_h1_is_cal(self):
+        assert self.cal.check(figure3_history_h1()).ok
+
+    def test_h2_is_cal(self):
+        assert self.cal.check(figure3_history_h2()).ok
+
+    def test_h1_witness_is_a_swap_plus_failure(self):
+        result = self.cal.check(figure3_history_h1())
+        sizes = sorted(len(e) for e in result.witness)
+        assert sizes == [1, 2]
+
+    def test_h3_is_not_cal(self):
+        # Its operations are sequential, so the swap pair cannot share an
+        # element; one-sided successes are not in the spec.
+        assert not self.cal.check(figure3_history_h3()).ok
+
+    def test_h3_prefix_is_not_cal(self):
+        assert not self.cal.check(figure3_history_h3_prefix()).ok
+
+
+class TestSequentialSpecDilemma:
+    """§3: any sequential spec is too restrictive or too loose."""
+
+    def test_too_loose_spec_explains_h1(self):
+        checker = LinearizabilityChecker(LaxSequentialExchangerSpec("E"))
+        assert checker.check(figure3_history_h1()).ok
+
+    def test_too_loose_spec_admits_undesired_prefix(self):
+        # The same spec accepts H3' — a thread exchanging alone.
+        checker = LinearizabilityChecker(LaxSequentialExchangerSpec("E"))
+        assert checker.check(figure3_history_h3_prefix()).ok
+
+    def test_undesired_prefix_is_unreachable(self, explored_histories):
+        h3_prefix_ops = {
+            (o.tid, o.value) for o in figure3_history_h3_prefix().operations()
+        }
+        for history in explored_histories:
+            ops = {(o.tid, o.value) for o in history.operations()}
+            assert not h3_prefix_ops <= ops or len(
+                [o for o in history.operations() if o.value[0] is True]
+            ) >= 2
+
+    def test_failures_only_spec_is_too_restrictive(self, explored_histories):
+        class FailuresOnly(SequentialSpec):
+            def initial(self):
+                return 0
+
+            def apply(self, state, op):
+                if op.method == "exchange" and op.value == (
+                    False,
+                    op.args[0],
+                ):
+                    return state
+                return None
+
+        checker = LinearizabilityChecker(FailuresOnly("E"))
+        # It rejects the real, desirable swap behaviour:
+        assert not checker.check(figure3_history_h1()).ok
+        # ... which exploration shows actually happens:
+        swaps = [
+            h
+            for h in explored_histories
+            if any(o.value[0] is True for o in h.operations())
+        ]
+        assert swaps
+
+
+class TestCALSpecIsTight:
+    """The CA-spec accepts exactly the reachable outcomes (E2 lite)."""
+
+    def test_every_explored_history_is_cal(self, explored_histories):
+        cal = CALChecker(ExchangerSpec("E"))
+        for history in explored_histories:
+            assert cal.check(history).ok, history

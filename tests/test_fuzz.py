@@ -1,0 +1,166 @@
+"""Randomized verification drivers: scale past exhaustive exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import fuzz_cal, fuzz_linearizability
+from repro.objects import (
+    POP_SENTINEL,
+    EliminationStack,
+    NaiveEliminationQueue,
+)
+from repro.rg.views import (
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+)
+from repro.specs import ExchangerSpec, QueueSpec, StackSpec
+from repro.substrate import Program, World
+from repro.workloads.programs import exchanger_program
+
+
+class TestFuzzCal:
+    def test_four_thread_exchanger(self):
+        """Four concurrent exchangers: beyond exhaustive reach, easily
+        fuzzable — every sampled schedule must be CAL."""
+        report = fuzz_cal(
+            exchanger_program([1, 2, 3, 4]),
+            ExchangerSpec("E"),
+            seeds=range(200),
+            max_steps=2000,
+            check_witness=True,
+            search=True,
+        )
+        assert report.ok
+        assert report.runs == 200
+
+    def test_eight_thread_exchanger_witness_only(self):
+        report = fuzz_cal(
+            exchanger_program(list(range(8))),
+            ExchangerSpec("E"),
+            seeds=range(100),
+            max_steps=5000,
+            check_witness=True,
+            search=False,
+        )
+        assert report.ok
+
+    def test_failures_record_seed(self):
+        from repro.objects.base import operation
+        from repro.objects.exchanger import Exchanger
+        from repro.core.catrace import swap_element
+
+        class Broken(Exchanger):
+            @operation
+            def exchange(self, ctx, v):
+                yield from ctx.log_trace(
+                    swap_element(self.oid, ctx.tid, v, "ghost", 0)
+                )
+                return (True, 0)
+
+        def setup(scheduler):
+            world = World()
+            exchanger = Broken(world, "E")
+            program = Program(world)
+            program.thread("t1", lambda ctx: exchanger.exchange(ctx, 1))
+            return program.runtime(scheduler)
+
+        report = fuzz_cal(
+            setup, ExchangerSpec("E"), seeds=range(3), max_steps=100
+        )
+        assert not report.ok
+        assert all(f.seed in range(3) for f in report.failures)
+
+
+class TestFuzzLinearizability:
+    def _es_setup_and_view(self, threads=6):
+        holder = {}
+
+        def setup(scheduler):
+            world = World()
+            stack = EliminationStack(
+                world, "ES", slots=2, max_attempts=None
+            )
+            holder["view"] = compose_views(
+                elimination_stack_view(
+                    stack.oid, stack.central.oid, stack.elim.oid, POP_SENTINEL
+                ),
+                elim_array_view(stack.elim.oid, stack.elim.subobject_ids),
+            )
+            program = Program(world)
+            for index in range(1, threads + 1):
+                if index % 2:
+                    program.thread(
+                        f"t{index}",
+                        lambda ctx, v=index: stack.push(ctx, v),
+                    )
+                else:
+                    program.thread(
+                        f"t{index}", lambda ctx: stack.pop(ctx)
+                    )
+            return program.runtime(scheduler)
+
+        return setup, (lambda trace: holder["view"](trace))
+
+    def test_six_thread_elimination_stack(self):
+        """Six threads on the elimination stack — far beyond exhaustive
+        exploration; the modular witness pipeline fuzz-verifies it."""
+        setup, view = self._es_setup_and_view(6)
+        report = fuzz_linearizability(
+            setup,
+            StackSpec("ES"),
+            seeds=range(60),
+            max_steps=5000,
+            check_witness=True,
+            view=view,
+        )
+        assert report.runs > 0
+        assert report.ok
+
+    @staticmethod
+    def _naive_queue_setup(scheduler):
+        # Both enqueues on one thread, so enq(1) ≺ enq(2) in real time by
+        # construction: whenever the dequeue eliminates with enq(2), the
+        # still-queued value 1 has been jumped — the FIFO violation.
+        from repro.substrate import spawn
+
+        world = World()
+        queue = NaiveEliminationQueue(
+            world, "EQ", slots=1, max_attempts=3, wait_rounds=3
+        )
+        program = Program(world)
+        program.thread(
+            "producer",
+            spawn(
+                lambda ctx: queue.enqueue(ctx, 1),
+                lambda ctx: queue.enqueue(ctx, 2),
+            ),
+        )
+        program.thread("consumer", lambda ctx: queue.dequeue(ctx))
+        return program.runtime(scheduler)
+
+    def test_fuzz_finds_elimination_queue_bug(self):
+        """Random schedules also expose the E13 FIFO violation."""
+        report = fuzz_linearizability(
+            self._naive_queue_setup,
+            QueueSpec("EQ"),
+            seeds=range(400),
+            max_steps=1000,
+        )
+        assert not report.ok, "fuzzing should hit the FIFO violation"
+
+    def test_failure_seed_reproduces(self):
+        report = fuzz_linearizability(
+            self._naive_queue_setup,
+            QueueSpec("EQ"),
+            seeds=range(400),
+            max_steps=1000,
+        )
+        failure = report.failures[0]
+        from repro.substrate.explore import run_random
+
+        replay = run_random(
+            self._naive_queue_setup, seed=failure.seed, max_steps=1000
+        )
+        assert replay.history == failure.history

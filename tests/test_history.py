@@ -1,0 +1,314 @@
+"""Histories: Definitions 2 and 3 (well-formedness, completeness,
+projections, real-time order, completions)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Invocation, Operation, Response
+from repro.core.history import History, history_of_operations
+
+from tests.helpers import inv, op, res, seq_history
+
+
+class TestClassification:
+    def test_empty_history_is_sequential_and_complete(self):
+        history = History()
+        assert history.is_sequential()
+        assert history.is_well_formed()
+        assert history.is_complete()
+
+    def test_single_invocation_is_sequential_but_incomplete(self):
+        history = History([inv("t1", "o", "f", 1)])
+        assert history.is_sequential()
+        assert history.is_well_formed()
+        assert not history.is_complete()
+
+    def test_matched_pair_is_complete(self):
+        history = History([inv("t1", "o", "f", 1), res("t1", "o", "f", 2)])
+        assert history.is_complete()
+
+    def test_response_first_is_not_sequential(self):
+        history = History([res("t1", "o", "f", 2)])
+        assert not history.is_sequential()
+        assert not history.is_well_formed()
+
+    def test_mismatched_response_method_is_not_sequential(self):
+        history = History([inv("t1", "o", "f", 1), res("t1", "o", "g", 2)])
+        assert not history.is_sequential()
+
+    def test_mismatched_response_object_is_not_sequential(self):
+        history = History([inv("t1", "o", "f", 1), res("t1", "p", "f", 2)])
+        assert not history.is_sequential()
+
+    def test_interleaved_threads_are_well_formed_but_not_sequential(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                inv("t2", "o", "f", 2),
+                res("t1", "o", "f", 0),
+                res("t2", "o", "f", 0),
+            ]
+        )
+        assert not history.is_sequential()
+        assert history.is_well_formed()
+        assert history.is_complete()
+
+    def test_nested_invocation_by_same_thread_is_ill_formed(self):
+        history = History([inv("t1", "o", "f", 1), inv("t1", "o", "g", 2)])
+        assert not history.is_well_formed()
+
+    def test_two_sequential_ops_same_thread(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                res("t1", "o", "f", 0),
+                inv("t1", "o", "g", 2),
+                res("t1", "o", "g", 0),
+            ]
+        )
+        assert history.is_sequential()
+        assert history.is_complete()
+
+
+class TestProjections:
+    def _mixed(self) -> History:
+        return History(
+            [
+                inv("t1", "A", "f", 1),
+                inv("t2", "B", "g", 2),
+                res("t1", "A", "f", 0),
+                res("t2", "B", "g", 0),
+            ]
+        )
+
+    def test_project_thread(self):
+        projected = self._mixed().project_thread("t1")
+        assert len(projected) == 2
+        assert all(a.tid == "t1" for a in projected)
+
+    def test_project_object(self):
+        projected = self._mixed().project_object("B")
+        assert len(projected) == 2
+        assert all(a.oid == "B" for a in projected)
+
+    def test_project_missing_thread_is_empty(self):
+        assert len(self._mixed().project_thread("t9")) == 0
+
+    def test_threads_in_order_of_appearance(self):
+        assert self._mixed().threads() == ["t1", "t2"]
+
+    def test_objects_in_order_of_appearance(self):
+        assert self._mixed().objects() == ["A", "B"]
+
+
+class TestSpans:
+    def test_spans_pair_invocations_with_responses(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                inv("t2", "o", "f", 2),
+                res("t2", "o", "f", 20),
+                res("t1", "o", "f", 10),
+            ]
+        )
+        spans = history.spans()
+        assert len(spans) == 2
+        by_tid = {s.operation.tid: s for s in spans}
+        assert by_tid["t1"].operation.value == (10,)
+        assert by_tid["t2"].operation.value == (20,)
+        assert by_tid["t1"].inv_index == 0
+        assert by_tid["t1"].res_index == 3
+
+    def test_pending_span(self):
+        history = History([inv("t1", "o", "f", 1)])
+        (span,) = history.spans()
+        assert span.pending
+        assert span.operation is None
+
+    def test_operations_in_invocation_order(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                inv("t2", "o", "g", 2),
+                res("t2", "o", "g", 0),
+                res("t1", "o", "f", 0),
+            ]
+        )
+        methods = [o.method for o in history.operations()]
+        assert methods == ["f", "g"]
+
+    def test_pending_invocations_listed(self):
+        history = History(
+            [inv("t1", "o", "f", 1), inv("t2", "o", "g", 2), res("t1", "o", "f", 0)]
+        )
+        pending = history.pending_invocations()
+        assert len(pending) == 1
+        assert pending[0].tid == "t2"
+
+
+class TestRealTimeOrder:
+    def test_sequential_ops_are_ordered(self):
+        history = seq_history(
+            op("t1", "o", "f", (1,), (0,)),
+            op("t2", "o", "f", (2,), (0,)),
+        )
+        spans = history.spans()
+        assert history.precedes(spans[0], spans[1])
+        assert not history.precedes(spans[1], spans[0])
+
+    def test_overlapping_ops_are_unordered(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                inv("t2", "o", "f", 2),
+                res("t1", "o", "f", 0),
+                res("t2", "o", "f", 0),
+            ]
+        )
+        spans = history.spans()
+        assert not history.precedes(spans[0], spans[1])
+        assert not history.precedes(spans[1], spans[0])
+
+    def test_pending_op_precedes_nothing(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                inv("t2", "o", "f", 2),
+                res("t2", "o", "f", 0),
+            ]
+        )
+        spans = history.spans()
+        pending = next(s for s in spans if s.pending)
+        other = next(s for s in spans if not s.pending)
+        assert not history.precedes(pending, other)
+
+    def test_real_time_pairs(self):
+        history = seq_history(
+            op("t1", "o", "f", (1,), (0,)),
+            op("t2", "o", "f", (2,), (0,)),
+            op("t3", "o", "f", (3,), (0,)),
+        )
+        pairs = history.real_time_pairs()
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+
+class TestCompletions:
+    def test_complete_history_yields_itself(self):
+        history = seq_history(op("t1", "o", "f", (1,), (0,)))
+        assert list(history.completions()) == [history]
+
+    def test_pending_invocation_dropped_without_candidates(self):
+        history = History([inv("t1", "o", "f", 1)])
+        completions = list(history.completions())
+        assert completions == [History()]
+
+    def test_pending_invocation_completed_with_candidates(self):
+        history = History([inv("t1", "o", "f", 1)])
+        completions = list(history.completions(lambda i: [(42,)]))
+        assert len(completions) == 2
+        lengths = sorted(len(c) for c in completions)
+        assert lengths == [0, 2]
+        completed = max(completions, key=len)
+        assert completed.is_complete()
+        assert completed.operations()[0].value == (42,)
+
+    def test_two_pending_invocations_product(self):
+        history = History([inv("t1", "o", "f", 1), inv("t2", "o", "f", 2)])
+        completions = list(history.completions(lambda i: [(0,)]))
+        assert len(completions) == 4
+        assert all(c.is_complete() for c in completions)
+
+    def test_completion_preserves_completed_prefix(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                res("t1", "o", "f", 0),
+                inv("t2", "o", "g", 2),
+            ]
+        )
+        for completion in history.completions(lambda i: [(9,)]):
+            assert completion.is_complete()
+            ops = completion.operations()
+            assert ops[0].tid == "t1"
+
+
+class TestHistoryOfOperations:
+    def test_round_trip(self):
+        ops = [
+            op("t1", "o", "f", (1,), (2,)),
+            op("t2", "o", "g", (), (True, 3)),
+        ]
+        history = history_of_operations(ops)
+        assert history.is_sequential()
+        assert history.operations() == ops
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["t1", "t2", "t3"]),
+        st.sampled_from(["f", "g"]),
+        st.integers(0, 3),
+        st.integers(0, 3),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(_ops)
+@settings(max_examples=200)
+def test_sequential_composition_is_well_formed(raw):
+    ops = [op(t, "o", m, (a,), (r,)) for t, m, a, r in raw]
+    history = history_of_operations(ops)
+    assert history.is_well_formed()
+    assert history.is_complete()
+    assert len(history.operations()) == len(ops)
+
+
+@given(_ops)
+@settings(max_examples=200)
+def test_projection_partitions_actions(raw):
+    ops = [op(t, "o", m, (a,), (r,)) for t, m, a, r in raw]
+    history = history_of_operations(ops)
+    total = sum(len(history.project_thread(t)) for t in history.threads())
+    assert total == len(history)
+
+
+@given(_ops)
+@settings(max_examples=200)
+def test_real_time_order_is_a_strict_partial_order(raw):
+    ops = [op(t, "o", m, (a,), (r,)) for t, m, a, r in raw]
+    history = history_of_operations(ops)
+    pairs = history.real_time_pairs()
+    for i, j in pairs:
+        assert (j, i) not in pairs  # antisymmetric
+        assert i != j  # irreflexive
+    for i, j in pairs:  # transitive
+        for k, l in pairs:
+            if j == k:
+                assert (i, l) in pairs
+
+
+@given(_ops)
+@settings(max_examples=100)
+def test_overlapped_history_has_empty_real_time_order(raw):
+    distinct_threads = {t for t, *_ in raw}
+    raw = [r for r in raw if r[0] in distinct_threads]
+    seen = set()
+    unique = []
+    for t, m, a, r in raw:
+        if t not in seen:
+            seen.add(t)
+            unique.append((t, m, a, r))
+    ops = [op(t, "o", m, (a,), (r,)) for t, m, a, r in unique]
+    if not ops:
+        return
+    actions = [o.invocation for o in ops] + [o.response for o in ops]
+    history = History(actions)
+    assert history.real_time_pairs() == set()

@@ -1,0 +1,225 @@
+"""Interval-linearizability (Castañeda et al., §6): strictly more
+expressive than CAL/set-linearizability."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Optional
+
+import pytest
+
+from repro.checkers import CALChecker, IntervalLinearizabilityChecker
+from repro.checkers.caspec import CASpec
+from repro.checkers.intervallin import IntervalSpec
+from repro.core.actions import Operation
+from repro.core.catrace import CAElement
+from repro.core.history import History
+from repro.specs import ExchangerSpec
+
+from tests.helpers import inv, op, res
+
+
+class ExchangerIntervalSpec(IntervalSpec):
+    """The exchanger spec recast as an interval spec where every
+    operation starts and ends in the same round — the embedding under
+    which interval-linearizability specializes to CAL."""
+
+    def __init__(self, oid="E"):
+        super().__init__(oid)
+        self._ca = ExchangerSpec(oid)
+
+    def initial(self) -> Hashable:
+        return 0
+
+    def step(self, state, invoked, responded):
+        if invoked != responded or not invoked:
+            return None
+        element = CAElement(self.oid, invoked)
+        return self._ca.step(state, element)
+
+
+class WatcherIntervalSpec(IntervalSpec):
+    """A tiny object separating interval- from set-linearizability.
+
+    ``f() ▷ v`` produces a value; ``g() ▷ S`` returns the frozenset of
+    values produced by the ``f`` operations that respond while ``g`` is
+    open.  A ``g`` observing two *sequentially ordered* ``f``s cannot be
+    explained by any single simultaneity class, but spans two rounds in
+    an interval-sequential execution.
+    """
+
+    def initial(self) -> Hashable:
+        return frozenset()  # open g ops: (operation, frozenset seen)
+
+    def step(self, state, invoked, responded):
+        open_g = {op: seen for op, seen in state}
+        for operation in invoked:
+            if operation.method == "g":
+                open_g[operation] = frozenset()
+            elif operation.method != "f":
+                return None
+        f_values = frozenset(
+            operation.value[0]
+            for operation in responded
+            if operation.method == "f"
+        )
+        for operation in responded:
+            if operation.method == "f" and operation not in invoked:
+                return None  # f ops are instantaneous here
+        open_g = {
+            operation: seen | f_values for operation, seen in open_g.items()
+        }
+        for operation in responded:
+            if operation.method == "g":
+                if operation not in open_g:
+                    return None
+                if operation.value != (open_g[operation],):
+                    return None
+                del open_g[operation]
+        return frozenset(open_g.items())
+
+
+class WatcherBlockSpec(CASpec):
+    """The best set-linearizable approximation of the watcher: ``g`` sees
+    exactly the ``f``s in its own simultaneity class."""
+
+    def initial(self) -> Hashable:
+        return 0
+
+    def step(self, state, element):
+        f_values = frozenset(
+            o.value[0] for o in element.operations if o.method == "f"
+        )
+        for o in element.operations:
+            if o.method == "g":
+                if o.value != (f_values,):
+                    return None
+            elif o.method != "f":
+                return None
+        return state
+
+
+def watcher_history() -> History:
+    """g overlaps two sequential f's and sees both."""
+    return History(
+        [
+            inv("t3", "O", "g"),
+            inv("t1", "O", "f"),
+            res("t1", "O", "f", 1),
+            inv("t2", "O", "f"),
+            res("t2", "O", "f", 2),
+            res("t3", "O", "g", frozenset({1, 2})),
+        ]
+    )
+
+
+class TestSpecializationToCAL:
+    def _histories(self):
+        overlap_swap = History(
+            [
+                inv("t1", "E", "exchange", 3),
+                inv("t2", "E", "exchange", 4),
+                res("t1", "E", "exchange", True, 4),
+                res("t2", "E", "exchange", True, 3),
+            ]
+        )
+        seq_swap = History(
+            [
+                inv("t1", "E", "exchange", 3),
+                res("t1", "E", "exchange", True, 4),
+                inv("t2", "E", "exchange", 4),
+                res("t2", "E", "exchange", True, 3),
+            ]
+        )
+        failures = History(
+            [
+                inv("t1", "E", "exchange", 3),
+                res("t1", "E", "exchange", False, 3),
+                inv("t2", "E", "exchange", 4),
+                res("t2", "E", "exchange", False, 4),
+            ]
+        )
+        return [overlap_swap, seq_swap, failures]
+
+    def test_interval_checker_matches_cal_on_same_round_specs(self):
+        cal = CALChecker(ExchangerSpec("E"))
+        interval = IntervalLinearizabilityChecker(ExchangerIntervalSpec("E"))
+        for history in self._histories():
+            assert cal.check(history).ok == interval.check(history).ok
+
+
+class TestStrictlyMoreExpressive:
+    def test_watcher_history_is_interval_linearizable(self):
+        checker = IntervalLinearizabilityChecker(WatcherIntervalSpec("O"))
+        assert checker.check(watcher_history()).ok
+
+    def test_watcher_history_is_not_set_linearizable(self):
+        checker = CALChecker(WatcherBlockSpec("O"))
+        assert not checker.check(watcher_history()).ok
+
+    def test_g_seeing_one_f_is_set_linearizable(self):
+        history = History(
+            [
+                inv("t3", "O", "g"),
+                inv("t1", "O", "f"),
+                res("t1", "O", "f", 1),
+                res("t3", "O", "g", frozenset({1})),
+            ]
+        )
+        assert CALChecker(WatcherBlockSpec("O")).check(history).ok
+        assert IntervalLinearizabilityChecker(
+            WatcherIntervalSpec("O")
+        ).check(history).ok
+
+    def test_overlapping_g_may_see_any_sub_window(self):
+        # With g overlapping both f's, interval placements exist for g
+        # seeing either one, both, or neither — all legal.
+        for view in [frozenset(), frozenset({1}), frozenset({2}),
+                     frozenset({1, 2})]:
+            history = History(
+                [
+                    inv("t3", "O", "g"),
+                    inv("t1", "O", "f"),
+                    res("t1", "O", "f", 1),
+                    inv("t2", "O", "f"),
+                    res("t2", "O", "f", 2),
+                    res("t3", "O", "g", view),
+                ]
+            )
+            checker = IntervalLinearizabilityChecker(WatcherIntervalSpec("O"))
+            assert checker.check(history).ok, view
+
+    def test_phantom_value_rejected_by_interval_checker(self):
+        history = History(
+            [
+                inv("t3", "O", "g"),
+                inv("t1", "O", "f"),
+                res("t1", "O", "f", 1),
+                res("t3", "O", "g", frozenset({7})),  # 7 never produced
+            ]
+        )
+        checker = IntervalLinearizabilityChecker(WatcherIntervalSpec("O"))
+        assert not checker.check(history).ok
+
+    def test_g_after_fs_sees_nothing(self):
+        history = History(
+            [
+                inv("t1", "O", "f"),
+                res("t1", "O", "f", 1),
+                inv("t3", "O", "g"),
+                res("t3", "O", "g", frozenset()),
+            ]
+        )
+        checker = IntervalLinearizabilityChecker(WatcherIntervalSpec("O"))
+        assert checker.check(history).ok
+
+    def test_g_after_fs_cannot_claim_them(self):
+        history = History(
+            [
+                inv("t1", "O", "f"),
+                res("t1", "O", "f", 1),
+                inv("t3", "O", "g"),
+                res("t3", "O", "g", frozenset({1})),
+            ]
+        )
+        checker = IntervalLinearizabilityChecker(WatcherIntervalSpec("O"))
+        assert not checker.check(history).ok

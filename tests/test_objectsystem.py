@@ -1,0 +1,82 @@
+"""Object systems (Def. 2) and CAL over systems (Def. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import History
+from repro.core.objectsystem import (
+    generated_system,
+    is_prefix_closed,
+    prefix_closure,
+    prefixes,
+    system_is_cal,
+)
+from repro.specs import ExchangerSpec
+from repro.workloads.programs import exchanger_program
+
+from tests.helpers import inv, op, res, seq_history
+
+
+class TestPrefixes:
+    def test_prefixes_count(self):
+        history = seq_history(op("t1", "o", "f", (1,), (0,)))
+        assert len(list(prefixes(history))) == 3  # ε, inv, inv·res
+
+    def test_prefix_closure_contains_empty(self):
+        closed = prefix_closure([seq_history(op("t1", "o", "f", (1,), (0,)))])
+        assert History() in closed
+
+    def test_is_prefix_closed_detects_gap(self):
+        history = seq_history(op("t1", "o", "f", (1,), (0,)))
+        full = set(prefixes(history))
+        assert is_prefix_closed(full)
+        full.discard(History(history.actions[:1]))
+        assert not is_prefix_closed(full)
+
+    def test_closure_is_closed(self):
+        histories = [
+            seq_history(
+                op("t1", "o", "f", (1,), (0,)),
+                op("t2", "o", "g", (2,), (0,)),
+            )
+        ]
+        assert is_prefix_closed(prefix_closure(histories))
+
+
+class TestGeneratedSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return generated_system(
+            exchanger_program([3, 4]),
+            oid="E",
+            max_steps=200,
+        )
+
+    def test_system_is_prefix_closed(self, system):
+        assert is_prefix_closed(system)
+
+    def test_system_histories_are_well_formed(self, system):
+        assert all(h.is_well_formed() for h in system)
+
+    def test_empty_history_in_system(self, system):
+        assert History() in system
+
+    def test_system_is_cal(self, system):
+        """Definition 6 for the exchanger's generated object system:
+        every history (complete or not) has a completion agreeing with
+        a spec trace."""
+        assert system_is_cal(system, ExchangerSpec("E"))
+
+    def test_system_contains_incomplete_histories(self, system):
+        assert any(h.pending_invocations() for h in system)
+
+    def test_h3_prefix_not_in_system(self, system):
+        """The §3 undesired behaviour is absent from the real system."""
+        bad = History(
+            [
+                inv("t1", "E", "exchange", 3),
+                res("t1", "E", "exchange", True, 4),
+            ]
+        )
+        assert bad not in system

@@ -1,0 +1,137 @@
+"""Observational refinement (§6, Filipović et al. [7]).
+
+Linearizability — including its concurrency-aware generalization — is
+equivalent to observational refinement: a client can observe nothing
+from the implementation that the specification does not allow.  Here we
+validate the corollary operationally: the set of client-observable
+outcome vectors of the *implementation* (over all interleavings) is
+contained in the set of outcomes the *specification* permits for that
+client, computed independently and combinatorially.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Set, Tuple
+
+import pytest
+
+from repro.substrate import explore_all
+from repro.workloads.programs import exchanger_program, sync_queue_program
+
+
+def spec_exchanger_outcomes(values: Dict[str, int]) -> Set[Tuple]:
+    """All outcome vectors the exchanger CA-spec permits for a client in
+    which each thread performs one ``exchange``: every partition of the
+    threads into disjoint swap pairs and failing singletons."""
+    tids = sorted(values)
+    outcomes: Set[Tuple] = set()
+
+    def assign(remaining: Tuple[str, ...], acc: Dict[str, Tuple]):
+        if not remaining:
+            outcomes.add(tuple(sorted(acc.items())))
+            return
+        head, rest = remaining[0], remaining[1:]
+        # head fails
+        assign(rest, {**acc, head: (False, values[head])})
+        # head swaps with any remaining partner
+        for index, partner in enumerate(rest):
+            new_acc = {
+                **acc,
+                head: (True, values[partner]),
+                partner: (True, values[head]),
+            }
+            assign(rest[:index] + rest[index + 1 :], new_acc)
+
+    assign(tuple(tids), {})
+    return outcomes
+
+
+def observed_exchanger_outcomes(values, **explore_kwargs) -> Set[Tuple]:
+    outcomes: Set[Tuple] = set()
+    tids = [f"t{i}" for i in range(1, len(values) + 1)]
+    mapping = dict(zip(tids, values))
+    for run in explore_all(exchanger_program(values), **explore_kwargs):
+        outcomes.add(tuple(sorted(run.returns.items())))
+    return outcomes
+
+
+class TestExchangerRefinement:
+    def test_two_threads_observations_subset_of_spec(self):
+        observed = observed_exchanger_outcomes([3, 4], max_steps=200)
+        allowed = spec_exchanger_outcomes({"t1": 3, "t2": 4})
+        assert observed <= allowed
+        # and the implementation realizes more than one allowed outcome
+        assert len(observed) >= 2
+
+    def test_three_threads_observations_subset_of_spec(self):
+        observed = observed_exchanger_outcomes(
+            [3, 4, 7], max_steps=300, preemption_bound=2
+        )
+        allowed = spec_exchanger_outcomes({"t1": 3, "t2": 4, "t3": 7})
+        assert observed <= allowed
+
+    def test_three_threads_all_pairings_observed(self):
+        # With enough preemptions the implementation realizes every
+        # spec-allowed matching structure (not required by refinement,
+        # but shows the spec is tight, §3).
+        observed = observed_exchanger_outcomes(
+            [3, 4, 7], max_steps=300, preemption_bound=3
+        )
+        allowed = spec_exchanger_outcomes({"t1": 3, "t2": 4, "t3": 7})
+        assert observed == allowed
+
+    def test_spec_outcomes_structure(self):
+        allowed = spec_exchanger_outcomes({"t1": 1, "t2": 2})
+        assert allowed == {
+            (("t1", (False, 1)), ("t2", (False, 2))),
+            (("t1", (True, 2)), ("t2", (True, 1))),
+        }
+
+    def test_spec_outcome_count_three_threads(self):
+        # 1 all-fail + 3 pairings = 4
+        assert len(spec_exchanger_outcomes({"a": 1, "b": 2, "c": 3})) == 4
+
+
+class TestSyncQueueRefinement:
+    def test_handoff_outcomes(self):
+        """For one putter and one taker the spec allows exactly one
+        outcome (they must pair); every complete implementation run
+        observes it."""
+        observed = set()
+        for run in explore_all(
+            sync_queue_program([5], takers=1),
+            max_steps=200,
+            preemption_bound=2,
+        ):
+            if run.completed:
+                observed.add(tuple(sorted(run.returns.items())))
+        assert observed == {(("c1", (True, 5)), ("p1", True))}
+
+    def test_two_pairs_all_matchings(self):
+        """Two putters, two takers: either matching is allowed; both the
+        allowed matchings and nothing else are observed."""
+        observed = set()
+        for run in explore_all(
+            sync_queue_program([5, 6], takers=2, max_attempts=2),
+            max_steps=300,
+            preemption_bound=2,
+        ):
+            if run.completed:
+                observed.add(tuple(sorted(run.returns.items())))
+        allowed = {
+            (
+                ("c1", (True, 5)),
+                ("c2", (True, 6)),
+                ("p1", True),
+                ("p2", True),
+            ),
+            (
+                ("c1", (True, 6)),
+                ("c2", (True, 5)),
+                ("p1", True),
+                ("p2", True),
+            ),
+        }
+        assert observed <= allowed
+        assert observed

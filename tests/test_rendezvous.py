@@ -1,0 +1,118 @@
+"""The scanning ring rendezvous ([1]): fourth implementation of the
+exchanger CA-spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import CALChecker, fuzz_cal, verify_cal
+from repro.objects.rendezvous import RingRendezvous
+from repro.specs import ExchangerSpec
+from repro.substrate import Program, World, explore_all
+
+
+def rv_setup(values, slots=2, wait_rounds=1, max_attempts=1):
+    def setup(scheduler):
+        world = World()
+        ring = RingRendezvous(
+            world,
+            "RV",
+            slots=slots,
+            wait_rounds=wait_rounds,
+            max_attempts=max_attempts,
+        )
+        program = Program(world)
+        for index, value in enumerate(values, start=1):
+            program.thread(
+                f"t{index}", lambda ctx, v=value: ring.exchange(ctx, v)
+            )
+        return program.runtime(scheduler)
+
+    return setup
+
+
+class TestRendezvousIsCAL:
+    def test_two_threads_one_cell(self):
+        report = verify_cal(
+            rv_setup([3, 4], slots=1),
+            ExchangerSpec("RV"),
+            max_steps=300,
+        )
+        assert report.ok
+        assert report.runs > 0
+        assert report.incomplete == 0  # wait-free: every run completes
+
+    def test_two_threads_two_cells(self):
+        report = verify_cal(
+            rv_setup([3, 4], slots=2),
+            ExchangerSpec("RV"),
+            max_steps=400,
+            preemption_bound=3,
+        )
+        assert report.ok
+
+    def test_three_threads(self):
+        report = verify_cal(
+            rv_setup([3, 4, 7], slots=2),
+            ExchangerSpec("RV"),
+            max_steps=500,
+            preemption_bound=1,
+        )
+        assert report.ok
+
+    def test_both_outcomes_reachable(self):
+        outcomes = set()
+        for run in explore_all(rv_setup([3, 4], slots=1), max_steps=300):
+            outcomes.add(tuple(sorted(run.returns.items())))
+        assert outcomes == {
+            (("t1", (False, 3)), ("t2", (False, 4))),
+            (("t1", (True, 4)), ("t2", (True, 3))),
+        }
+
+    def test_fuzz_four_threads(self):
+        report = fuzz_cal(
+            rv_setup([1, 2, 3, 4], slots=3, max_attempts=2),
+            ExchangerSpec("RV"),
+            seeds=range(150),
+            max_steps=2000,
+            check_witness=True,
+            search=True,
+        )
+        assert report.ok
+        assert report.runs == 150
+
+    def test_scanning_finds_any_occupied_cell(self):
+        """Unlike the elimination array (same random cell required),
+        a searcher pairs with a waiter in *any* cell: with 2 cells the
+        swap outcome must still be reachable under bound 2 regardless of
+        which cell the waiter chose (covered by exhaustive choice
+        exploration)."""
+        swap_seen = False
+        for run in explore_all(
+            rv_setup([3, 4], slots=2),
+            max_steps=400,
+            preemption_bound=2,
+        ):
+            if run.returns["t1"] == (True, 4):
+                swap_seen = True
+                break
+        assert swap_seen
+
+
+class TestQuartet:
+    def test_four_implementations_one_spec(self):
+        """[1], [11], [17]-substrate, [22]: every handoff/rendezvous
+        implementation in the related-work quartet satisfies the same
+        kind of CA-spec (the modularity thesis).  Spot-check that the
+        rendezvous and the exchanger are interchangeable under the
+        spec."""
+        from repro.workloads.programs import exchanger_program
+
+        for setup, oid in [
+            (exchanger_program([3, 4], oid="X"), "X"),
+            (rv_setup([3, 4], slots=1), "RV"),
+        ]:
+            report = verify_cal(
+                setup, ExchangerSpec(oid), max_steps=300
+            )
+            assert report.ok, oid

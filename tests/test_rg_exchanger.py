@@ -1,0 +1,229 @@
+"""Experiment E3: Figure 4's rely/guarantee proof, checked at runtime.
+
+Every transition of every explored interleaving must be justified by the
+acting thread's guarantee (INIT/CLEAN/PASS/XCHG/FAIL or a stutter); the
+invariant ``J`` must hold after every step; and the proof-outline
+assertions of the annotated exchanger must be stable under interference.
+
+Negative tests use deliberately broken exchangers and check that the
+monitors localize the bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catrace import failed_exchange_element, swap_element
+from repro.objects import Exchanger
+from repro.objects.base import ConcurrentObject, operation
+from repro.objects.exchanger import Offer
+from repro.objects.exchanger_verified import VerifiedExchanger
+from repro.rg import (
+    GuaranteeMonitor,
+    GuaranteeViolation,
+    InvariantViolation,
+    StabilityMonitor,
+    exchanger_actions,
+    exchanger_invariant,
+)
+from repro.rg.monitor import AssertionViolation
+from repro.substrate import Program, World, explore_all
+from repro.substrate.runtime import ThreadCrashed
+
+
+def monitored_setup(exchanger_cls, values, with_stability=False):
+    def setup(scheduler):
+        world = World()
+        exchanger = exchanger_cls(world, "E")
+        program = Program(world)
+        program.monitor(GuaranteeMonitor(exchanger_actions(exchanger)))
+        program.monitor(exchanger_invariant(exchanger))
+        if with_stability:
+            program.monitor(StabilityMonitor())
+        setup.last_monitors = program._monitors
+        for index, value in enumerate(values, start=1):
+            program.thread(
+                f"t{index}", lambda ctx, v=value: exchanger.exchange(ctx, v)
+            )
+        return program.runtime(scheduler)
+
+    return setup
+
+
+class TestGuaranteeAdherence:
+    def test_all_transitions_justified_two_threads(self):
+        setup = monitored_setup(Exchanger, [3, 4])
+        runs = 0
+        for run in explore_all(setup, max_steps=200, preemption_bound=2):
+            runs += 1
+        assert runs > 0  # no GuaranteeViolation raised anywhere
+
+    def test_action_classification_counts(self):
+        setup = monitored_setup(Exchanger, [3, 4])
+        seen_actions = set()
+        for run in explore_all(setup, max_steps=200, preemption_bound=2):
+            monitor = setup.last_monitors[0]
+            for _, name in monitor.classified:
+                seen_actions.add(name.split("(")[0])
+        # Every Figure-4 action fires in some interleaving.
+        assert {"INIT", "CLEAN", "PASS", "XCHG", "FAIL", "stutter"} <= (
+            seen_actions
+        )
+
+    def test_invariant_j_holds_everywhere(self):
+        setup = monitored_setup(Exchanger, [3, 4, 7])
+        count = 0
+        for run in explore_all(setup, max_steps=300, preemption_bound=1):
+            count += 1
+        assert count > 0
+
+
+class TestVerifiedExchangerProofOutline:
+    def test_all_assertions_hold_and_are_stable(self):
+        setup = monitored_setup(
+            VerifiedExchanger, [3, 4], with_stability=True
+        )
+        runs = 0
+        for run in explore_all(setup, max_steps=300, preemption_bound=2):
+            runs += 1
+            witness = run.trace.project_object("E")
+            from repro.checkers import CALChecker
+            from repro.specs import ExchangerSpec
+
+            assert CALChecker(ExchangerSpec("E")).check_witness(
+                run.history, witness
+            ).ok
+        assert runs > 0
+
+    def test_verified_matches_plain_outcomes(self):
+        plain = {
+            tuple(sorted(r.returns.items()))
+            for r in explore_all(
+                monitored_setup(Exchanger, [3, 4]),
+                max_steps=200,
+                preemption_bound=2,
+            )
+        }
+        verified = {
+            tuple(sorted(r.returns.items()))
+            for r in explore_all(
+                monitored_setup(VerifiedExchanger, [3, 4]),
+                max_steps=300,
+                preemption_bound=2,
+            )
+        }
+        assert plain == verified
+
+
+# ----------------------------------------------------------------------
+# Deliberately broken exchangers: the monitors must catch each bug.
+# ----------------------------------------------------------------------
+class WrongLogExchanger(Exchanger):
+    """Logs the swap with the two roles flipped *values-wise* (t gets its
+    own value back) — a broken auxiliary assignment."""
+
+    @operation
+    def exchange(self, ctx, v):
+        n = Offer(self.world, ctx.tid, v)
+        installed = yield from ctx.cas(self.g, None, n)
+        if installed:
+            yield from ctx.sleep(self.wait_rounds)
+            withdrew = yield from ctx.cas(n.hole, None, self.fail_sentinel)
+            if withdrew:
+                yield from ctx.log_trace(
+                    failed_exchange_element(self.oid, ctx.tid, v)
+                )
+                return (False, v)
+            partner = yield from ctx.read(n.hole)
+            return (True, partner.data)
+        cur = yield from ctx.read(self.g)
+        if cur is not None:
+            oid = self.oid
+            tid = ctx.tid
+
+            def log_wrong(world, cur=cur, tid=tid, v=v):
+                # BUG: swapped operand order records wrong values.
+                world.append_trace(
+                    [swap_element(oid, tid, cur.data, cur.tid, v)]
+                )
+
+            matched = yield from ctx.cas(cur.hole, None, n, on_success=log_wrong)
+            yield from ctx.cas(self.g, cur, None)
+            if matched:
+                return (True, cur.data)
+        yield from ctx.log_trace(failed_exchange_element(self.oid, ctx.tid, v))
+        return (False, v)
+
+
+class UnloggedPassExchanger(Exchanger):
+    """Mutates ``g.hole`` of *its own* offer to a non-fail value — a
+    transition no Figure-4 action permits."""
+
+    @operation
+    def exchange(self, ctx, v):
+        n = Offer(self.world, ctx.tid, v)
+        installed = yield from ctx.cas(self.g, None, n)
+        if installed:
+            # BUG: withdraws by writing its own offer into the hole.
+            yield from ctx.cas(n.hole, None, n)
+            yield from ctx.log_trace(
+                failed_exchange_element(self.oid, ctx.tid, v)
+            )
+            return (False, v)
+        yield from ctx.log_trace(failed_exchange_element(self.oid, ctx.tid, v))
+        return (False, v)
+
+
+class LeakyOfferExchanger(Exchanger):
+    """Returns while its unsatisfied offer is still installed in ``g`` —
+    violates invariant ``J`` (an unsatisfied offer of a thread that is
+    no longer inside the exchanger)."""
+
+    @operation
+    def exchange(self, ctx, v):
+        n = Offer(self.world, ctx.tid, v)
+        yield from ctx.cas(self.g, None, n)
+        # BUG: no pass/cleanup — just leave and report failure.
+        yield from ctx.log_trace(failed_exchange_element(self.oid, ctx.tid, v))
+        return (False, v)
+
+
+class TestBugDetection:
+    def _first_violation(self, exchanger_cls, values, exc_type):
+        setup = monitored_setup(exchanger_cls, values)
+        with pytest.raises(exc_type):
+            for _ in explore_all(setup, max_steps=200, preemption_bound=2):
+                pass
+
+    def test_wrong_log_caught_by_guarantee_monitor(self):
+        self._first_violation(WrongLogExchanger, [3, 4], GuaranteeViolation)
+
+    def test_unlogged_pass_caught_by_guarantee_monitor(self):
+        self._first_violation(
+            UnloggedPassExchanger, [3, 4], GuaranteeViolation
+        )
+
+    def test_leaky_offer_caught_by_invariant_monitor(self):
+        self._first_violation(LeakyOfferExchanger, [3, 4], InvariantViolation)
+
+    def test_wrong_log_also_fails_witness_check(self):
+        # Even without monitors, the recorded witness disagrees with the
+        # history (defence in depth).
+        from repro.checkers import CALChecker
+        from repro.specs import ExchangerSpec
+
+        def setup(scheduler):
+            world = World()
+            exchanger = WrongLogExchanger(world, "E")
+            program = Program(world)
+            program.thread("t1", lambda ctx: exchanger.exchange(ctx, 3))
+            program.thread("t2", lambda ctx: exchanger.exchange(ctx, 4))
+            return program.runtime(scheduler)
+
+        checker = CALChecker(ExchangerSpec("E"))
+        bad = 0
+        for run in explore_all(setup, max_steps=200, preemption_bound=2):
+            witness = run.trace.project_object("E")
+            if not checker.check_witness(run.history, witness).ok:
+                bad += 1
+        assert bad > 0

@@ -1,0 +1,206 @@
+"""Unit tests for the rely/guarantee monitors and action machinery,
+in isolation from the exchanger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catrace import CATrace, failed_exchange_element
+from repro.rg.actions import Action, Transition, stutter, union
+from repro.rg.monitor import (
+    AssertionViolation,
+    GuaranteeMonitor,
+    GuaranteeViolation,
+    InvariantMonitor,
+    InvariantViolation,
+    StabilityMonitor,
+)
+from repro.substrate import Program, RoundRobinScheduler, World
+from repro.substrate.schedulers import FixedScheduler
+
+
+def _transition(tid="t1", pre=None, post=None, pre_trace=(), post_trace=()):
+    return Transition(
+        tid=tid,
+        effect=None,
+        result=None,
+        pre=pre or {},
+        post=post or {},
+        pre_trace=CATrace(pre_trace),
+        post_trace=CATrace(post_trace),
+    )
+
+
+class TestTransition:
+    def test_stutter_detection(self):
+        assert _transition(pre={"x": 1}, post={"x": 1}).is_stutter()
+        assert not _transition(pre={"x": 1}, post={"x": 2}).is_stutter()
+
+    def test_trace_append_is_not_stutter(self):
+        element = failed_exchange_element("E", "t1", 1)
+        tr = _transition(post_trace=(element,))
+        assert not tr.is_stutter()
+        assert tr.appended_elements() == (element,)
+
+    def test_changed_cells(self):
+        tr = _transition(pre={"x": 1, "y": 2}, post={"x": 1, "y": 3})
+        assert tr.changed_cells() == ["y"]
+
+    def test_stutter_helper(self):
+        assert stutter(_transition())
+
+    def test_union_classifier(self):
+        always = Action("ALWAYS", lambda tr: True)
+        never = Action("NEVER", lambda tr: False)
+        classify = union([never, always])
+        assert classify(_transition()) is always
+
+
+class TestGuaranteeMonitor:
+    def _fire(self, monitor, pre, post):
+        monitor.on_transition(
+            "t1", None, None, pre, post, CATrace(), CATrace()
+        )
+
+    def test_stutter_always_allowed(self):
+        monitor = GuaranteeMonitor([])
+        self._fire(monitor, {"x": 1}, {"x": 1})
+        assert monitor.action_counts() == {"stutter": 1}
+
+    def test_permitted_transition_classified(self):
+        bump = Action(
+            "BUMP",
+            lambda tr: tr.changed_cells() == ["x"]
+            and tr.post["x"] == tr.pre["x"] + 1,
+        )
+        monitor = GuaranteeMonitor([bump])
+        self._fire(monitor, {"x": 1}, {"x": 2})
+        assert monitor.action_counts() == {"BUMP": 1}
+
+    def test_unpermitted_transition_raises(self):
+        monitor = GuaranteeMonitor([])
+        with pytest.raises(GuaranteeViolation):
+            self._fire(monitor, {"x": 1}, {"x": 2})
+
+    def test_first_matching_action_wins(self):
+        a = Action("A", lambda tr: True)
+        b = Action("B", lambda tr: True)
+        monitor = GuaranteeMonitor([a, b])
+        self._fire(monitor, {"x": 1}, {"x": 2})
+        assert monitor.action_counts() == {"A": 1}
+
+
+class TestInvariantMonitor:
+    def test_invariant_checked_at_start(self):
+        world = World()
+        cell = world.heap.ref("x", -1)
+        monitor = InvariantMonitor("nonneg", lambda w: cell.peek() >= 0)
+        with pytest.raises(InvariantViolation):
+            monitor.on_start(world)
+
+    def test_invariant_checked_per_step(self):
+        world = World()
+        cell = world.heap.ref("x", 0)
+
+        def body(ctx):
+            yield from ctx.write(cell, -5)
+
+        program = Program(world).thread("t1", body)
+        program.monitor(
+            InvariantMonitor("nonneg", lambda w: cell.peek() >= 0)
+        )
+        with pytest.raises(InvariantViolation):
+            program.runtime(RoundRobinScheduler()).run()
+
+    def test_passing_invariant_counts_checks(self):
+        world = World()
+        cell = world.heap.ref("x", 0)
+
+        def body(ctx):
+            yield from ctx.write(cell, 5)
+
+        monitor = InvariantMonitor("nonneg", lambda w: cell.peek() >= 0)
+        program = Program(world).thread("t1", body).monitor(monitor)
+        program.runtime(RoundRobinScheduler()).run()
+        assert monitor.checks >= 3  # start + steps + finish
+
+
+class TestStabilityMonitor:
+    def test_interference_violation_detected(self):
+        world = World()
+        cell = world.heap.ref("x", 0)
+
+        def asserter(ctx):
+            yield from ctx.assert_stable(
+                "x-is-zero", lambda w: cell.peek() == 0
+            )
+            yield from ctx.pause()
+            yield from ctx.pause()
+            yield from ctx.retract("x-is-zero")
+
+        def interferer(ctx):
+            yield from ctx.write(cell, 1)
+
+        program = (
+            Program(world)
+            .thread("a", asserter)
+            .thread("b", interferer)
+            .monitor(StabilityMonitor())
+        )
+        scheduler = FixedScheduler(["a", "b", "a", "a", "b"])
+        with pytest.raises(AssertionViolation):
+            program.runtime(scheduler).run()
+
+    def test_owner_steps_do_not_trigger_stability(self):
+        world = World()
+        cell = world.heap.ref("x", 0)
+
+        def owner(ctx):
+            yield from ctx.assert_stable(
+                "x-is-zero", lambda w: cell.peek() == 0
+            )
+            # The owner itself invalidates and then retracts — legal:
+            # stability is an obligation under the *rely* only.
+            yield from ctx.write(cell, 1)
+            yield from ctx.retract("x-is-zero")
+
+        program = Program(world).thread("a", owner).monitor(
+            StabilityMonitor()
+        )
+        program.runtime(RoundRobinScheduler()).run()
+
+    def test_retracted_assertion_not_rechecked(self):
+        world = World()
+        cell = world.heap.ref("x", 0)
+
+        def asserter(ctx):
+            yield from ctx.assert_stable(
+                "x-is-zero", lambda w: cell.peek() == 0
+            )
+            yield from ctx.retract("x-is-zero")
+
+        def interferer(ctx):
+            yield from ctx.pause()
+            yield from ctx.pause()
+            yield from ctx.write(cell, 1)
+
+        program = (
+            Program(world)
+            .thread("a", asserter)
+            .thread("b", interferer)
+            .monitor(StabilityMonitor())
+        )
+        scheduler = FixedScheduler(["a", "a", "a", "b", "b", "b", "b"])
+        program.runtime(scheduler).run()  # no violation
+
+    def test_registration_failure_raises_immediately(self):
+        from repro.substrate.runtime import AssertionFailed
+
+        world = World()
+
+        def asserter(ctx):
+            yield from ctx.assert_stable("false", lambda w: False)
+
+        program = Program(world).thread("a", asserter)
+        with pytest.raises(AssertionFailed):
+            program.runtime(RoundRobinScheduler()).run()

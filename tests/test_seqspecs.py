@@ -1,0 +1,226 @@
+"""Sequential specifications: stack, central stack, queue, register,
+counter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.specs import (
+    CentralStackSpec,
+    CounterSpec,
+    QueueSpec,
+    RegisterSpec,
+    StackSpec,
+)
+
+from tests.helpers import op
+
+
+class TestStackSpec:
+    def setup_method(self):
+        self.spec = StackSpec("S")
+
+    def test_push_pop_lifo(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t1", "S", "push", (2,), (True,)),
+                op("t1", "S", "pop", (), (True, 2)),
+                op("t1", "S", "pop", (), (True, 1)),
+            ]
+        )
+
+    def test_fifo_order_rejected(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t1", "S", "push", (2,), (True,)),
+                op("t1", "S", "pop", (), (True, 1)),
+            ]
+        )
+
+    def test_pop_empty_allowed_only_when_empty(self):
+        assert self.spec.accepts([op("t1", "S", "pop", (), (False, 0))])
+        assert not self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t1", "S", "pop", (), (False, 0)),
+            ]
+        )
+
+    def test_pop_wrong_value_rejected(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t1", "S", "pop", (), (True, 9)),
+            ]
+        )
+
+    def test_failed_push_rejected(self):
+        # The strict stack has no failing pushes.
+        assert not self.spec.accepts([op("t1", "S", "push", (1,), (False,))])
+
+    def test_unknown_method_rejected(self):
+        assert not self.spec.accepts([op("t1", "S", "peek", (), (1,))])
+
+    def test_response_candidates(self):
+        from repro.core.actions import Invocation
+
+        assert list(
+            self.spec.response_candidates(Invocation("t1", "S", "push", (1,)))
+        ) == [(True,)]
+        assert list(
+            self.spec.response_candidates(Invocation("t1", "S", "pop", ()))
+        ) == [(False, 0)]
+
+
+class TestCentralStackSpec:
+    def setup_method(self):
+        self.spec = CentralStackSpec("S")
+
+    def test_failed_operations_are_no_ops(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t2", "S", "push", (2,), (False,)),  # contention
+                op("t2", "S", "pop", (), (False, 0)),  # contention
+                op("t1", "S", "pop", (), (True, 1)),
+            ]
+        )
+
+    def test_failed_pop_legal_even_when_nonempty(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t2", "S", "pop", (), (False, 0)),
+                op("t1", "S", "pop", (), (True, 1)),
+            ]
+        )
+
+    def test_successful_ops_still_lifo(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "S", "push", (1,), (True,)),
+                op("t1", "S", "push", (2,), (True,)),
+                op("t1", "S", "pop", (), (True, 1)),
+            ]
+        )
+
+
+class TestQueueSpec:
+    def setup_method(self):
+        self.spec = QueueSpec("Q")
+
+    def test_fifo(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "Q", "enqueue", (1,), (True,)),
+                op("t1", "Q", "enqueue", (2,), (True,)),
+                op("t1", "Q", "dequeue", (), (True, 1)),
+                op("t1", "Q", "dequeue", (), (True, 2)),
+            ]
+        )
+
+    def test_lifo_rejected(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "Q", "enqueue", (1,), (True,)),
+                op("t1", "Q", "enqueue", (2,), (True,)),
+                op("t1", "Q", "dequeue", (), (True, 2)),
+            ]
+        )
+
+    def test_dequeue_empty(self):
+        assert self.spec.accepts([op("t1", "Q", "dequeue", (), (False, 0))])
+        assert not self.spec.accepts(
+            [
+                op("t1", "Q", "enqueue", (1,), (True,)),
+                op("t1", "Q", "dequeue", (), (False, 0)),
+            ]
+        )
+
+
+class TestRegisterSpec:
+    def setup_method(self):
+        self.spec = RegisterSpec("R", initial_value=0)
+
+    def test_read_initial(self):
+        assert self.spec.accepts([op("t1", "R", "read", (), (0,))])
+
+    def test_read_after_write(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "R", "write", (5,), (None,)),
+                op("t2", "R", "read", (), (5,)),
+            ]
+        )
+
+    def test_stale_read_rejected(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "R", "write", (5,), (None,)),
+                op("t2", "R", "read", (), (0,)),
+            ]
+        )
+
+    def test_overwrite(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "R", "write", (5,), (None,)),
+                op("t1", "R", "write", (6,), (None,)),
+                op("t2", "R", "read", (), (6,)),
+            ]
+        )
+
+
+class TestCounterSpec:
+    def setup_method(self):
+        self.spec = CounterSpec("C")
+
+    def test_increments_return_prior_value(self):
+        assert self.spec.accepts(
+            [
+                op("t1", "C", "increment", (), (0,)),
+                op("t2", "C", "increment", (), (1,)),
+                op("t1", "C", "read", (), (2,)),
+            ]
+        )
+
+    def test_repeated_return_value_rejected(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "C", "increment", (), (0,)),
+                op("t2", "C", "increment", (), (0,)),
+            ]
+        )
+
+    def test_read_must_match(self):
+        assert not self.spec.accepts(
+            [
+                op("t1", "C", "increment", (), (0,)),
+                op("t1", "C", "read", (), (0,)),
+            ]
+        )
+
+
+@given(st.lists(st.integers(0, 9), min_size=0, max_size=8))
+@settings(max_examples=100)
+def test_stack_spec_push_all_pop_all(values):
+    spec = StackSpec("S")
+    ops = [op("t1", "S", "push", (v,), (True,)) for v in values]
+    ops += [
+        op("t1", "S", "pop", (), (True, v)) for v in reversed(values)
+    ]
+    ops.append(op("t1", "S", "pop", (), (False, 0)))
+    assert spec.accepts(ops)
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_queue_spec_enqueue_all_dequeue_all(values):
+    spec = QueueSpec("Q")
+    ops = [op("t1", "Q", "enqueue", (v,), (True,)) for v in values]
+    ops += [op("t1", "Q", "dequeue", (), (True, v)) for v in values]
+    assert spec.accepts(ops)

@@ -1,0 +1,125 @@
+"""Experiment E8: the immediate atomic snapshot is set-linearizable
+(Neiger's example, §6) and *not* linearizable w.r.t. any sequential
+snapshot semantics."""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import pytest
+
+from repro.checkers import SetLinearizabilityChecker
+from repro.checkers.linearizability import LinearizabilityChecker
+from repro.checkers.seqspec import SequentialSpec
+from repro.core.actions import Operation
+from repro.specs import ImmediateSnapshotSpec
+from repro.substrate import explore_all
+from repro.workloads.programs import snapshot_program
+
+
+class SequentialSnapshotSpec(SequentialSpec):
+    """The best sequential approximation: each write_snap sees all
+    *previous* writes plus its own — no mutual visibility possible."""
+
+    def initial(self) -> Hashable:
+        return frozenset()
+
+    def apply(self, state, op: Operation) -> Optional[Hashable]:
+        if op.method != "write_snap" or len(op.args) != 1:
+            return None
+        if any(tid == op.tid for tid, _ in state):
+            return None
+        new = frozenset(state | {(op.tid, op.args[0])})
+        if op.value == (new,):
+            return new
+        return None
+
+
+@pytest.fixture(scope="module")
+def two_thread_runs():
+    return [
+        run
+        for run in explore_all(
+            snapshot_program([10, 20]), max_steps=200, preemption_bound=3
+        )
+        if run.completed
+    ]
+
+
+class TestSnapshotProperties:
+    def test_runs_exist(self, two_thread_runs):
+        assert two_thread_runs
+
+    def test_self_inclusion(self, two_thread_runs):
+        for run in two_thread_runs:
+            for tid, view in run.returns.items():
+                assert any(t == tid for t, _ in view)
+
+    def test_containment(self, two_thread_runs):
+        for run in two_thread_runs:
+            views = list(run.returns.values())
+            for a in views:
+                for b in views:
+                    assert a <= b or b <= a
+
+    def test_immediacy(self, two_thread_runs):
+        for run in two_thread_runs:
+            for p, view_p in run.returns.items():
+                for q, view_q in run.returns.items():
+                    if any(t == q for t, _ in view_p):
+                        assert view_q <= view_p
+
+    def test_mutual_visibility_reachable(self, two_thread_runs):
+        mutual = [
+            run
+            for run in two_thread_runs
+            if all(len(view) == 2 for view in run.returns.values())
+        ]
+        assert mutual, "some run must have both threads seeing each other"
+
+
+class TestSetLinearizability:
+    def test_every_run_is_set_linearizable(self, two_thread_runs):
+        checker = SetLinearizabilityChecker(ImmediateSnapshotSpec("IS"))
+        for run in two_thread_runs:
+            assert checker.check(run.history).ok, run.history
+
+    def test_mutual_visibility_needs_a_block_of_two(self, two_thread_runs):
+        checker = SetLinearizabilityChecker(ImmediateSnapshotSpec("IS"))
+        for run in two_thread_runs:
+            if all(len(view) == 2 for view in run.returns.values()):
+                result = checker.check(run.history)
+                assert result.ok
+                assert any(len(e) == 2 for e in result.witness)
+
+    def test_not_sequentially_linearizable(self, two_thread_runs):
+        """The sequential spec explains the asymmetric runs but *fails* on
+        mutual-visibility runs — no sequential snapshot spec suffices."""
+        classic = LinearizabilityChecker(SequentialSnapshotSpec("IS"))
+        verdicts = {
+            "mutual": [],
+            "asymmetric": [],
+        }
+        for run in two_thread_runs:
+            kind = (
+                "mutual"
+                if all(len(v) == 2 for v in run.returns.values())
+                else "asymmetric"
+            )
+            verdicts[kind].append(classic.check(run.history).ok)
+        assert all(verdicts["asymmetric"])
+        assert verdicts["mutual"] and not any(verdicts["mutual"])
+
+
+class TestThreeParticipants:
+    def test_three_threads_bounded(self):
+        checker = SetLinearizabilityChecker(ImmediateSnapshotSpec("IS"))
+        complete = 0
+        for run in explore_all(
+            snapshot_program([1, 2, 3]), max_steps=400, preemption_bound=1
+        ):
+            if not run.completed:
+                continue
+            complete += 1
+            assert checker.check(run.history).ok
+        assert complete > 0

@@ -1,0 +1,165 @@
+"""The central stack (Figure 2's single-attempt ``Stack``) and the
+classic retrying Treiber stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import verify_linearizability
+from repro.objects import TreiberStack
+from repro.objects.retry_stack import RetryingStack
+from repro.rg.treiber_rg import treiber_actions
+from repro.rg.monitor import GuaranteeMonitor
+from repro.specs import CentralStackSpec, StackSpec
+from repro.substrate import Program, World, explore_all, spawn
+from repro.workloads.programs import StackWorkload, treiber_program
+
+
+class TestTreiberStackSemantics:
+    def test_sequential_lifo(self):
+        def setup(scheduler):
+            world = World()
+            stack = TreiberStack(world, "S")
+            program = Program(world).thread(
+                "t1",
+                spawn(
+                    lambda ctx: stack.push(ctx, 1),
+                    lambda ctx: stack.push(ctx, 2),
+                    lambda ctx: stack.pop(ctx),
+                    lambda ctx: stack.pop(ctx),
+                    lambda ctx: stack.pop(ctx),
+                ),
+            )
+            return program.runtime(scheduler)
+
+        for run in explore_all(setup, max_steps=100):
+            assert run.returns["t1"] == [
+                True,
+                True,
+                (True, 2),
+                (True, 1),
+                (False, 0),
+            ]
+
+    def test_contention_failure_reachable(self):
+        workload = StackWorkload([[("push", 1)], [("push", 2)]])
+        failures = successes = 0
+        for run in explore_all(
+            treiber_program(workload), max_steps=100
+        ):
+            values = list(run.returns.values())
+            flattened = [v[0] for v in values]
+            if all(flattened):
+                successes += 1
+            else:
+                failures += 1
+        assert failures > 0
+        assert successes > 0
+
+    def test_linearizable_wrt_central_spec(self):
+        workload = StackWorkload(
+            [[("push", 1), ("pop",)], [("push", 2)]]
+        )
+        report = verify_linearizability(
+            treiber_program(workload),
+            CentralStackSpec("S"),
+            max_steps=150,
+            check_witness=True,
+        )
+        assert report.ok
+        assert report.runs > 0
+
+    def test_guarantee_monitor_accepts_all_transitions(self):
+        def setup(scheduler):
+            world = World()
+            stack = TreiberStack(world, "S")
+            program = Program(world)
+            program.monitor(GuaranteeMonitor(treiber_actions(stack)))
+            program.thread("t1", lambda ctx: stack.push(ctx, 1))
+            program.thread("t2", lambda ctx: stack.pop(ctx))
+            return program.runtime(scheduler)
+
+        runs = sum(1 for _ in explore_all(setup, max_steps=100))
+        assert runs > 0
+
+
+class TestRetryingStack:
+    def _setup(self, scripts, **kwargs):
+        def setup(scheduler):
+            world = World()
+            stack = RetryingStack(world, "LS", **kwargs)
+            program = Program(world)
+            for index, script in enumerate(scripts, start=1):
+                calls = []
+                for step in script:
+                    if step[0] == "push":
+                        calls.append(
+                            lambda ctx, v=step[1]: stack.push(ctx, v)
+                        )
+                    else:
+                        calls.append(lambda ctx: stack.pop(ctx))
+                program.thread(f"t{index}", spawn(*calls))
+            return program.runtime(scheduler)
+
+        return setup
+
+    def test_operations_always_succeed(self):
+        setup = self._setup([[("push", 1)], [("push", 2)], [("pop",)]])
+        complete = 0
+        for run in explore_all(setup, max_steps=200, preemption_bound=2):
+            if not run.completed:
+                continue
+            complete += 1
+            assert run.returns["t1"] == [True]
+            assert run.returns["t2"] == [True]
+            ok, value = run.returns["t3"][0]
+            # the pop may arrive before any push (strict empty semantics)
+            assert (ok and value in (1, 2)) or (not ok and value == 0)
+        assert complete > 0
+
+    def test_strict_linearizability(self):
+        setup = self._setup([[("push", 1), ("pop",)], [("push", 2)]])
+        report = verify_linearizability(
+            setup,
+            StackSpec("LS"),
+            max_steps=250,
+            check_witness=True,
+            preemption_bound=2,
+        )
+        assert report.ok
+        assert report.runs > 0
+
+    def test_empty_pop_linearization_is_sound(self):
+        # The empty pop uses a confirming CAS so its witness entry is
+        # logged atomically with an actual empty observation.
+        setup = self._setup([[("pop",)], [("push", 1), ("pop",)]])
+        report = verify_linearizability(
+            setup,
+            StackSpec("LS"),
+            max_steps=250,
+            check_witness=True,
+            preemption_bound=2,
+        )
+        assert report.ok
+
+    def test_backoff_variant_still_linearizable(self):
+        setup = self._setup(
+            [[("push", 1)], [("push", 2), ("pop",)]],
+            backoff_base=1,
+            backoff_cap=4,
+        )
+        report = verify_linearizability(
+            setup,
+            StackSpec("LS"),
+            max_steps=300,
+            check_witness=True,
+            preemption_bound=2,
+        )
+        assert report.ok
+
+    def test_bounded_attempts_cut_cleanly(self):
+        setup = self._setup([[("push", 1)], [("push", 2)]], max_attempts=1)
+        for run in explore_all(setup, max_steps=100):
+            # either both pushed (no contention) or the run was cut
+            if run.completed:
+                assert all(v == [True] for v in run.returns.values())

@@ -1,0 +1,138 @@
+"""Experiment E6: the synchronous queue (the paper's second exchanger
+client, §2) is CAL w.r.t. the handoff-pair specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import CALChecker, verify_cal
+from repro.objects.sync_queue import TAKE_SENTINEL, SyncQueue
+from repro.rg.views import compose_views, elim_array_view, sync_queue_view
+from repro.specs import SyncQueueSpec
+from repro.substrate import Program, World, explore_all
+
+from tests.helpers import op
+
+
+def sq_setup(puts, takers, slots=1, max_attempts=2):
+    def setup(scheduler):
+        world = World()
+        queue = SyncQueue(world, "SQ", slots=slots, max_attempts=max_attempts)
+        setup.queue = queue
+        program = Program(world)
+        for index, value in enumerate(puts, start=1):
+            program.thread(f"p{index}", lambda ctx, v=value: queue.put(ctx, v))
+        for index in range(1, takers + 1):
+            program.thread(f"c{index}", lambda ctx: queue.take(ctx))
+        return program.runtime(scheduler)
+
+    return setup
+
+
+def sq_view(queue: SyncQueue):
+    return compose_views(
+        sync_queue_view(queue.oid, queue.elim.oid, TAKE_SENTINEL),
+        elim_array_view(queue.elim.oid, queue.elim.subobject_ids),
+    )
+
+
+class TestHandoff:
+    def test_one_put_one_take_all_runs(self):
+        setup = sq_setup([5], 1)
+        complete = incomplete = 0
+        checker = CALChecker(SyncQueueSpec("SQ"))
+        for run in explore_all(setup, max_steps=200, preemption_bound=2):
+            if not run.completed:
+                incomplete += 1
+                continue
+            complete += 1
+            assert run.returns["p1"] is True
+            assert run.returns["c1"] == (True, 5)
+            witness = sq_view(setup.queue)(run.trace).project_object("SQ")
+            assert checker.check_witness(run.history, witness).ok
+            assert checker.check(run.history).ok
+        assert complete > 0
+
+    def test_verify_cal_driver(self):
+        setup = sq_setup([5], 1)
+        holder = {}
+
+        def wrapped(scheduler):
+            runtime = setup(scheduler)
+            holder["view"] = sq_view(setup.queue)
+            return runtime
+
+        report = verify_cal(
+            wrapped,
+            SyncQueueSpec("SQ"),
+            max_steps=200,
+            view=lambda trace: holder["view"](trace),
+            preemption_bound=2,
+        )
+        assert report.ok
+        assert report.runs > 0
+
+    def test_two_puts_two_takes(self):
+        setup = sq_setup([5, 6], 2)
+        checker = CALChecker(SyncQueueSpec("SQ"))
+        complete = 0
+        for run in explore_all(setup, max_steps=300, preemption_bound=2):
+            if not run.completed:
+                continue
+            complete += 1
+            witness = sq_view(setup.queue)(run.trace).project_object("SQ")
+            assert checker.check_witness(run.history, witness).ok
+            taken = sorted(
+                run.returns[c][1] for c in ("c1", "c2")
+            )
+            assert taken == [5, 6]
+        assert complete > 0
+
+    def test_put_alone_never_completes(self):
+        # A put with no taker retries until the attempt budget cuts the
+        # run — it can never return success (CA-object semantics).
+        setup = sq_setup([5], 0, max_attempts=2)
+        for run in explore_all(setup, max_steps=200):
+            assert not run.completed
+
+    def test_two_puts_never_pair_with_each_other(self):
+        setup = sq_setup([5, 6], 0, max_attempts=1)
+        for run in explore_all(setup, max_steps=200, preemption_bound=2):
+            assert not run.completed
+
+    def test_reserved_sentinel_rejected(self):
+        from repro.substrate import RoundRobinScheduler
+        from repro.substrate.runtime import ThreadCrashed
+
+        world = World()
+        queue = SyncQueue(world, "SQ")
+        program = Program(world).thread(
+            "t1", lambda ctx: queue.put(ctx, TAKE_SENTINEL)
+        )
+        with pytest.raises(ThreadCrashed):
+            program.runtime(RoundRobinScheduler()).run()
+
+
+class TestSpecImpossibility:
+    def test_no_sequential_explanation_for_handoff(self):
+        """A handoff pair's operations always overlap; any sequential
+        ordering would have a put complete alone — rejected by the spec
+        on the prefix (the exchanger argument, replayed for the queue)."""
+        from repro.checkers import SingletonAdapter
+        from repro.checkers.seqspec import SequentialSpec
+        from tests.helpers import overlapped_history
+
+        put = op("p1", "SQ", "put", (5,), (True,))
+        take = op("c1", "SQ", "take", (), (True, 5))
+        history = overlapped_history(put, take)
+        # CAL explains it:
+        assert CALChecker(SyncQueueSpec("SQ")).check(history).ok
+        # but no singleton decomposition can: the pair element is the
+        # only spec element, and it is not a singleton.
+        adapter_like = CALChecker(SyncQueueSpec("SQ"))
+        from repro.core.catrace import CAElement, CATrace
+
+        singletons = CATrace(
+            [CAElement("SQ", [put]), CAElement("SQ", [take])]
+        )
+        assert not adapter_like.check_witness(history, singletons).ok

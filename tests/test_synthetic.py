@@ -1,0 +1,136 @@
+"""Synthetic workload generators (E12 inputs) and the analysis tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table, format_table
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    checker_comparison_table,
+    throughput_table,
+    verification_row,
+)
+from repro.checkers import CALChecker
+from repro.checkers.verify import VerificationReport
+from repro.core.agreement import agrees
+from repro.specs import ExchangerSpec
+from repro.workloads.contention import ThroughputSample
+from repro.workloads.synthetic import (
+    corrupted,
+    failure_run_history,
+    random_register_history,
+    swap_chain_history,
+    wide_overlap_history,
+)
+
+
+class TestSwapChain:
+    def test_history_and_witness_agree(self):
+        history, trace = swap_chain_history(pairs=3)
+        assert history.is_complete()
+        assert agrees(history, trace)
+
+    def test_cal_checker_accepts(self):
+        history, _ = swap_chain_history(pairs=3)
+        assert CALChecker(ExchangerSpec("E")).check(history).ok
+
+    def test_corrupted_chain_rejected(self):
+        history, _ = swap_chain_history(pairs=2)
+        assert not CALChecker(ExchangerSpec("E")).check(
+            corrupted(history)
+        ).ok
+
+    def test_width_parameter(self):
+        history, trace = swap_chain_history(pairs=2, width=4)
+        assert len(history.operations()) == 8
+        assert len(trace) == 4
+        assert agrees(history, trace)
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            swap_chain_history(pairs=1, width=3)
+
+
+class TestFailureRun:
+    def test_agrees_and_accepted(self):
+        history, trace = failure_run_history(count=5)
+        assert agrees(history, trace)
+        assert CALChecker(ExchangerSpec("E")).check(history).ok
+
+
+class TestWideOverlap:
+    def test_even_width_is_cal(self):
+        history = wide_overlap_history(4)
+        assert CALChecker(ExchangerSpec("E")).check(history).ok
+
+    def test_odd_width_is_cal(self):
+        history = wide_overlap_history(5)
+        assert CALChecker(ExchangerSpec("E")).check(history).ok
+
+    def test_corrupted_wide_overlap_rejected(self):
+        history = corrupted(wide_overlap_history(4))
+        assert not CALChecker(ExchangerSpec("E")).check(history).ok
+
+
+class TestRandomRegisterHistory:
+    def test_generated_history_is_well_formed(self):
+        for seed in range(5):
+            history = random_register_history(8, threads=3, seed=seed)
+            assert history.is_complete()
+
+    def test_generated_history_is_linearizable(self):
+        from repro.checkers import LinearizabilityChecker
+        from repro.specs import RegisterSpec
+
+        checker = LinearizabilityChecker(RegisterSpec("R", initial_value=0))
+        for seed in range(5):
+            history = random_register_history(8, threads=3, seed=seed)
+            assert checker.check(history).ok
+
+    def test_corruption_requires_a_response(self):
+        from repro.core.history import History
+
+        with pytest.raises(ValueError):
+            corrupted(History(), oid="E")
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Demo", ["name", "value"], [["a", 1], ["bb", 2.5]]
+        )
+        assert "Demo" in text
+        assert "name" in text
+        assert "2.50" in text
+
+    def test_table_add_validates_width(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_checker_comparison_table(self):
+        table = checker_comparison_table(
+            [("H1", False, True), ("H3'", True, False)]
+        )
+        text = table.render()
+        assert "H1" in text and "NO" in text and "yes" in text
+
+    def test_throughput_table(self):
+        samples = [
+            ThroughputSample("treiber", 2, 1000.0, 100, 0, 5),
+            ThroughputSample("elimination", 2, 1000.0, 120, 3, 2),
+        ]
+        text = throughput_table(samples).render()
+        assert "treiber" in text and "elimination" in text
+
+    def test_verification_row(self):
+        report = VerificationReport(runs=10)
+        record = verification_row("E2", "exchanger is CAL", report)
+        assert record.holds
+        assert "10 runs" in record.measured
+        assert "✓" in record.render()
+
+    def test_experiment_record_failure_mark(self):
+        record = ExperimentRecord("X", "claim", "measured", False)
+        assert "✗" in record.render()

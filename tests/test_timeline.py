@@ -1,0 +1,74 @@
+"""The ASCII timeline renderer (Figure 3's visual language)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_timeline
+from repro.core.history import History
+from repro.workloads.figure3 import figure3_history_h1, figure3_history_h3
+
+from tests.helpers import inv, op, res, seq_history
+
+
+class TestRenderTimeline:
+    def test_empty_history(self):
+        assert render_timeline(History()) == "(empty history)"
+
+    def test_one_line_per_thread(self):
+        text = render_timeline(figure3_history_h1())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("t1:")
+        assert lines[1].startswith("t2:")
+        assert lines[2].startswith("t3:")
+
+    def test_labels_fit_inside_intervals(self):
+        text = render_timeline(figure3_history_h1())
+        assert "exchange(3) ▷ (True, 4)" in text
+        assert "exchange(7) ▷ (False, 7)" in text
+
+    def test_overlap_is_visible(self):
+        # In H1 every interval overlaps the next: each line's bar starts
+        # before the previous line's bar ends.
+        text = render_timeline(figure3_history_h1())
+        lines = text.splitlines()
+        starts = [line.index("|") for line in lines]
+        ends = [line.rindex("|") for line in lines]
+        assert starts[1] < ends[0]
+        assert starts[2] < ends[1]
+
+    def test_sequential_history_does_not_overlap(self):
+        text = render_timeline(figure3_history_h3())
+        lines = text.splitlines()
+        starts = [line.index("|") for line in lines]
+        ends = [line.rindex("|") for line in lines]
+        assert starts[1] > ends[0]
+        assert starts[2] > ends[1]
+
+    def test_pending_operation_rendered_open(self):
+        history = History(
+            [
+                inv("t1", "o", "f", 1),
+                inv("t2", "o", "f", 2),
+                res("t2", "o", "f", 0),
+            ]
+        )
+        text = render_timeline(history)
+        t1_line = text.splitlines()[0]
+        assert "…" in t1_line
+        assert t1_line.rstrip().endswith("-")  # open interval
+
+    def test_explicit_column_width(self):
+        history = seq_history(op("t1", "o", "f", (1,), (0,)))
+        narrow = render_timeline(history, column=30)
+        assert "f(1) ▷ (0)" in narrow
+
+    def test_multiple_ops_per_thread(self):
+        history = seq_history(
+            op("t1", "o", "f", (1,), (0,)),
+            op("t1", "o", "g", (2,), (0,)),
+        )
+        text = render_timeline(history)
+        line = text.splitlines()[0]
+        assert line.count("|") == 4  # two closed intervals

@@ -1,0 +1,202 @@
+"""View functions ``F_o`` and their composition (§4, §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import Operation
+from repro.core.catrace import (
+    CAElement,
+    CATrace,
+    failed_exchange_element,
+    swap_element,
+)
+from repro.rg.views import (
+    ViewFunction,
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+    identity_view,
+    sync_queue_view,
+)
+
+from tests.helpers import op
+
+INF = float("inf")
+
+
+class TestViewFunctionBasics:
+    def test_identity_view_changes_nothing(self):
+        view = identity_view("E")
+        trace = CATrace([failed_exchange_element("E", "t1", 1)])
+        assert view(trace) == trace
+
+    def test_total_extension_passes_unmapped_through(self):
+        view = ViewFunction("X", lambda e: None)
+        element = failed_exchange_element("E", "t1", 1)
+        assert view.total(element) == (element,)
+
+    def test_mapping_to_empty_hides_element(self):
+        view = ViewFunction("X", lambda e: [])
+        trace = CATrace([failed_exchange_element("E", "t1", 1)])
+        assert len(view(trace)) == 0
+
+    def test_idempotence_of_total_extension(self):
+        # F̂ maps E-elements to X-elements and is undefined on X-elements,
+        # so applying it twice equals applying it once.
+        def mapping(element):
+            if element.oid == "E":
+                renamed = [
+                    Operation(o.tid, "X", o.method, o.args, o.value)
+                    for o in element.operations
+                ]
+                return (CAElement("X", renamed),)
+            return None
+
+        view = ViewFunction("X", mapping)
+        trace = CATrace([failed_exchange_element("E", "t1", 1)])
+        once = view(trace)
+        twice = view(once)
+        assert once == twice
+
+    def test_disjoint_views_commute(self):
+        # F̂_A ∘ F̂_B = F̂_B ∘ F̂_A for views over disjoint objects (§4).
+        def renamer(src, dst):
+            def mapping(element):
+                if element.oid != src:
+                    return None
+                renamed = [
+                    Operation(o.tid, dst, o.method, o.args, o.value)
+                    for o in element.operations
+                ]
+                return (CAElement(dst, renamed),)
+
+            return ViewFunction(dst, mapping)
+
+        f_a = renamer("A", "A'")
+        f_b = renamer("B", "B'")
+        trace = CATrace(
+            [
+                CAElement("A", [op("t1", "A", "f", (), (1,))]),
+                CAElement("B", [op("t2", "B", "g", (), (2,))]),
+            ]
+        )
+        assert f_a(f_b(trace)) == f_b(f_a(trace))
+
+
+class TestElimArrayView:
+    def test_renames_slot_elements(self):
+        view = elim_array_view("AR", ["AR/E[0]", "AR/E[1]"])
+        trace = CATrace(
+            [
+                swap_element("AR/E[0]", "t1", 1, "t2", 2),
+                failed_exchange_element("AR/E[1]", "t3", 3),
+            ]
+        )
+        out = view(trace)
+        assert [e.oid for e in out] == ["AR", "AR"]
+        assert all(o.oid == "AR" for e in out for o in e.operations)
+
+    def test_leaves_other_objects_alone(self):
+        view = elim_array_view("AR", ["AR/E[0]"])
+        element = CAElement("S", [op("t1", "S", "push", (1,), (True,))])
+        assert view(CATrace([element]))[0] == element
+
+    def test_preserves_operation_payload(self):
+        view = elim_array_view("AR", ["AR/E[0]"])
+        out = view(CATrace([swap_element("AR/E[0]", "t1", 1, "t2", 2)]))
+        assert out[0] == swap_element("AR", "t1", 1, "t2", 2)
+
+
+class TestEliminationStackView:
+    def setup_method(self):
+        self.view = elimination_stack_view("ES", "ES/S", "ES/AR", INF)
+
+    def test_successful_central_push_becomes_es_push(self):
+        element = CAElement(
+            "ES/S", [op("t1", "ES/S", "push", (5,), (True,))]
+        )
+        out = self.view(CATrace([element]))
+        assert len(out) == 1
+        assert out[0] == CAElement(
+            "ES", [op("t1", "ES", "push", (5,), (True,))]
+        )
+
+    def test_successful_central_pop_becomes_es_pop(self):
+        element = CAElement(
+            "ES/S", [op("t1", "ES/S", "pop", (), (True, 5))]
+        )
+        out = self.view(CATrace([element]))
+        assert out[0] == CAElement(
+            "ES", [op("t1", "ES", "pop", (), (True, 5))]
+        )
+
+    def test_failed_central_ops_hidden(self):
+        for failed in [
+            CAElement("ES/S", [op("t1", "ES/S", "push", (5,), (False,))]),
+            CAElement("ES/S", [op("t1", "ES/S", "pop", (), (False, 0))]),
+        ]:
+            assert len(self.view(CATrace([failed]))) == 0
+
+    def test_elimination_swap_becomes_push_then_pop(self):
+        swap = swap_element("ES/AR", "pusher", 5, "popper", INF)
+        out = self.view(CATrace([swap]))
+        assert len(out) == 2
+        assert out[0] == CAElement(
+            "ES", [op("pusher", "ES", "push", (5,), (True,))]
+        )
+        assert out[1] == CAElement(
+            "ES", [op("popper", "ES", "pop", (), (True, 5))]
+        )
+
+    def test_push_push_swap_hidden(self):
+        swap = swap_element("ES/AR", "t1", 5, "t2", 6)
+        assert len(self.view(CATrace([swap]))) == 0
+
+    def test_pop_pop_swap_hidden(self):
+        swap = swap_element("ES/AR", "t1", INF, "t2", INF)
+        assert len(self.view(CATrace([swap]))) == 0
+
+    def test_failed_exchange_hidden(self):
+        failed = failed_exchange_element("ES/AR", "t1", 5)
+        assert len(self.view(CATrace([failed]))) == 0
+
+    def test_composition_with_elim_array_view(self):
+        composed = compose_views(
+            self.view, elim_array_view("ES/AR", ["ES/AR/E[0]"])
+        )
+        trace = CATrace(
+            [
+                swap_element("ES/AR/E[0]", "pusher", 7, "popper", INF),
+                CAElement("ES/S", [op("t3", "ES/S", "push", (1,), (True,))]),
+            ]
+        )
+        out = composed(trace)
+        assert [e.single().method for e in out] == ["push", "pop", "push"]
+        assert all(e.oid == "ES" for e in out)
+
+
+class TestSyncQueueView:
+    def test_handoff_becomes_single_pair_element(self):
+        view = sync_queue_view("SQ", "SQ/AR", float("-inf"))
+        swap = swap_element("SQ/AR", "putter", 5, "taker", float("-inf"))
+        out = view(CATrace([swap]))
+        assert len(out) == 1
+        element = out[0]
+        assert element.oid == "SQ"
+        assert len(element) == 2
+        payloads = {(o.tid, o.method, o.args, o.value) for o in element}
+        assert payloads == {
+            ("putter", "put", (5,), (True,)),
+            ("taker", "take", (), (True, 5)),
+        }
+
+    def test_put_put_swap_hidden(self):
+        view = sync_queue_view("SQ", "SQ/AR", float("-inf"))
+        swap = swap_element("SQ/AR", "t1", 5, "t2", 6)
+        assert len(view(CATrace([swap]))) == 0
+
+    def test_failed_exchange_hidden(self):
+        view = sync_queue_view("SQ", "SQ/AR", float("-inf"))
+        failed = failed_exchange_element("SQ/AR", "t1", 5)
+        assert len(view(CATrace([failed]))) == 0
