@@ -1,0 +1,64 @@
+"""E16 (extension; robustness): crash-fault campaigns and degradation.
+
+Wait-freedom is a crash-tolerance claim: the exchanger must stay CAL
+when a partner dies mid-exchange.  This benchmark measures (a) the cost
+of a seeded crash-fault fuzz campaign with pending-aware witness checks,
+and (b) how quickly an oversized exhaustive sweep degrades to an
+``UNKNOWN`` verdict instead of hanging.
+"""
+
+from repro.checkers import Verdict, fuzz_cal, verify_cal
+from repro.specs import ExchangerSpec
+from repro.substrate import ExploreBudget, FaultCampaign
+from repro.workloads.programs import exchanger_program
+
+
+def test_e16_crash_campaign(benchmark, record):
+    """Seeded crash faults over the 4-thread exchanger: every run gets a
+    pending-aware CAL verdict, no exceptions escape."""
+
+    def campaign():
+        return fuzz_cal(
+            exchanger_program([1, 2, 3, 4]),
+            ExchangerSpec("E"),
+            seeds=range(100),
+            max_steps=2000,
+            check_witness=True,
+            faults=FaultCampaign(crashes=1),
+        )
+
+    report = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    record(
+        runs=report.runs,
+        crashed=report.crashed,
+        failures=len(report.failures),
+    )
+    assert report.ok
+    assert report.crashed > 0
+
+
+def test_e16_budget_degradation(benchmark, record):
+    """An exhaustive sweep far beyond reach trips its budget and returns
+    UNKNOWN — degraded, never hung."""
+
+    def sweep():
+        budget = ExploreBudget(max_runs=50)
+        report = verify_cal(
+            exchanger_program([1, 2, 3, 4]),
+            ExchangerSpec("E"),
+            max_steps=2000,
+            check_witness=True,
+            search=False,
+            budget=budget,
+        )
+        return report, budget
+
+    report, budget = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        runs=report.runs,
+        tripped=budget.tripped,
+        verdict=report.verdict.value,
+    )
+    assert budget.tripped
+    assert report.verdict is Verdict.UNKNOWN
+    assert not report.failures

@@ -24,7 +24,8 @@ from repro.checkers.seqspec import SequentialSpec
 from repro.checkers.caspec import CASpec
 from repro.checkers.adapter import SingletonAdapter
 from repro.checkers.linearizability import LinearizabilityChecker
-from repro.checkers.cal import CALChecker
+from repro.checkers.cal import CALChecker, complete_from_witness
+from repro.checkers.result import CheckResult, SearchBudget, Verdict
 from repro.checkers.setlin import SetLinearizabilityChecker
 from repro.checkers.intervallin import IntervalLinearizabilityChecker
 from repro.checkers.verify import (
@@ -33,23 +34,33 @@ from repro.checkers.verify import (
     verify_linearizability,
 )
 from repro.checkers.fuzz import (
+    FuzzFailure,
     FuzzReport,
     fuzz_cal,
     fuzz_linearizability,
+    replay,
+    shrink_failure,
 )
 
 __all__ = [
     "CALChecker",
     "CASpec",
+    "CheckResult",
+    "FuzzFailure",
     "FuzzReport",
     "IntervalLinearizabilityChecker",
     "LinearizabilityChecker",
+    "SearchBudget",
     "SequentialSpec",
     "SetLinearizabilityChecker",
     "SingletonAdapter",
     "VerificationReport",
+    "Verdict",
+    "complete_from_witness",
     "fuzz_cal",
     "fuzz_linearizability",
+    "replay",
+    "shrink_failure",
     "verify_cal",
     "verify_linearizability",
 ]

@@ -27,11 +27,50 @@ from __future__ import annotations
 from typing import FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.checkers.caspec import CASpec
-from repro.checkers.result import CheckResult
+from repro.checkers.result import CheckResult, SearchBudget, Verdict
 from repro.checkers._search import SearchProblem, nonempty_subsets
+from repro.core.actions import Invocation, Operation
 from repro.core.agreement import agrees
 from repro.core.catrace import CAElement, CATrace
 from repro.core.history import History
+from repro.substrate.errors import BudgetExceeded
+
+
+def complete_from_witness(history: History, trace: CATrace) -> History:
+    """Resolve a crash run's pending invocations against a recorded witness.
+
+    A thread that died mid-operation leaves a pending invocation in ``H``.
+    The instrumentation's trace ``T`` already says what became of it: if
+    the witness contains an operation for the invocation (e.g. the partner
+    *did* complete the swap before the thread died), the invocation is
+    extended with that operation's response; otherwise the operation never
+    took effect and the invocation is dropped.  This is the deterministic
+    ``complete(H)`` choice dictated by the witness — linear, no search.
+
+    Matching is positional per signature: a witness operation is only
+    used to complete the pending invocation if the history does not
+    already contain enough completed operations of the same
+    ``(tid, oid, method, args)`` to account for it.
+    """
+    if not history.pending_invocations():
+        return history
+    trace_ops: List[Operation] = [
+        op for element in trace for op in element.operations
+    ]
+    completed = history.operations()
+
+    def signature(op) -> Tuple:
+        return (op.tid, op.oid, op.method, op.args)
+
+    def resolver(invocation: Invocation):
+        key = (invocation.tid, invocation.oid, invocation.method, invocation.args)
+        already = sum(1 for op in completed if signature(op) == key)
+        matches = [op for op in trace_ops if signature(op) == key]
+        if len(matches) > already:
+            return matches[already].value
+        return None
+
+    return history.complete_with(resolver)
 
 
 class CALChecker:
@@ -41,8 +80,19 @@ class CALChecker:
         self.spec = spec
 
     # ------------------------------------------------------------------
-    def check(self, history: History, project: bool = True) -> CheckResult:
-        """Search for a spec CA-trace that some completion agrees with."""
+    def check(
+        self,
+        history: History,
+        project: bool = True,
+        node_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> CheckResult:
+        """Search for a spec CA-trace that some completion agrees with.
+
+        ``node_budget``/``deadline`` bound the search across *all*
+        completions; when either trips, the result is ``UNKNOWN`` rather
+        than a hang (see :class:`~repro.checkers.result.Verdict`).
+        """
         target = history.project_object(self.spec.oid) if project else history
         if not target.is_well_formed():
             return CheckResult(False, reason="ill-formed history")
@@ -52,18 +102,29 @@ class CALChecker:
             return CheckResult(
                 False, reason="history contains other objects' operations"
             )
+        budget = SearchBudget(node_budget=node_budget, deadline=deadline)
         best = CheckResult(False, reason="no agreeing CA-trace found")
         candidates = lambda inv: self.spec.response_candidates_in(inv, target)
-        for completion in target.completions(candidates):
-            result = self._check_complete(completion)
-            best.nodes += result.nodes
-            if result.ok:
-                result.nodes = best.nodes
-                return result
+        try:
+            for completion in target.completions(candidates):
+                result = self._check_complete(completion, budget)
+                best.nodes += result.nodes
+                if result.ok:
+                    result.nodes = best.nodes
+                    return result
+        except BudgetExceeded as exceeded:
+            return CheckResult(
+                False,
+                nodes=budget.nodes,
+                reason=str(exceeded),
+                verdict=Verdict.UNKNOWN,
+            )
         return best
 
     # ------------------------------------------------------------------
-    def _check_complete(self, history: History) -> CheckResult:
+    def _check_complete(
+        self, history: History, budget: Optional[SearchBudget] = None
+    ) -> CheckResult:
         problem = SearchProblem.of(history)
         total = len(problem)
         seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
@@ -73,6 +134,8 @@ class CALChecker:
         def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
             nonlocal nodes
             nodes += 1
+            if budget is not None:
+                budget.charge()
             if len(taken) == total:
                 return True
             key = (taken, state)
@@ -108,9 +171,20 @@ class CALChecker:
         """Validate a recorded witness trace against the observed history.
 
         Checks (a) ``trace ∈ spec`` and (b) ``H ⊑_CAL trace`` (Def. 5).
+
+        Pending invocations (crashed/stalled threads) are resolved against
+        the witness first (:func:`complete_from_witness`): completed with
+        the response the trace records for them, or dropped when the trace
+        shows the operation never took effect.  A wait-free exchanger must
+        stay CAL when its partner dies mid-exchange — this is where that
+        is decided.
         """
         target = history.project_object(self.spec.oid) if project else history
+        if not target.is_well_formed():
+            return CheckResult(False, reason="ill-formed history")
         if not target.is_complete():
+            target = complete_from_witness(target, trace)
+        if not target.is_complete():  # pragma: no cover — defensive
             return CheckResult(
                 False, reason="witness validation needs a complete history"
             )

@@ -3,42 +3,75 @@
 Exhaustive exploration is exact but bounded to small thread counts;
 these drivers sample seeded random schedules instead, which scales to
 wider workloads (4+ threads, longer scripts) at the price of
-probabilistic coverage.  Every failure still comes with its seed, so
-counterexamples reproduce exactly.
+probabilistic coverage.
+
+Every failure carries its seed, its full decision ``schedule`` (so
+counterexamples replay via :func:`replay` without re-deriving them from
+the seed), and the :class:`~repro.substrate.faults.FaultPlan` that was
+active, if any.  Campaigns optionally inject faults
+(:class:`~repro.substrate.faults.FaultCampaign`): crash/stall a thread
+mid-operation, delay a hot loop, fail a CAS spuriously — and the
+pending-aware checkers still deliver verdicts for the survivors.
+Failures are greedily shrunk (:func:`shrink_failure`): drop faults and
+truncate the schedule while the failure persists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.checkers.cal import CALChecker
 from repro.checkers.caspec import CASpec
 from repro.checkers.linearizability import LinearizabilityChecker
 from repro.checkers.seqspec import SequentialSpec
-from repro.checkers.verify import ViewFn
+from repro.checkers.verify import ViewFn, _validate_singleton_witness
 from repro.core.history import History
-from repro.substrate.explore import SetupFn, run_random
+from repro.substrate.explore import SetupFn, run_random, run_schedule
+from repro.substrate.faults import FaultCampaign, FaultPlan
+from repro.substrate.runtime import RunResult
+from repro.substrate.schedulers import RandomScheduler
+
+Faults = Union[FaultCampaign, FaultPlan, None]
 
 
 @dataclass
 class FuzzFailure:
-    """One seeded run that violated the specification."""
+    """One seeded run that violated the specification.
+
+    ``schedule`` is the run's complete decision sequence and ``plan`` the
+    fault plan that was active; together they replay the failing run
+    exactly (:func:`replay`), independent of the RNG that produced it.
+    """
 
     seed: int
     history: History
     reason: str
+    schedule: List[int] = field(default_factory=list)
+    plan: Optional[FaultPlan] = None
 
     def __repr__(self) -> str:
-        return f"FuzzFailure(seed={self.seed}, {self.reason})"
+        plan = f", faults={len(self.plan)}" if self.plan else ""
+        return (
+            f"FuzzFailure(seed={self.seed}, {self.reason}, "
+            f"|schedule|={len(self.schedule)}{plan})"
+        )
 
 
 @dataclass
 class FuzzReport:
-    """Aggregate outcome of a fuzzing campaign."""
+    """Aggregate outcome of a fuzzing campaign.
+
+    ``crashed`` counts runs in which at least one thread was halted
+    (injected fault or thread exception); such runs are still checked —
+    their histories simply contain pending invocations.  ``unknown``
+    counts runs whose search check was cut by a budget.
+    """
 
     runs: int = 0
     incomplete: int = 0
+    crashed: int = 0
+    unknown: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -47,10 +80,114 @@ class FuzzReport:
 
     def __repr__(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        extra = f", crashed={self.crashed}" if self.crashed else ""
+        extra += f", unknown={self.unknown}" if self.unknown else ""
         return (
             f"FuzzReport({verdict}, runs={self.runs}, "
-            f"cut={self.incomplete})"
+            f"cut={self.incomplete}{extra})"
         )
+
+
+def _plan_for(faults: Faults, seed: int, tids: Sequence[str]) -> Optional[FaultPlan]:
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    return faults.plan(seed, tids)
+
+
+def _fuzz_run(
+    setup: SetupFn,
+    seed: int,
+    max_steps: Optional[int],
+    yield_bias: float,
+    faults: Faults,
+) -> Tuple[RunResult, Optional[FaultPlan]]:
+    """One seeded run with its (seed-derived) fault plan attached."""
+    scheduler = RandomScheduler(seed=seed, yield_bias=yield_bias)
+    runtime = setup(scheduler)
+    plan = _plan_for(faults, seed, runtime.thread_ids)
+    if plan is not None:
+        runtime.inject(plan)
+    result = runtime.run(max_steps=max_steps)
+    result.schedule = scheduler.choices()
+    return result, plan
+
+
+def replay(
+    setup: SetupFn,
+    failure: FuzzFailure,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """Reproduce a recorded failure from its stored schedule and plan.
+
+    The returned run's history is identical to ``failure.history`` — no
+    re-derivation from the seed, no dependence on RNG internals.
+    """
+    return run_schedule(
+        setup, failure.schedule, max_steps=max_steps, faults=failure.plan
+    )
+
+
+def shrink_failure(
+    setup: SetupFn,
+    failure: FuzzFailure,
+    fails: Callable[[RunResult], Optional[str]],
+    max_steps: Optional[int] = None,
+) -> FuzzFailure:
+    """Greedy counterexample minimization.
+
+    Repeatedly tries (a) dropping one fault from the plan and (b)
+    truncating the controlled schedule prefix (halving first, then
+    chopping one decision; the replay scheduler defaults the tail), and
+    keeps any mutation under which ``fails`` still reports a failure.
+    Every accepted mutation strictly shrinks (plan size, prefix length),
+    so the loop terminates.  The result replays like any other failure.
+    """
+    plan = failure.plan
+    prefix = list(failure.schedule)
+    best = failure
+
+    def attempt(
+        candidate_prefix: Sequence[int], candidate_plan: Optional[FaultPlan]
+    ) -> Optional[FuzzFailure]:
+        run = run_schedule(
+            setup,
+            candidate_prefix,
+            max_steps=max_steps,
+            faults=candidate_plan,
+            clamp=True,
+        )
+        if not run.completed:
+            # A cut run's truncated history can "fail" for bogus reasons;
+            # never shrink onto one.
+            return None
+        reason = fails(run)
+        if reason is None:
+            return None
+        return FuzzFailure(
+            failure.seed, run.history, reason, run.schedule, candidate_plan
+        )
+
+    improved = True
+    while improved:
+        improved = False
+        if plan is not None and len(plan) > 0:
+            for fault in plan:
+                smaller = plan.without(fault)
+                candidate = attempt(prefix, smaller)
+                if candidate is not None:
+                    plan, best, improved = smaller, candidate, True
+                    break
+            if improved:
+                continue
+        for new_len in (len(prefix) // 2, len(prefix) - 1):
+            if 0 <= new_len < len(prefix):
+                candidate = attempt(prefix[:new_len], plan)
+                if candidate is not None:
+                    prefix, best, improved = prefix[:new_len], candidate, True
+                    break
+    return best
 
 
 def fuzz_cal(
@@ -62,38 +199,59 @@ def fuzz_cal(
     search: bool = False,
     view: Optional[ViewFn] = None,
     yield_bias: float = 0.0,
+    faults: Faults = None,
+    node_budget: Optional[int] = None,
+    shrink: bool = True,
 ) -> FuzzReport:
-    """Sample random schedules and check CAL on each complete run.
+    """Sample random schedules and check CAL on each run.
 
     Defaults favour witness validation (linear per run) over search,
-    since fuzzing targets workloads where search would dominate.
+    since fuzzing targets workloads where search would dominate.  With
+    ``faults``, each seed derives a deterministic fault plan; crash runs
+    are checked pending-aware (a wait-free exchanger must stay CAL when
+    its partner dies mid-exchange).
     """
     checker = CALChecker(spec)
     report = FuzzReport()
-    for seed in seeds:
-        run = run_random(
-            setup, seed=seed, max_steps=max_steps, yield_bias=yield_bias
-        )
-        if not run.completed:
-            report.incomplete += 1
-            continue
-        report.runs += 1
+
+    def diagnose(run: RunResult) -> Tuple[Optional[str], bool]:
+        """(failure reason or None, search was budget-cut)."""
         history = run.history
         if check_witness:
             trace = view(run.trace) if view is not None else run.trace
             witness = trace.project_object(spec.oid)
             result = checker.check_witness(history, witness)
             if not result.ok:
-                report.failures.append(
-                    FuzzFailure(seed, history, result.reason)
-                )
-                continue
+                return result.reason, False
         if search:
-            result = checker.check(history)
+            result = checker.check(history, node_budget=node_budget)
+            if result.unknown:
+                return None, True
             if not result.ok:
-                report.failures.append(
-                    FuzzFailure(seed, history, result.reason)
+                return result.reason, False
+        return None, False
+
+    for seed in seeds:
+        run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
+        if not run.completed:
+            report.incomplete += 1
+            continue
+        report.runs += 1
+        if run.crashed:
+            report.crashed += 1
+        reason, cut = diagnose(run)
+        if cut:
+            report.unknown += 1
+        if reason is not None:
+            failure = FuzzFailure(seed, run.history, reason, run.schedule, plan)
+            if shrink:
+                failure = shrink_failure(
+                    setup,
+                    failure,
+                    lambda r: diagnose(r)[0],
+                    max_steps=max_steps,
                 )
+            report.failures.append(failure)
     return report
 
 
@@ -105,31 +263,48 @@ def fuzz_linearizability(
     check_witness: bool = False,
     view: Optional[ViewFn] = None,
     yield_bias: float = 0.0,
+    faults: Faults = None,
+    node_budget: Optional[int] = None,
+    shrink: bool = True,
 ) -> FuzzReport:
     """Sample random schedules and check linearizability on each run."""
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
-    for seed in seeds:
-        run = run_random(
-            setup, seed=seed, max_steps=max_steps, yield_bias=yield_bias
-        )
-        if not run.completed:
-            report.incomplete += 1
-            continue
-        report.runs += 1
+
+    def diagnose(run: RunResult) -> Tuple[Optional[str], bool]:
         history = run.history
         if check_witness:
-            from repro.checkers.verify import _validate_singleton_witness
-
             trace = view(run.trace) if view is not None else run.trace
             witness = trace.project_object(spec.oid)
             problem = _validate_singleton_witness(checker, history, witness)
             if problem is not None:
-                report.failures.append(FuzzFailure(seed, history, problem))
-                continue
-        result = checker.check(history)
+                return problem, False
+        result = checker.check(history, node_budget=node_budget)
+        if result.unknown:
+            return None, True
         if not result.ok:
-            report.failures.append(
-                FuzzFailure(seed, history, result.reason)
-            )
+            return result.reason, False
+        return None, False
+
+    for seed in seeds:
+        run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
+        if not run.completed:
+            report.incomplete += 1
+            continue
+        report.runs += 1
+        if run.crashed:
+            report.crashed += 1
+        reason, cut = diagnose(run)
+        if cut:
+            report.unknown += 1
+        if reason is not None:
+            failure = FuzzFailure(seed, run.history, reason, run.schedule, plan)
+            if shrink:
+                failure = shrink_failure(
+                    setup,
+                    failure,
+                    lambda r: diagnose(r)[0],
+                    max_steps=max_steps,
+                )
+            report.failures.append(failure)
     return report

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
-from repro.checkers.result import CheckResult
+from repro.checkers.result import CheckResult, SearchBudget, Verdict
 from repro.checkers.seqspec import SequentialSpec
 from repro.checkers._search import SearchProblem
 from repro.core.actions import Operation
 from repro.core.catrace import CAElement, CATrace
 from repro.core.history import History
+from repro.substrate.errors import BudgetExceeded
 
 
 class LinearizabilityChecker:
@@ -30,23 +31,45 @@ class LinearizabilityChecker:
         self.spec = spec
 
     # ------------------------------------------------------------------
-    def check(self, history: History, project: bool = True) -> CheckResult:
-        """Check ``history`` (projected to the spec's object by default)."""
+    def check(
+        self,
+        history: History,
+        project: bool = True,
+        node_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> CheckResult:
+        """Check ``history`` (projected to the spec's object by default).
+
+        ``node_budget``/``deadline`` bound the search across *all*
+        completions; when either trips, the result is ``UNKNOWN`` rather
+        than a hang (see :class:`~repro.checkers.result.Verdict`).
+        """
         target = history.project_object(self.spec.oid) if project else history
         if not target.is_well_formed():
             return CheckResult(False, reason="ill-formed history")
+        budget = SearchBudget(node_budget=node_budget, deadline=deadline)
         best = CheckResult(False, reason="no linearization found")
         candidates = lambda inv: self.spec.response_candidates_in(inv, target)
-        for completion in target.completions(candidates):
-            result = self._check_complete(completion)
-            best.nodes += result.nodes
-            if result.ok:
-                result.nodes = best.nodes
-                return result
+        try:
+            for completion in target.completions(candidates):
+                result = self._check_complete(completion, budget)
+                best.nodes += result.nodes
+                if result.ok:
+                    result.nodes = best.nodes
+                    return result
+        except BudgetExceeded as exceeded:
+            return CheckResult(
+                False,
+                nodes=budget.nodes,
+                reason=str(exceeded),
+                verdict=Verdict.UNKNOWN,
+            )
         return best
 
     # ------------------------------------------------------------------
-    def _check_complete(self, history: History) -> CheckResult:
+    def _check_complete(
+        self, history: History, budget: Optional[SearchBudget] = None
+    ) -> CheckResult:
         problem = SearchProblem.of(history)
         total = len(problem)
         seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
@@ -56,6 +79,8 @@ class LinearizabilityChecker:
         def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
             nonlocal nodes
             nodes += 1
+            if budget is not None:
+                budget.charge()
             if len(taken) == total:
                 return True
             key = (taken, state)

@@ -1,12 +1,59 @@
-"""Check results shared by all checkers."""
+"""Check results and robustness budgets shared by all checkers."""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Optional
 
 from repro.core.catrace import CATrace
 from repro.core.history import History
+from repro.substrate.errors import BudgetExceeded
+
+
+class Verdict(Enum):
+    """Three-valued checker outcome.
+
+    ``OK``/``FAIL`` are definitive; ``UNKNOWN`` means the checker ran
+    out of budget (search nodes, wall clock) before deciding — the
+    graceful-degradation answer for factorial search spaces.  An
+    ``UNKNOWN`` is never a pass: callers must either retry with a larger
+    budget or fall back to a cheaper check (witness validation).
+    """
+
+    OK = "ok"
+    FAIL = "fail"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SearchBudget:
+    """Node/deadline budget for one checker search.
+
+    ``charge()`` is called once per search-tree node; exceeding either
+    bound raises :class:`~repro.substrate.errors.BudgetExceeded`, which
+    the checker converts into an ``UNKNOWN`` result at its API boundary.
+    The deadline is only polled every 256 nodes, keeping the common case
+    one integer compare.
+    """
+
+    node_budget: Optional[int] = None
+    deadline: Optional[float] = None  # wall-clock seconds
+    nodes: int = 0
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def charge(self) -> None:
+        self.nodes += 1
+        if self.node_budget is not None and self.nodes > self.node_budget:
+            raise BudgetExceeded(
+                f"node budget exhausted ({self.node_budget} nodes)"
+            )
+        if self.deadline is not None and self.nodes % 256 == 0:
+            if self._started_at is None:
+                self._started_at = time.monotonic()
+            elif time.monotonic() - self._started_at >= self.deadline:
+                raise BudgetExceeded(f"deadline exceeded ({self.deadline}s)")
 
 
 @dataclass
@@ -18,6 +65,10 @@ class CheckResult:
     ``completion`` is the completed history the witness explains.
     ``nodes`` counts search-tree nodes visited — the cost measure used by
     the scaling and ablation experiments.
+
+    ``verdict`` refines the boolean: ``ok=True`` ⇔ ``Verdict.OK``, while
+    ``ok=False`` splits into a definitive ``FAIL`` and a budget-starved
+    ``UNKNOWN`` (see :class:`Verdict`).
     """
 
     ok: bool
@@ -25,10 +76,24 @@ class CheckResult:
     completion: Optional[History] = None
     nodes: int = 0
     reason: str = ""
+    verdict: Optional[Verdict] = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            self.verdict = Verdict.OK if self.ok else Verdict.FAIL
+
+    @property
+    def unknown(self) -> bool:
+        return self.verdict is Verdict.UNKNOWN
 
     def __bool__(self) -> bool:
         return self.ok
 
     def __repr__(self) -> str:
-        verdict = "OK" if self.ok else f"FAIL({self.reason})"
+        if self.ok:
+            verdict = "OK"
+        elif self.unknown:
+            verdict = f"UNKNOWN({self.reason})"
+        else:
+            verdict = f"FAIL({self.reason})"
         return f"CheckResult({verdict}, nodes={self.nodes})"

@@ -5,6 +5,13 @@ program (exhaustively, up to a step bound) and check each run's history
 against a specification — by search (Def. 6 directly) and/or by
 validating the recorded auxiliary-trace witness (the paper's
 instrumentation-based proof technique, §4–§5).
+
+Robustness: exploration takes an optional
+:class:`~repro.substrate.explore.ExploreBudget` and each per-run search a
+``node_budget``/``deadline``; when a budget trips, the driver degrades —
+falling back from exhaustive search to linear witness validation where it
+can — and the report's verdict is ``UNKNOWN`` instead of the process
+hanging on a factorial schedule or search space.
 """
 
 from __future__ import annotations
@@ -12,14 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.checkers.cal import CALChecker
+from repro.checkers.cal import CALChecker, complete_from_witness
 from repro.checkers.caspec import CASpec
 from repro.checkers.linearizability import LinearizabilityChecker
+from repro.checkers.result import Verdict
 from repro.checkers.seqspec import SequentialSpec
 from repro.core.catrace import CATrace
 from repro.core.history import History
-from repro.substrate.explore import SetupFn, explore_all
-from repro.substrate.runtime import RunResult
+from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
 
 
 @dataclass
@@ -37,22 +44,48 @@ class Failure:
 
 @dataclass
 class VerificationReport:
-    """Aggregate outcome of checking every explored run."""
+    """Aggregate outcome of checking every explored run.
+
+    ``unknown`` counts runs whose search was cut by a budget;
+    ``budget`` (when supplied) records whether exploration itself was
+    cut short.  :attr:`verdict` folds both into the three-valued answer:
+    a clean ``OK`` needs every run checked and every check definitive.
+    """
 
     runs: int = 0
     incomplete: int = 0
     nodes: int = 0
     failures: List[Failure] = field(default_factory=list)
+    unknown: int = 0
+    budget: Optional[ExploreBudget] = None
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.failures:
+            return Verdict.FAIL
+        if (
+            self.runs == 0
+            or self.unknown
+            or (self.budget is not None and self.budget.tripped)
+        ):
+            return Verdict.UNKNOWN
+        return Verdict.OK
 
     @property
     def ok(self) -> bool:
-        return self.runs > 0 and not self.failures
+        return self.verdict is Verdict.OK
 
     def __repr__(self) -> str:
-        verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        if self.ok:
+            verdict = "OK"
+        elif self.failures:
+            verdict = f"{len(self.failures)} failure(s)"
+        else:
+            verdict = "UNKNOWN"
+        extra = f", unknown={self.unknown}" if self.unknown else ""
         return (
             f"VerificationReport({verdict}, runs={self.runs}, "
-            f"cut={self.incomplete}, nodes={self.nodes})"
+            f"cut={self.incomplete}, nodes={self.nodes}{extra})"
         )
 
 
@@ -68,6 +101,9 @@ def verify_cal(
     view: Optional[ViewFn] = None,
     limit: Optional[int] = None,
     preemption_bound: Optional[int] = None,
+    budget: Optional[ExploreBudget] = None,
+    node_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -76,33 +112,56 @@ def verify_cal(
     ``T_o = F_o(T)``); ``search`` independently looks for *some* agreeing
     spec trace (Def. 6).  Enabling both cross-validates instrumentation
     against the definition.
+
+    When a per-run search trips its ``node_budget``/``deadline``, the
+    driver falls back to witness validation for that run (if not already
+    performed) and counts the run ``unknown`` — degraded but never hung.
     """
     checker = CALChecker(spec)
-    report = VerificationReport()
+    report = VerificationReport(budget=budget)
     for run in explore_all(
         setup,
         max_steps=max_steps,
         limit=limit,
         preemption_bound=preemption_bound,
+        budget=budget,
     ):
         if not run.completed:
             report.incomplete += 1
             continue
         report.runs += 1
         history = run.history
+        trace = view(run.trace) if view is not None else run.trace
+        witness = trace.project_object(spec.oid)
+        witness_checked = False
         if check_witness:
-            trace = view(run.trace) if view is not None else run.trace
-            witness = trace.project_object(spec.oid)
             result = checker.check_witness(history, witness)
             report.nodes += result.nodes
+            witness_checked = True
             if not result.ok:
                 report.failures.append(
                     Failure(run.schedule, history, witness, result.reason)
                 )
                 continue
         if search:
-            result = checker.check(history)
+            result = checker.check(
+                history, node_budget=node_budget, deadline=deadline
+            )
             report.nodes += result.nodes
+            if result.unknown:
+                report.unknown += 1
+                if not witness_checked:
+                    # Degrade: the linear witness check still decides
+                    # this run even when search is over budget.
+                    fallback = checker.check_witness(history, witness)
+                    report.nodes += fallback.nodes
+                    if not fallback.ok:
+                        report.failures.append(
+                            Failure(
+                                run.schedule, history, witness, fallback.reason
+                            )
+                        )
+                continue
             if not result.ok:
                 report.failures.append(
                     Failure(run.schedule, history, run.trace, result.reason)
@@ -118,6 +177,9 @@ def verify_linearizability(
     view: Optional[ViewFn] = None,
     limit: Optional[int] = None,
     preemption_bound: Optional[int] = None,
+    budget: Optional[ExploreBudget] = None,
+    node_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -125,33 +187,51 @@ def verify_linearizability(
     must consist of singleton elements forming a legal linearization that
     the history agrees with — the modular elimination-stack proof (E5)
     uses exactly this with ``view = F_ES``.
+
+    Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
+    falls back to witness validation (when a view is available) and the
+    run counts as ``unknown``.
     """
     checker = LinearizabilityChecker(spec)
-    report = VerificationReport()
+    report = VerificationReport(budget=budget)
     for run in explore_all(
         setup,
         max_steps=max_steps,
         limit=limit,
         preemption_bound=preemption_bound,
+        budget=budget,
     ):
         if not run.completed:
             report.incomplete += 1
             continue
         report.runs += 1
         history = run.history
+        trace = view(run.trace) if view is not None else run.trace
+        witness = trace.project_object(spec.oid)
+        witness_checked = False
         if check_witness:
-            trace = view(run.trace) if view is not None else run.trace
-            witness = trace.project_object(spec.oid)
-            problem = _validate_singleton_witness(
-                checker, history, witness
-            )
+            problem = _validate_singleton_witness(checker, history, witness)
+            witness_checked = True
             if problem is not None:
                 report.failures.append(
                     Failure(run.schedule, history, witness, problem)
                 )
                 continue
-        result = checker.check(history)
+        result = checker.check(
+            history, node_budget=node_budget, deadline=deadline
+        )
         report.nodes += result.nodes
+        if result.unknown:
+            report.unknown += 1
+            if not witness_checked and view is not None:
+                problem = _validate_singleton_witness(
+                    checker, history, witness
+                )
+                if problem is not None:
+                    report.failures.append(
+                        Failure(run.schedule, history, witness, problem)
+                    )
+            continue
         if not result.ok:
             report.failures.append(
                 Failure(run.schedule, history, run.trace, result.reason)
@@ -164,7 +244,11 @@ def _validate_singleton_witness(
     history: History,
     witness: CATrace,
 ) -> Optional[str]:
-    """Check a recorded singleton trace is a valid linearization witness."""
+    """Check a recorded singleton trace is a valid linearization witness.
+
+    Pending invocations (crashed threads) are resolved against the
+    witness first, exactly as in CAL witness validation.
+    """
     from repro.core.agreement import agrees
 
     if any(not e.is_singleton() for e in witness):
@@ -174,6 +258,8 @@ def _validate_singleton_witness(
         return "witness rejected by sequential spec"
     target = history.project_object(checker.spec.oid)
     if not target.is_complete():
+        target = complete_from_witness(target, witness)
+    if not target.is_complete():  # pragma: no cover — defensive
         return "history incomplete at witness validation"
     if not agrees(target, witness):
         return "history does not agree with witness (Def. 5)"

@@ -194,6 +194,64 @@ class History:
         """Invocations with no matching response."""
         return [s.invocation for s in self.spans() if s.pending]
 
+    def pending(self) -> List[Invocation]:
+        """Alias for :meth:`pending_invocations` — the operations left
+        dangling by crashed or stalled threads."""
+        return self.pending_invocations()
+
+    # ------------------------------------------------------------------
+    # Resolving pending invocations (crash tolerance)
+    # ------------------------------------------------------------------
+    def complete_with(
+        self,
+        resolver: Callable[[Invocation], Optional[Any]],
+    ) -> "History":
+        """Resolve every pending invocation through ``resolver``.
+
+        ``resolver(inv)`` returns the response value (normalized to a
+        tuple) to extend the invocation with, or ``None`` to drop the
+        invocation entirely — the two moves of ``complete(H)`` (Def. 2),
+        decided deterministically instead of enumerated.  Returns ``self``
+        when the history is already complete, so the construction
+        round-trips on complete histories.
+        """
+        pending = self.pending_invocations()
+        if not pending:
+            return self
+        dropped: Set[int] = set()
+        appended: List[Action] = []
+        for invocation in pending:
+            value = resolver(invocation)
+            if value is None:
+                dropped.add(id(invocation))
+                continue
+            if not isinstance(value, tuple):
+                value = (value,)
+            appended.append(
+                Response(
+                    invocation.tid,
+                    invocation.oid,
+                    invocation.method,
+                    value,
+                )
+            )
+        pending_ids = {id(inv) for inv in pending}
+        kept = [
+            action
+            for action in self._actions
+            if not (
+                action.is_invocation
+                and id(action) in pending_ids
+                and id(action) in dropped
+            )
+        ]
+        return History(tuple(kept) + tuple(appended))
+
+    def strip_pending(self) -> "History":
+        """Drop every pending invocation (the remove-only completion).
+        Returns ``self`` when the history is already complete."""
+        return self.complete_with(lambda _inv: None)
+
     # ------------------------------------------------------------------
     # Real-time order (Def. 3)
     # ------------------------------------------------------------------

@@ -31,6 +31,16 @@ from repro.substrate.effects import (
     Write,
 )
 from repro.substrate.context import Ctx
+from repro.substrate.errors import BudgetExceeded, ExplorationCut
+from repro.substrate.faults import (
+    CrashThread,
+    DelayThread,
+    FailCAS,
+    FaultCampaign,
+    FaultInjector,
+    FaultPlan,
+    StallThread,
+)
 from repro.substrate.runtime import Runtime, RunResult, World
 from repro.substrate.schedulers import (
     RandomScheduler,
@@ -38,12 +48,27 @@ from repro.substrate.schedulers import (
     RoundRobinScheduler,
     Scheduler,
 )
-from repro.substrate.explore import explore_all, run_once, run_random
+from repro.substrate.explore import (
+    ExploreBudget,
+    explore_all,
+    run_once,
+    run_random,
+    run_schedule,
+)
 from repro.substrate.program import Program, spawn
 
 __all__ = [
+    "BudgetExceeded",
     "CAS",
+    "CrashThread",
     "Ctx",
+    "DelayThread",
+    "ExplorationCut",
+    "ExploreBudget",
+    "FailCAS",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultPlan",
     "Heap",
     "Invoke",
     "LogTrace",
@@ -58,10 +83,12 @@ __all__ = [
     "RunResult",
     "Runtime",
     "Scheduler",
+    "StallThread",
     "World",
     "Write",
     "explore_all",
     "run_once",
     "run_random",
+    "run_schedule",
     "spawn",
 ]

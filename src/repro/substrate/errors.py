@@ -15,3 +15,14 @@ class ExplorationCut(Exception):
     skips it while still backtracking through its prefix — exactly the
     treatment of unfair schedules in stateless model checking.
     """
+
+
+class BudgetExceeded(Exception):
+    """A search or exploration exhausted its robustness budget.
+
+    Raised internally by budget-aware components (checker DFS node
+    budgets, exploration step budgets) and converted at API boundaries
+    into an ``UNKNOWN`` verdict — never allowed to escape to callers of
+    ``check``/``verify_*``.  Graceful degradation on factorial search
+    spaces: the answer is "don't know within budget", not a hang.
+    """

@@ -7,12 +7,20 @@ indices recorded by :class:`~repro.substrate.schedulers.ReplayScheduler`.
 Backtracking flips the last decision that still has untried alternatives.
 This enumerates exactly the runs of the paper's interleaving semantics
 (bounded by ``max_steps``, so loops cannot diverge the search).
+
+:class:`ExploreBudget` bounds a whole exploration (runs, total steps,
+wall-clock deadline); when the budget trips, enumeration stops cleanly
+and the caller can see why — verification drivers degrade to an
+``UNKNOWN`` verdict instead of hanging on factorial schedule spaces.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence
 
+from repro.substrate.faults import FaultPlan
 from repro.substrate.runtime import RunResult, Runtime
 from repro.substrate.schedulers import (
     RandomScheduler,
@@ -24,13 +32,62 @@ from repro.substrate.schedulers import (
 SetupFn = Callable[[Scheduler], Runtime]
 
 
+@dataclass
+class ExploreBudget:
+    """A robustness budget for one exploration.
+
+    Any combination of bounds may be set; the first one hit trips the
+    budget.  After the exploration, ``tripped``/``reason`` tell the
+    caller whether enumeration was exhaustive or cut short (in which
+    case any aggregate verdict is an underapproximation — ``UNKNOWN``
+    rather than a clean pass).
+    """
+
+    max_runs: Optional[int] = None
+    step_budget: Optional[int] = None
+    deadline: Optional[float] = None  # wall-clock seconds for the whole sweep
+    runs: int = 0
+    steps: int = 0
+    tripped: bool = False
+    reason: str = ""
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def exhausted(self) -> bool:
+        """Check (and latch) whether the budget has tripped."""
+        if self.tripped:
+            return True
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+        if self.max_runs is not None and self.runs >= self.max_runs:
+            self._trip(f"run budget exhausted ({self.max_runs} runs)")
+        elif self.step_budget is not None and self.steps >= self.step_budget:
+            self._trip(f"step budget exhausted ({self.step_budget} steps)")
+        elif (
+            self.deadline is not None
+            and time.monotonic() - self._started_at >= self.deadline
+        ):
+            self._trip(f"deadline exceeded ({self.deadline}s)")
+        return self.tripped
+
+    def charge(self, result: RunResult) -> None:
+        self.runs += 1
+        self.steps += result.steps
+
+    def _trip(self, reason: str) -> None:
+        self.tripped = True
+        self.reason = reason
+
+
 def run_once(
     setup: SetupFn,
     scheduler: Optional[Scheduler] = None,
     max_steps: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run the program once under ``scheduler`` (round-robin by default)."""
     runtime = setup(scheduler if scheduler is not None else RoundRobinScheduler())
+    if faults is not None:
+        runtime.inject(faults)
     return runtime.run(max_steps=max_steps)
 
 
@@ -39,10 +96,41 @@ def run_random(
     seed: int = 0,
     max_steps: Optional[int] = None,
     yield_bias: float = 0.0,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
-    """Run once under a seeded random scheduler (reproducible fuzzing)."""
-    runtime = setup(RandomScheduler(seed=seed, yield_bias=yield_bias))
-    return runtime.run(max_steps=max_steps)
+    """Run once under a seeded random scheduler (reproducible fuzzing).
+
+    The result carries the full decision ``schedule``, replayable via
+    :func:`run_schedule` without re-deriving it from the seed.
+    """
+    scheduler = RandomScheduler(seed=seed, yield_bias=yield_bias)
+    runtime = setup(scheduler)
+    if faults is not None:
+        runtime.inject(faults)
+    result = runtime.run(max_steps=max_steps)
+    result.schedule = scheduler.choices()
+    return result
+
+
+def run_schedule(
+    setup: SetupFn,
+    schedule: Sequence[int],
+    max_steps: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    clamp: bool = False,
+) -> RunResult:
+    """Replay a recorded decision schedule (optionally with faults).
+
+    ``clamp`` wraps out-of-range decisions instead of raising — for
+    replaying *mutated* schedules during counterexample shrinking.
+    """
+    scheduler = ReplayScheduler(schedule, clamp=clamp)
+    runtime = setup(scheduler)
+    if faults is not None:
+        runtime.inject(faults)
+    result = runtime.run(max_steps=max_steps)
+    result.schedule = scheduler.choices()
+    return result
 
 
 def explore_all(
@@ -51,6 +139,7 @@ def explore_all(
     include_incomplete: bool = False,
     limit: Optional[int] = None,
     preemption_bound: Optional[int] = None,
+    budget: Optional[ExploreBudget] = None,
 ) -> Iterator[RunResult]:
     """Enumerate every run of the program (bounded by ``max_steps``).
 
@@ -64,15 +153,21 @@ def explore_all(
     bounded exploration (see
     :class:`~repro.substrate.schedulers.ReplayScheduler`) — essential for
     programs with retry loops, whose unbounded schedule spaces are
-    factorial.
+    factorial.  ``budget`` bounds the whole sweep (runs / total steps /
+    deadline); when it trips, enumeration stops and ``budget.tripped``
+    records why — the graceful-degradation path for state-space blowups.
     """
     prefix: list[int] = []
     produced = 0
     while True:
+        if budget is not None and budget.exhausted():
+            return
         scheduler = ReplayScheduler(prefix, preemption_bound=preemption_bound)
         runtime = setup(scheduler)
         result = runtime.run(max_steps=max_steps)
         result.schedule = scheduler.choices()
+        if budget is not None:
+            budget.charge(result)
         if result.completed or include_incomplete:
             yield result
             produced += 1

@@ -1,0 +1,222 @@
+"""Deterministic fault injection: crashes, stalls, delays, weak CAS.
+
+The paper's exchanger is *wait-free* and the elimination stack is
+lock-free — progress properties that only mean anything when threads can
+stall or die mid-operation.  This module provides the adversary: a
+:class:`FaultPlan` is a finite set of faults pinned to deterministic
+points of a run (the *k*-th step of thread *t*, the *n*-th CAS of thread
+*t*), and a :class:`FaultInjector` applies the plan as the runtime steps
+threads.  Because every fault fires at a position determined solely by
+the schedule, a faulty run replays exactly from its recorded decision
+sequence plus its plan — counterexamples stay reproducible.
+
+Fault vocabulary:
+
+* :class:`CrashThread` — the thread halts silently *instead of* taking
+  its ``at_step``-th step.  Its current invocation stays **pending** in
+  the history ``H``; no response is ever recorded.  This models a thread
+  dying mid-operation — the situation wait-freedom of the survivors is
+  about.
+* :class:`StallThread` — operationally identical to a crash (the thread
+  is never scheduled again) but reported separately; models a thread
+  preempted forever rather than dead.
+* :class:`DelayThread` — injects ``rounds`` extra scheduling points
+  before the thread's ``at_step``-th step: a ``Pause`` dropped into a
+  hot loop, stretching the window in which other threads interfere.
+* :class:`FailCAS` — the thread's ``at_cas``-th compare-and-swap fails
+  *spuriously* (reports failure without comparing or writing), modelling
+  weak-CAS / LL-SC semantics.  Retry-loop algorithms (Treiber stack)
+  must tolerate this; algorithms written for strong CAS (the exchanger's
+  ``pass``) generally do not — which is itself a robustness finding.
+
+:class:`FaultCampaign` derives a seed-indexed family of plans for fuzz
+drivers (:func:`repro.checkers.fuzz.fuzz_cal`): same seed, same plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class CrashThread:
+    """Silently halt ``tid`` in place of its ``at_step``-th step (0-based,
+    counting the thread's own generator resumptions)."""
+
+    tid: str
+    at_step: int
+
+
+@dataclass(frozen=True)
+class StallThread:
+    """Permanently stall ``tid`` from its ``at_step``-th step onwards."""
+
+    tid: str
+    at_step: int
+
+
+@dataclass(frozen=True)
+class DelayThread:
+    """Insert ``rounds`` pause steps before ``tid``'s ``at_step``-th step."""
+
+    tid: str
+    at_step: int
+    rounds: int = 1
+
+
+@dataclass(frozen=True)
+class FailCAS:
+    """Make ``count`` consecutive CAS effects of ``tid`` fail spuriously,
+    starting with its ``at_cas``-th CAS (0-based)."""
+
+    tid: str
+    at_cas: int
+    count: int = 1
+
+
+Fault = Union[CrashThread, StallThread, DelayThread, FailCAS]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of faults applied deterministically to one run."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    @staticmethod
+    def of(*faults: Fault) -> "FaultPlan":
+        return FaultPlan(tuple(faults))
+
+    def without(self, fault: Fault) -> "FaultPlan":
+        """A plan with one occurrence of ``fault`` removed (for shrinking)."""
+        remaining = list(self.faults)
+        try:
+            remaining.remove(fault)
+        except ValueError:
+            raise ValueError(f"{fault!r} is not in {self!r}") from None
+        return FaultPlan(tuple(remaining))
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(f) for f in self.faults)
+        return f"FaultPlan({body})"
+
+
+#: Verdicts :meth:`FaultInjector.before_step` can hand the runtime.
+CRASH = "crash"
+STALL = "stall"
+DELAY = "delay"
+
+
+class FaultInjector:
+    """Mutable per-run applicator of a :class:`FaultPlan`.
+
+    The runtime consults :meth:`before_step` each time it is about to
+    resume a thread and :meth:`on_cas` on every CAS effect; the injector
+    tracks per-thread step and CAS counters, so fault positions depend
+    only on the schedule — never on wall clock or object state.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._halts: Dict[str, Tuple[int, str]] = {}
+        self._delays: Dict[Tuple[str, int], int] = {}
+        self._cas_targets: Dict[str, Set[int]] = {}
+        for fault in plan:
+            if isinstance(fault, (CrashThread, StallThread)):
+                kind = CRASH if isinstance(fault, CrashThread) else STALL
+                current = self._halts.get(fault.tid)
+                if current is None or fault.at_step < current[0]:
+                    self._halts[fault.tid] = (fault.at_step, kind)
+            elif isinstance(fault, DelayThread):
+                key = (fault.tid, fault.at_step)
+                self._delays[key] = self._delays.get(key, 0) + fault.rounds
+            elif isinstance(fault, FailCAS):
+                targets = self._cas_targets.setdefault(fault.tid, set())
+                targets.update(range(fault.at_cas, fault.at_cas + fault.count))
+            else:  # pragma: no cover — defensive
+                raise TypeError(f"unknown fault: {fault!r}")
+        self._steps: Dict[str, int] = {}
+        self._delay_left: Dict[str, int] = {}
+        self._cas_seen: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def before_step(self, tid: str) -> Optional[str]:
+        """Fault to apply instead of resuming ``tid``, if any.
+
+        Returns ``CRASH``/``STALL`` (halt the thread), ``DELAY`` (burn
+        one pause step without advancing the generator), or ``None``
+        (proceed normally; the thread's step counter advances).
+        """
+        left = self._delay_left.get(tid, 0)
+        if left > 0:
+            self._delay_left[tid] = left - 1
+            return DELAY
+        step = self._steps.get(tid, 0)
+        halt = self._halts.get(tid)
+        if halt is not None and step >= halt[0]:
+            return halt[1]
+        rounds = self._delays.pop((tid, step), 0)
+        if rounds > 0:
+            self._delay_left[tid] = rounds - 1
+            return DELAY
+        self._steps[tid] = step + 1
+        return None
+
+    def on_cas(self, tid: str) -> bool:
+        """Whether this (the ``tid``'s next) CAS must fail spuriously."""
+        index = self._cas_seen.get(tid, 0)
+        self._cas_seen[tid] = index + 1
+        return index in self._cas_targets.get(tid, ())
+
+    def halted_step(self, tid: str) -> int:
+        """The thread-local step count at which ``tid`` was halted."""
+        return self._steps.get(tid, 0)
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A seed-indexed family of fault plans for fuzz campaigns.
+
+    ``plan(seed, tids)`` derives the plan for one run from its seed, so
+    every faulty run is reproducible from ``(seed, campaign)`` alone.
+    ``window`` bounds the thread-local step at which faults fire —
+    early-operation faults are the interesting ones (mid-protocol
+    crashes); huge offsets would land after the run finished.
+    """
+
+    crashes: int = 1
+    stalls: int = 0
+    delays: int = 0
+    cas_failures: int = 0
+    window: int = 16
+    delay_rounds: int = 3
+
+    def plan(self, seed: int, tids: Sequence[str]) -> FaultPlan:
+        rng = random.Random(f"fault-campaign:{seed}")
+        pool = list(tids)
+        faults: List[Fault] = []
+        victims = rng.sample(pool, min(self.crashes, len(pool)))
+        for tid in victims:
+            faults.append(CrashThread(tid, rng.randrange(self.window)))
+        survivors = [t for t in pool if t not in victims]
+        for tid in rng.sample(survivors, min(self.stalls, len(survivors))):
+            faults.append(StallThread(tid, rng.randrange(self.window)))
+        for _ in range(self.delays):
+            faults.append(
+                DelayThread(
+                    rng.choice(pool),
+                    rng.randrange(self.window),
+                    self.delay_rounds,
+                )
+            )
+        for _ in range(self.cas_failures):
+            faults.append(FailCAS(rng.choice(pool), rng.randrange(self.window)))
+        return FaultPlan(tuple(faults))

@@ -48,6 +48,7 @@ from repro.substrate.effects import (
     same_value,
 )
 from repro.substrate.errors import ExplorationCut
+from repro.substrate.faults import CRASH, DELAY, STALL, FaultInjector, FaultPlan
 from repro.substrate.memory import Heap
 from repro.substrate.schedulers import Scheduler
 
@@ -122,6 +123,10 @@ class _Thread:
     started: bool = False
     finished: bool = False
     result: Any = None
+    #: Non-None when the thread was silently halted (crash/stall/injected
+    #: fault) rather than returning; such threads contribute no entry to
+    #: ``RunResult.returns`` and their last invocation stays pending.
+    halted_reason: Optional[str] = None
 
 
 @dataclass
@@ -131,6 +136,12 @@ class RunResult:
     ``counters`` tallies effect outcomes (reads, writes, cas_success,
     cas_failure, pauses, bookkeeping) — the raw material for simulated-
     time cost models (see :mod:`repro.workloads.contention`).
+
+    ``crashed`` maps silently-halted threads to a human-readable cause
+    (an injected fault, or the repr of the exception that killed the
+    thread).  A run with crashes still *completes* — the survivors ran
+    to quiescence — but its history may contain pending invocations;
+    the checkers handle those (see ``History.complete_with``).
     """
 
     history: History
@@ -141,12 +152,14 @@ class RunResult:
     schedule: List[int] = field(default_factory=list)
     world: Optional[World] = None
     counters: Dict[str, int] = field(default_factory=dict)
+    crashed: Dict[str, str] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         status = "completed" if self.completed else "cut"
+        crashed = f", crashed={sorted(self.crashed)}" if self.crashed else ""
         return (
             f"RunResult({status}, steps={self.steps}, "
-            f"|H|={len(self.history)}, |T|={len(self.trace)})"
+            f"|H|={len(self.history)}, |T|={len(self.trace)}{crashed})"
         )
 
 
@@ -154,7 +167,18 @@ ProgramFn = Callable[[Ctx], Generator[Effect, Any, Any]]
 
 
 class Runtime:
-    """Steps a family of threads to completion under a scheduler."""
+    """Steps a family of threads to completion under a scheduler.
+
+    ``faults`` attaches a :class:`~repro.substrate.faults.FaultPlan`
+    applied deterministically as threads step (see :meth:`inject`).
+
+    ``on_crash`` controls what happens when a thread's generator raises:
+    ``"record"`` (default) treats the thread as silently halted — the run
+    continues, the cause lands in ``RunResult.crashed``, and the thread's
+    invocation stays pending in ``H`` — while ``"raise"`` restores the
+    historical abort-the-run behaviour (useful when a crash can only be
+    a harness bug).
+    """
 
     def __init__(
         self,
@@ -162,23 +186,46 @@ class Runtime:
         programs: Mapping[str, ProgramFn],
         scheduler: Scheduler,
         monitors: Sequence[Any] = (),
+        faults: Optional[FaultPlan] = None,
+        on_crash: str = "record",
     ) -> None:
+        if on_crash not in ("record", "raise"):
+            raise ValueError(f"on_crash must be 'record' or 'raise': {on_crash!r}")
         self.world = world
         self.scheduler = scheduler
         self.monitors = list(monitors)
+        self.on_crash = on_crash
         self._threads: Dict[str, _Thread] = {}
         for tid, program in programs.items():
             ctx = Ctx(tid)
             self._threads[tid] = _Thread(tid, program(ctx))
         self.steps = 0
         self.counters: Dict[str, int] = {}
+        self.crashed: Dict[str, str] = {}
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults) if faults is not None else None
+        )
 
     # ------------------------------------------------------------------
+    @property
+    def thread_ids(self) -> List[str]:
+        return list(self._threads)
+
+    def inject(self, faults: Optional[FaultPlan]) -> "Runtime":
+        """Attach (or clear) a fault plan before running; returns self."""
+        self._injector = FaultInjector(faults) if faults is not None else None
+        return self
+
     def enabled(self) -> List[str]:
         return [t.tid for t in self._threads.values() if not t.finished]
 
     def run(self, max_steps: Optional[int] = None) -> RunResult:
-        """Run until all threads finish or ``max_steps`` is reached."""
+        """Run until all threads finish, halt, or ``max_steps`` is reached.
+
+        Monitors' ``on_finish`` hooks run on every non-exceptional exit —
+        completion, a ``max_steps`` cut, or an ``ExplorationCut`` — so
+        monitor state is never silently lost.
+        """
         for monitor in self.monitors:
             start = getattr(monitor, "on_start", None)
             if start is not None:
@@ -188,19 +235,32 @@ class Runtime:
             if not enabled:
                 break
             if max_steps is not None and self.steps >= max_steps:
-                return self._result(completed=False)
+                return self._finish(completed=False)
             tid = self.scheduler.choose_thread(enabled)
             try:
                 self.step_thread(tid)
             except ThreadCrashed as crash:
                 if isinstance(crash.cause, ExplorationCut):
-                    return self._result(completed=False)
-                raise
+                    return self._finish(completed=False)
+                if self.on_crash == "raise":
+                    raise
+                self._halt(tid, f"crashed: {crash.cause!r}")
+        return self._finish(completed=True)
+
+    def _finish(self, completed: bool) -> RunResult:
         for monitor in self.monitors:
             finish = getattr(monitor, "on_finish", None)
             if finish is not None:
                 finish(self.world)
-        return self._result(completed=True)
+        return self._result(completed)
+
+    def _halt(self, tid: str, reason: str) -> None:
+        """Silently halt ``tid``: it never steps again, its invocation
+        stays pending, and the cause is surfaced in ``RunResult.crashed``."""
+        thread = self._threads[tid]
+        thread.finished = True
+        thread.halted_reason = reason
+        self.crashed[tid] = reason
 
     def _result(self, completed: bool) -> RunResult:
         return RunResult(
@@ -209,12 +269,13 @@ class Runtime:
             returns={
                 t.tid: t.result
                 for t in self._threads.values()
-                if t.finished
+                if t.finished and t.halted_reason is None
             },
             completed=completed,
             steps=self.steps,
             world=self.world,
             counters=dict(self.counters),
+            crashed=dict(self.crashed),
         )
 
     # ------------------------------------------------------------------
@@ -222,6 +283,11 @@ class Runtime:
         """Advance thread ``tid`` by one atomic step (public: used by the
         virtual-time throughput runner and by tests)."""
         thread = self._threads[tid]
+        if self._injector is not None:
+            verdict = self._injector.before_step(tid)
+            if verdict is not None:
+                self._apply_fault(tid, verdict)
+                return
         try:
             if thread.started:
                 effect = thread.generator.send(thread.inbox)
@@ -250,6 +316,34 @@ class Runtime:
                     tid, effect, thread.inbox, pre, post, pre_trace, post_trace
                 )
 
+    def _apply_fault(self, tid: str, verdict: str) -> None:
+        """Execute an injected fault as one atomic step of ``tid``."""
+        assert self._injector is not None
+        if verdict == DELAY:
+            # An extra Pause dropped into the thread: one scheduling
+            # point, the generator does not advance.  Monitors see it as
+            # a stutter (pre == post).
+            self._count("injected_pause")
+            self.steps += 1
+            if self.monitors:
+                snapshot = self.world.heap.snapshot()
+                trace = self.world.trace
+                effect = Pause("fault-injected delay")
+                for monitor in self.monitors:
+                    monitor.on_transition(
+                        tid, effect, None, snapshot, snapshot, trace, trace
+                    )
+            return
+        step = self._injector.halted_step(tid)
+        if verdict == CRASH:
+            self._halt(tid, f"injected crash at thread step {step}")
+        elif verdict == STALL:
+            self._halt(tid, f"injected stall at thread step {step}")
+        else:  # pragma: no cover — defensive
+            raise SubstrateError(f"unknown fault verdict: {verdict!r}")
+        self._count("injected_halt")
+        self.steps += 1
+
     def _count(self, key: str) -> None:
         self.counters[key] = self.counters.get(key, 0) + 1
 
@@ -267,6 +361,10 @@ class Runtime:
                 effect.on_commit(self.world)
             return None
         if isinstance(effect, CAS):
+            if self._injector is not None and self._injector.on_cas(tid):
+                # Weak-CAS semantics: fail without comparing or writing.
+                self._count("cas_spurious")
+                return False
             if same_value(effect.ref.peek(), effect.expected):
                 self._count("cas_success")
                 effect.ref.poke(effect.new)

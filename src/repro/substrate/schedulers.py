@@ -29,6 +29,12 @@ class Scheduler(ABC):
     def choose_value(self, options: Sequence[Any]) -> Any:
         """Resolve an in-program nondeterministic choice."""
 
+    def choices(self) -> List[int]:
+        """The decision indices taken so far, replayable through
+        :class:`ReplayScheduler`.  Schedulers that do not record their
+        decisions return an empty list."""
+        return []
+
 
 class RoundRobinScheduler(Scheduler):
     """Deterministic fair rotation; in-program choices take the first
@@ -52,26 +58,47 @@ class RandomScheduler(Scheduler):
     With ``yield_bias`` > 0 the scheduler prefers to keep running the same
     thread (geometric persistence), which concentrates probability mass on
     low-preemption schedules; useful for throughput-style workloads.
+
+    Every decision is logged as ``(arity, index)`` so the run's full
+    decision sequence (:meth:`choices`) replays exactly through
+    :class:`ReplayScheduler` — stored counterexamples reproduce without
+    re-deriving the run from its seed.
     """
 
     def __init__(self, seed: int = 0, yield_bias: float = 0.0) -> None:
         self._rng = random.Random(seed)
         self._bias = yield_bias
         self._last: str | None = None
+        self.log: List[Tuple[int, int]] = []
 
     def choose_thread(self, enabled: Sequence[str]) -> str:
+        if self._last is not None and self._last not in enabled:
+            # The biased thread finished: a stale ``_last`` can never
+            # bias again — drop it so the bias state stays meaningful.
+            self._last = None
         if (
             self._bias > 0.0
-            and self._last in enabled
+            and self._last is not None
             and self._rng.random() < self._bias
         ):
-            return self._last
-        choice = self._rng.choice(list(enabled))
+            choice = self._last
+        else:
+            # randrange draws from the same underlying stream as the
+            # former ``choice(list(enabled))``, keeping seeded decision
+            # sequences stable across versions.
+            choice = enabled[self._rng.randrange(len(enabled))]
         self._last = choice
+        self.log.append((len(enabled), list(enabled).index(choice)))
         return choice
 
     def choose_value(self, options: Sequence[Any]) -> Any:
-        return self._rng.choice(list(options))
+        index = self._rng.randrange(len(options))
+        self.log.append((len(options), index))
+        return options[index]
+
+    def choices(self) -> List[int]:
+        """The decision indices actually taken in this run."""
+        return [chosen for _, chosen in self.log]
 
 
 class ReplayScheduler(Scheduler):
@@ -88,28 +115,37 @@ class ReplayScheduler(Scheduler):
     are free.  Exploration under a bound is an *underapproximation*, but
     small bounds are known to expose the overwhelming majority of
     concurrency bugs while taming the factorial schedule space.
+
+    ``clamp`` tolerates out-of-range prefix entries by wrapping them
+    modulo the arity instead of raising — used when replaying a mutated
+    schedule (counterexample shrinking), where decision points drift.
     """
 
     def __init__(
         self,
         prefix: Sequence[int] = (),
         preemption_bound: int | None = None,
+        clamp: bool = False,
     ) -> None:
         self._prefix: Tuple[int, ...] = tuple(prefix)
         self.log: List[Tuple[int, int]] = []
         self._bound = preemption_bound
         self._preemptions = 0
         self._last: str | None = None
+        self._clamp = clamp
 
     def _decide(self, arity: int) -> int:
         position = len(self.log)
         if position < len(self._prefix):
             choice = self._prefix[position]
             if not 0 <= choice < arity:
-                raise ValueError(
-                    f"replay prefix out of range at {position}: "
-                    f"{choice} not in [0, {arity})"
-                )
+                if self._clamp:
+                    choice = choice % arity
+                else:
+                    raise ValueError(
+                        f"replay prefix out of range at {position}: "
+                        f"{choice} not in [0, {arity})"
+                    )
         else:
             choice = 0
         self.log.append((arity, choice))

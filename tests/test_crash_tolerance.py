@@ -1,0 +1,416 @@
+"""Experiment E16: crash tolerance — pending-aware verdicts.
+
+The paper's exchanger is *wait-free*: its correctness story must survive
+a partner dying mid-exchange.  These suites crash threads mid-operation
+(deterministic fault injection) and require the pending-aware checkers to
+keep delivering verdicts: the crashed operation stays pending in ``H``
+and is resolved against the recorded witness — extended if it took
+effect, dropped if it did not (Def. 2's two completion moves).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import (
+    CALChecker,
+    LinearizabilityChecker,
+    Verdict,
+    complete_from_witness,
+    fuzz_cal,
+    fuzz_linearizability,
+    replay,
+    verify_cal,
+    verify_linearizability,
+)
+from repro.core.catrace import CATrace, swap_element
+from repro.core.history import History
+from repro.objects import POP_SENTINEL, EliminationStack
+from repro.objects.sync_queue import TAKE_SENTINEL, SyncQueue
+from repro.rg.views import (
+    compose_views,
+    elim_array_view,
+    elimination_stack_view,
+    sync_queue_view,
+)
+from repro.specs import ExchangerSpec, StackSpec, SyncQueueSpec
+from repro.substrate import (
+    CrashThread,
+    ExploreBudget,
+    FaultCampaign,
+    FaultPlan,
+    Program,
+    World,
+)
+from repro.workloads.programs import exchanger_program
+
+from tests.helpers import inv, op, seq_history
+
+
+class TestExchangerCrashes:
+    """A wait-free exchanger must stay CAL when partners die."""
+
+    def test_crash_campaign_stays_cal(self):
+        """The acceptance campaign: seeded crash faults over the 4-thread
+        exchanger — zero exceptions, pending-aware verdicts, all OK."""
+        report = fuzz_cal(
+            exchanger_program([1, 2, 3, 4]),
+            ExchangerSpec("E"),
+            seeds=range(100),
+            max_steps=2000,
+            check_witness=True,
+            faults=FaultCampaign(crashes=1),
+        )
+        assert report.ok
+        assert report.crashed > 0  # crashes actually landed
+        assert report.runs > 0
+
+    def test_two_thread_partner_death(self):
+        """Crash one of two exchangers at every early step: the survivor
+        must come back with a failed exchange and the run stays CAL."""
+        checker = CALChecker(ExchangerSpec("E"))
+        setup = exchanger_program([1, 2], wait_rounds=2)
+        crashes_seen = 0
+        for at_step in range(8):
+            for seed in range(10):
+                from repro.substrate import run_random
+
+                run = run_random(
+                    setup,
+                    seed=seed,
+                    max_steps=500,
+                    faults=FaultPlan.of(CrashThread("t2", at_step)),
+                )
+                if not run.completed:
+                    continue
+                pending = run.history.pending()
+                # Only a crashed thread can leave an invocation dangling
+                # (a crash before the Invoke leaves no trace in H at all).
+                assert all(p.tid in run.crashed for p in pending)
+                if run.crashed and pending:
+                    crashes_seen += 1
+                witness = run.trace.project_object("E")
+                assert checker.check_witness(run.history, witness).ok
+        assert crashes_seen > 0
+
+    def test_crashed_exchange_that_took_effect_is_extended(self):
+        # The witness says t1/t2 swapped; t2 died before responding.
+        # Its operation must be *extended* with the witness value, not
+        # dropped — dropping would orphan t1's successful exchange.
+        swap = swap_element("E", "t1", 1, "t2", 2)
+        target = History(
+            [
+                inv("t1", "E", "exchange", 1),
+                inv("t2", "E", "exchange", 2),
+                # neither thread responded before the crash
+            ]
+        )
+        completed = complete_from_witness(target, CATrace([swap]))
+        assert completed.is_complete()
+        assert len(completed.spans()) == 2
+        result = CALChecker(ExchangerSpec("E")).check_witness(
+            target, CATrace([swap])
+        )
+        assert result.ok
+
+    def test_crashed_exchange_that_never_took_effect_is_dropped(self):
+        target = History([inv("t1", "E", "exchange", 1)])
+        completed = complete_from_witness(target, CATrace())
+        assert completed.is_complete()
+        assert len(completed) == 0
+
+
+class TestEliminationStackCrashes:
+    def _setup_and_view(self, threads=4):
+        holder = {}
+
+        def setup(scheduler):
+            world = World()
+            stack = EliminationStack(world, "ES", slots=1, max_attempts=None)
+            holder["view"] = compose_views(
+                elimination_stack_view(
+                    stack.oid, stack.central.oid, stack.elim.oid, POP_SENTINEL
+                ),
+                elim_array_view(stack.elim.oid, stack.elim.subobject_ids),
+            )
+            program = Program(world)
+            for index in range(1, threads + 1):
+                if index % 2:
+                    program.thread(
+                        f"t{index}", lambda ctx, v=index: stack.push(ctx, v)
+                    )
+                else:
+                    program.thread(f"t{index}", lambda ctx: stack.pop(ctx))
+            return program.runtime(scheduler)
+
+        return setup, (lambda trace: holder["view"](trace))
+
+    def test_crash_campaign_stays_linearizable(self):
+        setup, view = self._setup_and_view(4)
+        report = fuzz_linearizability(
+            setup,
+            StackSpec("ES"),
+            seeds=range(40),
+            max_steps=5000,
+            check_witness=True,
+            view=view,
+            faults=FaultCampaign(crashes=1),
+        )
+        assert not report.failures
+        assert report.crashed > 0
+        assert report.runs > 0
+
+
+class TestSyncQueueCrashes:
+    def _setup_and_view(self, puts, takers):
+        holder = {}
+
+        def setup(scheduler):
+            world = World()
+            queue = SyncQueue(world, "SQ", slots=1, max_attempts=2)
+            holder["view"] = compose_views(
+                sync_queue_view(queue.oid, queue.elim.oid, TAKE_SENTINEL),
+                elim_array_view(queue.elim.oid, queue.elim.subobject_ids),
+            )
+            program = Program(world)
+            for index, value in enumerate(puts, start=1):
+                program.thread(
+                    f"p{index}", lambda ctx, v=value: queue.put(ctx, v)
+                )
+            for index in range(1, takers + 1):
+                program.thread(f"c{index}", lambda ctx: queue.take(ctx))
+            return program.runtime(scheduler)
+
+        return setup, (lambda trace: holder["view"](trace))
+
+    def test_crash_campaign_never_misreports(self):
+        """Crashing a handoff partner mostly starves its peer (the run is
+        cut, not completed — CA-object semantics); completed runs are
+        checked pending-aware.  Either way: no exceptions, no spurious
+        failures."""
+        setup, view = self._setup_and_view([5, 6], 2)
+        seeds = range(60)
+        report = fuzz_cal(
+            setup,
+            SyncQueueSpec("SQ"),
+            seeds=seeds,
+            max_steps=400,
+            check_witness=True,
+            view=view,
+            faults=FaultCampaign(crashes=1),
+        )
+        assert not report.failures
+        assert report.runs + report.incomplete == len(seeds)
+        assert report.incomplete > 0  # starved partners got cut
+
+
+class TestPendingHistoryProperties:
+    """strip_pending / complete_with round-trip (property-based)."""
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    def test_round_trip_on_complete_histories(self):
+        from hypothesis import given, strategies as st
+
+        tids = st.lists(
+            st.sampled_from(["t1", "t2", "t3", "t4"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+
+        @given(tids=tids, data=st.data())
+        def run(tids, data):
+            ops = [
+                op(tid, "O", "f", (index,), (index * 10,))
+                for index, tid in enumerate(tids)
+            ]
+            invs = data.draw(st.permutations([o.invocation for o in ops]))
+            resps = data.draw(st.permutations([o.response for o in ops]))
+            history = History(list(invs) + list(resps))
+            assert history.is_complete()
+            # complete histories round-trip *identically*:
+            assert history.strip_pending() is history
+            assert history.complete_with(lambda i: (99,)) is history
+
+        run()
+
+    def test_strip_and_extend_on_pending_histories(self):
+        from hypothesis import given, strategies as st
+
+        @given(
+            completed=st.integers(min_value=0, max_value=3),
+            pending=st.integers(min_value=1, max_value=3),
+        )
+        def run(completed, pending):
+            actions = []
+            for index in range(completed):
+                o = op(f"c{index}", "O", "f", (index,), (index,))
+                actions += [o.invocation, o.response]
+            pending_invs = [
+                inv(f"p{index}", "O", "f", index) for index in range(pending)
+            ]
+            history = History(actions + pending_invs)
+            assert len(history.pending()) == pending
+
+            stripped = history.strip_pending()
+            assert stripped.is_complete()
+            assert len(stripped) == 2 * completed
+            assert stripped == History(actions)
+
+            extended = history.complete_with(lambda i: (42,))
+            assert extended.is_complete()
+            assert len(extended.spans()) == completed + pending
+            # extending then stripping is the identity:
+            assert extended.strip_pending() is extended
+
+        run()
+
+    def test_partial_resolution(self):
+        history = History(
+            [inv("a", "O", "f", 1), inv("b", "O", "f", 2)]
+        )
+        resolved = history.complete_with(
+            lambda i: (7,) if i.tid == "a" else None
+        )
+        assert resolved.is_complete()
+        spans = resolved.spans()
+        assert len(spans) == 1
+        assert spans[0].operation.value == (7,)
+
+
+class TestUnknownVerdicts:
+    def _wide_history(self, width=7):
+        from tests.helpers import overlapped_history
+
+        # All operations pairwise concurrent: factorial search space.
+        return overlapped_history(
+            *[op(f"t{i}", "R", "write", (i,), (None,)) for i in range(width)]
+        )
+
+    def test_linearizability_search_degrades_to_unknown(self):
+        from repro.specs import RegisterSpec
+
+        checker = LinearizabilityChecker(RegisterSpec("R"))
+        # Any linearization of 7 writes needs ≥ 7 search nodes, so a
+        # 3-node budget must trip before the search can conclude.
+        result = checker.check(self._wide_history(), node_budget=3)
+        assert not result.ok
+        assert result.unknown
+        assert result.verdict is Verdict.UNKNOWN
+        assert "budget" in result.reason
+
+    def test_cal_search_degrades_to_unknown(self):
+        from tests.helpers import overlapped_history
+
+        # A failed exchange returns (False, own value).
+        wide = overlapped_history(
+            *[
+                op(f"t{i}", "E", "exchange", (i,), (False, i))
+                for i in range(6)
+            ]
+        )
+        result = CALChecker(ExchangerSpec("E")).check(wide, node_budget=2)
+        assert result.unknown
+
+    def test_oversized_exploration_returns_unknown_within_budget(self):
+        """The acceptance check: an exhaustive sweep far too large to
+        finish must come back UNKNOWN, not hang."""
+        import time
+
+        budget = ExploreBudget(max_runs=25, deadline=30.0)
+        started = time.monotonic()
+        report = verify_cal(
+            exchanger_program([1, 2, 3, 4]),
+            ExchangerSpec("E"),
+            max_steps=2000,
+            check_witness=True,
+            search=False,
+            budget=budget,
+        )
+        assert time.monotonic() - started < 30.0
+        assert budget.tripped
+        assert report.verdict is Verdict.UNKNOWN
+        assert not report.ok
+        assert not report.failures
+
+    def test_budget_cut_search_falls_back_to_witness(self):
+        """Per-run search over budget: the driver degrades to witness
+        validation and the report is UNKNOWN — but still catches real
+        violations via the witness path."""
+        report = verify_cal(
+            exchanger_program([1, 2]),
+            ExchangerSpec("E"),
+            max_steps=500,
+            check_witness=False,
+            search=True,
+            node_budget=1,
+        )
+        assert report.unknown > 0
+        assert report.verdict is Verdict.UNKNOWN
+        assert not report.failures  # witness fallback found nothing wrong
+
+    def test_verify_linearizability_budget_unknown(self):
+        from repro.specs import RegisterSpec
+        from repro.workloads.programs import register_program
+
+        report = verify_linearizability(
+            register_program([1, 2], readers=1),
+            RegisterSpec("R"),
+            max_steps=200,
+            preemption_bound=1,
+            node_budget=1,
+        )
+        assert report.verdict is Verdict.UNKNOWN
+        assert report.unknown > 0
+
+
+class TestFaultyFailureReplay:
+    @staticmethod
+    def _broken_setup(scheduler):
+        from repro.objects.base import operation
+        from repro.objects.exchanger import Exchanger
+
+        class Broken(Exchanger):
+            @operation
+            def exchange(self, ctx, v):
+                yield from ctx.log_trace(
+                    swap_element("E", ctx.tid, v, "ghost", 0)
+                )
+                return (True, 0)
+
+        world = World()
+        exchanger = Broken(world, "E")
+        program = Program(world)
+        program.thread("t1", lambda ctx: exchanger.exchange(ctx, 1))
+        program.thread("t2", lambda ctx: exchanger.exchange(ctx, 2))
+        return program.runtime(scheduler)
+
+    def test_faulty_failure_replays_and_shrinks(self):
+        report = fuzz_cal(
+            self._broken_setup,
+            ExchangerSpec("E"),
+            seeds=range(3),
+            max_steps=200,
+            faults=FaultCampaign(crashes=1, window=4),
+            shrink=True,
+        )
+        assert not report.ok
+        for failure in report.failures:
+            rerun = replay(self._broken_setup, failure, max_steps=200)
+            assert rerun.history == failure.history
+
+    def test_shrinking_drops_irrelevant_faults(self):
+        # The spec violation exists with no faults at all, so greedy
+        # shrinking must strip the entire plan.
+        report = fuzz_cal(
+            self._broken_setup,
+            ExchangerSpec("E"),
+            seeds=range(1),
+            max_steps=200,
+            faults=FaultPlan.of(CrashThread("t2", 12)),
+            shrink=True,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.plan is None or len(failure.plan) == 0

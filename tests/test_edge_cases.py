@@ -113,12 +113,16 @@ class TestCheckerEdges:
         # ... without projection the spec rejects the foreign element.
         assert not checker.check(other_object, project=False).ok
 
-    def test_check_witness_requires_complete_history(self):
+    def test_check_witness_resolves_pending_against_witness(self):
+        # A pending invocation the witness knows nothing about never took
+        # effect: it is dropped, and the empty witness explains the rest.
         checker = CALChecker(ExchangerSpec("E"))
         pending = History([inv("t1", "E", "exchange", 1)])
         result = checker.check_witness(pending, CATrace())
-        assert not result.ok
-        assert "complete" in result.reason
+        assert result.ok
+        assert result.completion is not None
+        assert result.completion.is_complete()
+        assert len(result.completion) == 0
 
     def test_check_result_booliness(self):
         assert CheckResult(True)

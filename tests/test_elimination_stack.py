@@ -188,7 +188,7 @@ class TestRetrySemantics:
             "t1", lambda ctx: stack.push(ctx, POP_SENTINEL)
         )
         from repro.substrate import RoundRobinScheduler
-        from repro.substrate.runtime import ThreadCrashed
 
-        with pytest.raises(ThreadCrashed):
-            program.runtime(RoundRobinScheduler()).run()
+        run = program.runtime(RoundRobinScheduler()).run()
+        assert "ValueError" in run.crashed["t1"]
+        assert "t1" not in run.returns

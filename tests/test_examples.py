@@ -21,6 +21,7 @@ SLOW_EXAMPLES = [
     "elimination_stack_demo.py",
     "rely_guarantee_proof.py",
     "bug_hunting.py",
+    "crash_tolerance_demo.py",
 ]
 
 

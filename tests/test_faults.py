@@ -1,0 +1,320 @@
+"""Fault injection mechanics: plans, the injector, scheduler and
+runtime robustness fixes, and exploration budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.substrate import (
+    CrashThread,
+    DelayThread,
+    ExploreBudget,
+    FailCAS,
+    FaultCampaign,
+    FaultInjector,
+    FaultPlan,
+    Program,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    StallThread,
+    World,
+    explore_all,
+    run_random,
+    run_schedule,
+)
+from repro.substrate.faults import CRASH, DELAY, STALL
+
+
+def _two_pausers(pauses=3):
+    def setup(scheduler):
+        world = World()
+
+        def body(ctx):
+            for _ in range(pauses):
+                yield from ctx.pause()
+            return "done"
+
+        program = Program(world).thread("a", body).thread("b", body)
+        return program.runtime(scheduler)
+
+    return setup
+
+
+class TestFaultPlan:
+    def test_of_and_len(self):
+        plan = FaultPlan.of(CrashThread("a", 1), FailCAS("b", 0))
+        assert len(plan) == 2
+        assert CrashThread("a", 1) in list(plan)
+
+    def test_without_removes_one_occurrence(self):
+        crash = CrashThread("a", 1)
+        plan = FaultPlan.of(crash, crash)
+        assert len(plan.without(crash)) == 1
+        assert len(plan.without(crash).without(crash)) == 0
+
+    def test_repr_lists_faults(self):
+        assert "CrashThread" in repr(FaultPlan.of(CrashThread("a", 1)))
+
+
+class TestFaultInjector:
+    def test_crash_fires_at_exact_step(self):
+        injector = FaultInjector(FaultPlan.of(CrashThread("a", 2)))
+        assert injector.before_step("a") is None
+        assert injector.before_step("a") is None
+        assert injector.before_step("a") == CRASH
+        assert injector.halted_step("a") == 2
+
+    def test_stall_reported_separately(self):
+        injector = FaultInjector(FaultPlan.of(StallThread("a", 0)))
+        assert injector.before_step("a") == STALL
+        # The thread stays halted forever.
+        assert injector.before_step("a") == STALL
+
+    def test_other_threads_unaffected(self):
+        injector = FaultInjector(FaultPlan.of(CrashThread("a", 0)))
+        assert injector.before_step("b") is None
+        assert injector.before_step("a") == CRASH
+
+    def test_earliest_halt_wins(self):
+        injector = FaultInjector(
+            FaultPlan.of(StallThread("a", 5), CrashThread("a", 1))
+        )
+        assert injector.before_step("a") is None
+        assert injector.before_step("a") == CRASH
+
+    def test_delay_burns_rounds_then_proceeds(self):
+        injector = FaultInjector(FaultPlan.of(DelayThread("a", 1, rounds=2)))
+        assert injector.before_step("a") is None  # step 0
+        assert injector.before_step("a") == DELAY  # before step 1
+        assert injector.before_step("a") == DELAY
+        assert injector.before_step("a") is None  # step 1 proceeds
+
+    def test_fail_cas_targets_by_index(self):
+        injector = FaultInjector(FaultPlan.of(FailCAS("a", 1, count=2)))
+        assert not injector.on_cas("a")  # CAS #0
+        assert injector.on_cas("a")  # CAS #1
+        assert injector.on_cas("a")  # CAS #2
+        assert not injector.on_cas("a")  # CAS #3
+        assert not injector.on_cas("b")
+
+
+class TestRuntimeFaults:
+    def test_injected_crash_leaves_invocation_pending(self):
+        from repro.objects.registers import AtomicRegister
+
+        def setup(scheduler):
+            world = World()
+            register = AtomicRegister(world, "R")
+            program = Program(world)
+            program.thread("w", lambda ctx: register.write(ctx, 1))
+            program.thread("r", lambda ctx: register.read(ctx))
+            return program.runtime(scheduler)
+
+        # Crash the writer after it has invoked but before it responds.
+        plan = FaultPlan.of(CrashThread("w", 1))
+        run = run_schedule(setup, [], faults=plan, clamp=True)
+        assert run.completed
+        assert "injected crash" in run.crashed["w"]
+        assert "w" not in run.returns
+        pending = run.history.pending()
+        assert [p.tid for p in pending] == ["w"]
+
+    def test_injected_stall_recorded_as_stall(self):
+        setup = _two_pausers()
+        run = run_schedule(
+            setup, [], faults=FaultPlan.of(StallThread("a", 1)), clamp=True
+        )
+        assert "injected stall" in run.crashed["a"]
+        assert run.returns["b"] == "done"
+
+    def test_delay_preserves_results_and_counts(self):
+        setup = _two_pausers(pauses=2)
+        run = run_schedule(
+            setup,
+            [],
+            faults=FaultPlan.of(DelayThread("a", 1, rounds=3)),
+            clamp=True,
+        )
+        assert run.completed and not run.crashed
+        assert run.returns == {"a": "done", "b": "done"}
+        assert run.counters["injected_pause"] == 3
+
+    def test_spurious_cas_failure(self):
+        def setup(scheduler):
+            world = World()
+            cell = world.heap.ref("x", 0)
+
+            def body(ctx):
+                first = yield from ctx.cas(cell, 0, 1)
+                second = yield from ctx.cas(cell, 0, 1)
+                return (first, second)
+
+            return Program(world).thread("t1", body).runtime(scheduler)
+
+        run = run_schedule(
+            setup, [], faults=FaultPlan.of(FailCAS("t1", 0)), clamp=True
+        )
+        # The first CAS fails spuriously (no compare, no write); the
+        # retry succeeds because the cell was never touched.
+        assert run.returns["t1"] == (False, True)
+        assert run.counters["cas_spurious"] == 1
+        assert run.counters["cas_success"] == 1
+
+    def test_faulty_run_replays_identically(self):
+        setup = _two_pausers()
+        plan = FaultPlan.of(CrashThread("a", 2), DelayThread("b", 1))
+        original = run_random(setup, seed=11, faults=plan)
+        replayed = run_schedule(setup, original.schedule, faults=plan)
+        assert replayed.history == original.history
+        assert replayed.crashed == original.crashed
+        assert replayed.steps == original.steps
+
+    def test_on_crash_rejects_unknown_mode(self):
+        from repro.substrate.runtime import Runtime
+
+        with pytest.raises(ValueError):
+            Runtime(World(), {}, RoundRobinScheduler(), on_crash="ignore")
+
+    def test_monitors_finish_on_max_steps_cut(self):
+        # Satellite fix: on_finish must run on *every* non-exceptional
+        # exit, including a max_steps cut.
+        finishes = []
+
+        class Probe:
+            def on_transition(self, *args):
+                pass
+
+            def on_finish(self, world):
+                finishes.append(world)
+
+        def setup(scheduler):
+            world = World()
+
+            def spinner(ctx):
+                while True:
+                    yield from ctx.pause()
+
+            program = Program(world).thread("t1", spinner).monitor(Probe())
+            return program.runtime(scheduler)
+
+        run = setup(RoundRobinScheduler()).run(max_steps=5)
+        assert not run.completed
+        assert len(finishes) == 1
+
+    def test_monitors_see_injected_delay_as_stutter(self):
+        transitions = []
+
+        class Probe:
+            def on_transition(self, tid, effect, result, pre, post, *rest):
+                transitions.append((tid, pre == post))
+
+        def setup(scheduler):
+            world = World()
+
+            def body(ctx):
+                yield from ctx.pause()
+
+            program = Program(world).thread("a", body).monitor(Probe())
+            return program.runtime(scheduler)
+
+        run_schedule(
+            setup, [], faults=FaultPlan.of(DelayThread("a", 0)), clamp=True
+        )
+        assert ("a", True) in transitions
+
+
+class TestRandomSchedulerRegressions:
+    def test_seeded_decision_sequence_is_pinned(self):
+        """The exact seeded stream is load-bearing: stored seeds in
+        failure reports must keep reproducing across versions."""
+        scheduler = RandomScheduler(seed=7)
+        picks = [scheduler.choose_thread(["a", "b", "c"]) for _ in range(6)]
+        assert picks == ["b", "a", "b", "c", "a", "a"]
+        values = [scheduler.choose_value([10, 20, 30]) for _ in range(3)]
+        assert values == [30, 10, 20]
+        assert scheduler.choices() == [1, 0, 1, 2, 0, 0, 2, 0, 1]
+
+    def test_stale_last_thread_is_reset(self):
+        # Satellite fix: when the biased thread leaves the enabled set,
+        # the scheduler must not keep handing it out.
+        scheduler = RandomScheduler(seed=0, yield_bias=1.0)
+        assert scheduler.choose_thread(["a"]) == "a"
+        pick = scheduler.choose_thread(["b", "c"])
+        assert pick in ("b", "c")
+
+    def test_bias_keeps_running_enabled_thread(self):
+        scheduler = RandomScheduler(seed=0, yield_bias=1.0)
+        first = scheduler.choose_thread(["a", "b"])
+        assert scheduler.choose_thread(["a", "b"]) == first
+
+    def test_log_replays_through_replay_scheduler(self):
+        setup = _two_pausers()
+        original = run_random(setup, seed=3)
+        replayed = run_schedule(setup, original.schedule)
+        assert replayed.history == original.history
+        assert replayed.schedule == original.schedule
+
+
+class TestReplayClamp:
+    def test_clamp_wraps_out_of_range(self):
+        scheduler = ReplayScheduler([5], clamp=True)
+        assert scheduler.choose_thread(["a", "b"]) == "b"  # 5 % 2 == 1
+
+    def test_unclamped_still_raises(self):
+        scheduler = ReplayScheduler([5])
+        with pytest.raises(ValueError):
+            scheduler.choose_thread(["a", "b"])
+
+
+class TestExploreBudget:
+    def test_max_runs_trips(self):
+        budget = ExploreBudget(max_runs=3)
+        results = list(explore_all(_two_pausers(), budget=budget))
+        assert len(results) == 3
+        assert budget.tripped
+        assert "run budget" in budget.reason
+
+    def test_step_budget_trips(self):
+        budget = ExploreBudget(step_budget=20)
+        list(explore_all(_two_pausers(), budget=budget))
+        assert budget.tripped
+        assert budget.steps >= 20
+
+    def test_deadline_trips(self):
+        budget = ExploreBudget(deadline=0.0)
+        results = list(explore_all(_two_pausers(), budget=budget))
+        # The deadline is checked before the first run even starts.
+        assert results == []
+        assert budget.tripped
+
+    def test_untripped_budget_reports_totals(self):
+        budget = ExploreBudget()
+        runs = list(explore_all(_two_pausers(1), budget=budget))
+        assert not budget.tripped
+        assert budget.runs >= len(runs)
+        assert budget.steps > 0
+
+
+class TestFaultCampaign:
+    def test_plan_is_seed_deterministic(self):
+        campaign = FaultCampaign(crashes=1, delays=1)
+        tids = ["t1", "t2", "t3"]
+        assert campaign.plan(5, tids) == campaign.plan(5, tids)
+        plans = {campaign.plan(seed, tids) for seed in range(20)}
+        assert len(plans) > 1  # different seeds, different plans
+
+    def test_campaign_respects_thread_pool(self):
+        campaign = FaultCampaign(crashes=2, stalls=1)
+        plan = campaign.plan(0, ["t1", "t2"])
+        crashed = {f.tid for f in plan if isinstance(f, CrashThread)}
+        stalled = {f.tid for f in plan if isinstance(f, StallThread)}
+        assert crashed <= {"t1", "t2"}
+        # Only the threads not already crashed can stall.
+        assert not (stalled & crashed)
+
+    def test_window_bounds_fault_steps(self):
+        campaign = FaultCampaign(crashes=1, window=4)
+        for seed in range(10):
+            for fault in campaign.plan(seed, ["t1", "t2"]):
+                assert fault.at_step < 4

@@ -151,16 +151,56 @@ class TestFuzzLinearizability:
         assert not report.ok, "fuzzing should hit the FIFO violation"
 
     def test_failure_seed_reproduces(self):
+        # Without shrinking, the stored history is the seeded run's own.
         report = fuzz_linearizability(
             self._naive_queue_setup,
             QueueSpec("EQ"),
             seeds=range(400),
             max_steps=1000,
+            shrink=False,
         )
         failure = report.failures[0]
         from repro.substrate.explore import run_random
 
-        replay = run_random(
+        rerun = run_random(
             self._naive_queue_setup, seed=failure.seed, max_steps=1000
         )
-        assert replay.history == failure.history
+        assert rerun.history == failure.history
+
+    def test_failure_schedule_replays_identically(self):
+        """Counterexamples reproduce from their stored decision schedule
+        alone — no re-derivation from the seed (shrunk ones included)."""
+        from repro.checkers import replay
+
+        for shrink in (False, True):
+            report = fuzz_linearizability(
+                self._naive_queue_setup,
+                QueueSpec("EQ"),
+                seeds=range(400),
+                max_steps=1000,
+                shrink=shrink,
+            )
+            assert not report.ok
+            failure = report.failures[0]
+            assert failure.schedule
+            rerun = replay(self._naive_queue_setup, failure, max_steps=1000)
+            assert rerun.history == failure.history
+
+    def test_shrinking_never_grows_the_counterexample(self):
+        unshrunk = fuzz_linearizability(
+            self._naive_queue_setup,
+            QueueSpec("EQ"),
+            seeds=range(400),
+            max_steps=1000,
+            shrink=False,
+        )
+        shrunk = fuzz_linearizability(
+            self._naive_queue_setup,
+            QueueSpec("EQ"),
+            seeds=range(400),
+            max_steps=1000,
+            shrink=True,
+        )
+        assert len(shrunk.failures) == len(unshrunk.failures)
+        for small, big in zip(shrunk.failures, unshrunk.failures):
+            assert len(small.schedule) <= len(big.schedule)

@@ -149,7 +149,7 @@ class TestRuntime:
         result = program.runtime(RoundRobinScheduler()).run()
         assert result.returns["t1"] == (False, True)
 
-    def test_thread_crash_is_wrapped(self):
+    def test_thread_crash_is_recorded(self):
         world = World()
 
         def bad(ctx):
@@ -157,8 +157,46 @@ class TestRuntime:
             raise RuntimeError("boom")
 
         program = Program(world).thread("t1", bad)
+        result = program.runtime(RoundRobinScheduler()).run()
+        assert result.completed
+        assert "RuntimeError" in result.crashed["t1"]
+        assert "t1" not in result.returns
+
+    def test_thread_crash_raises_on_request(self):
+        world = World()
+
+        def bad(ctx):
+            yield from ctx.pause()
+            raise RuntimeError("boom")
+
+        def ok(ctx):
+            yield from ctx.pause()
+            return 42
+
+        program = Program(world).thread("t1", bad).thread("t2", ok)
+        runtime = Runtime(
+            world, {"t1": bad, "t2": ok}, RoundRobinScheduler(), on_crash="raise"
+        )
         with pytest.raises(ThreadCrashed):
-            program.runtime(RoundRobinScheduler()).run()
+            runtime.run()
+
+    def test_crash_does_not_abort_other_threads(self):
+        world = World()
+
+        def bad(ctx):
+            yield from ctx.pause()
+            raise RuntimeError("boom")
+
+        def ok(ctx):
+            yield from ctx.pause()
+            yield from ctx.pause()
+            return 42
+
+        program = Program(world).thread("t1", bad).thread("t2", ok)
+        result = program.runtime(RoundRobinScheduler()).run()
+        assert result.completed
+        assert result.returns["t2"] == 42
+        assert set(result.crashed) == {"t1"}
 
     def test_exploration_cut_reports_incomplete(self):
         world = World()

@@ -102,15 +102,16 @@ class TestHandoff:
 
     def test_reserved_sentinel_rejected(self):
         from repro.substrate import RoundRobinScheduler
-        from repro.substrate.runtime import ThreadCrashed
 
         world = World()
         queue = SyncQueue(world, "SQ")
         program = Program(world).thread(
             "t1", lambda ctx: queue.put(ctx, TAKE_SENTINEL)
         )
-        with pytest.raises(ThreadCrashed):
-            program.runtime(RoundRobinScheduler()).run()
+        run = program.runtime(RoundRobinScheduler()).run()
+        assert "ValueError" in run.crashed["t1"]
+        # The rejected put stays pending — no response was recorded.
+        assert run.history.pending()
 
 
 class TestSpecImpossibility:
