@@ -13,7 +13,7 @@ from repro.workloads.synthetic import (
 )
 
 LENGTHS = [2, 4, 8, 16, 32]
-WIDTHS = [2, 4, 6, 8]
+WIDTHS = [2, 4, 6, 8, 10, 12]  # 10/12 unblocked by the bitmask core (E17)
 
 
 @pytest.mark.parametrize("pairs", LENGTHS)

@@ -1,0 +1,179 @@
+"""E17: the bitmask search core vs the seed (reference) implementation.
+
+Head-to-head wall-clock and nodes/sec on the E12 scaling workloads:
+the seed core (:mod:`repro.checkers._reference`, frozenset taken-sets,
+eagerly-sorted subset enumeration, recursive search) against the
+bitmask core (int taken-sets, lazy popcount-ordered subsets, iterative
+search with interned memo keys).  The acceptance bar for the rewrite is
+an **aggregate ≥ 3× speedup on wide-overlap workloads of width ≥ 4**;
+verdict/node equivalence is proven separately by
+``tests/test_search_core.py``.
+
+Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_e17_search_core.py``) — the
+  speedup assertion plus per-workload pytest-benchmark records;
+* standalone (``python benchmarks/bench_e17_search_core.py --quick
+  --json out.json``) — the CI smoke mode: one timed pass, a table on
+  stdout, machine-readable JSON, non-zero exit if the bar is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.checkers import CALChecker
+from repro.checkers._reference import ReferenceCALChecker
+from repro.specs import ExchangerSpec
+from repro.workloads.synthetic import swap_chain_history, wide_overlap_history
+
+SPEEDUP_BAR = 3.0  # aggregate, width >= 4 wide-overlap workloads
+
+FULL_WIDTHS = [4, 6, 8, 10, 12]
+QUICK_WIDTHS = [4, 6, 8, 10]
+CHAIN_PAIRS = [8, 16, 32]
+
+
+def _workloads(widths: List[int]) -> List[Tuple[str, object, bool]]:
+    """(name, history, counts_toward_bar) triples."""
+    out: List[Tuple[str, object, bool]] = []
+    for width in widths:
+        out.append((f"wide_overlap/w{width}", wide_overlap_history(width), True))
+    for pairs in CHAIN_PAIRS:
+        history, _ = swap_chain_history(pairs=pairs)
+        out.append((f"swap_chain/p{pairs}", history, False))
+    return out
+
+
+def _time_check(make_checker: Callable[[], object], history, repeat: int):
+    """Best-of-``repeat`` wall time and the (stable) node count.
+
+    A fresh checker per pass: the cores memoize nothing across calls,
+    but a fresh instance keeps the comparison honest by construction.
+    """
+    best = float("inf")
+    nodes = 0
+    for _ in range(repeat):
+        checker = make_checker()
+        start = time.perf_counter()
+        result = checker.check(history)
+        elapsed = time.perf_counter() - start
+        assert result.ok, f"workload unexpectedly rejected: {result.reason}"
+        best = min(best, elapsed)
+        nodes = result.nodes
+    return best, nodes
+
+
+def run_comparison(widths: List[int], repeat: int) -> Dict:
+    """Measure both cores on every workload; return the summary dict."""
+    spec = ExchangerSpec("E")
+    rows = []
+    bar_old = bar_new = 0.0
+    for name, history, counts in _workloads(widths):
+        old_s, old_nodes = _time_check(
+            lambda: ReferenceCALChecker(spec), history, repeat
+        )
+        new_s, new_nodes = _time_check(
+            lambda: CALChecker(spec), history, repeat
+        )
+        rows.append(
+            {
+                "workload": name,
+                "old_s": old_s,
+                "new_s": new_s,
+                "old_nodes": old_nodes,
+                "new_nodes": new_nodes,
+                "old_nodes_per_s": old_nodes / old_s if old_s else 0.0,
+                "new_nodes_per_s": new_nodes / new_s if new_s else 0.0,
+                "speedup": old_s / new_s if new_s else float("inf"),
+                "counts_toward_bar": counts,
+            }
+        )
+        if counts:
+            bar_old += old_s
+            bar_new += new_s
+    return {
+        "experiment": "E17",
+        "bar": SPEEDUP_BAR,
+        "aggregate_speedup": bar_old / bar_new if bar_new else float("inf"),
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_e17_aggregate_speedup(record):
+    summary = run_comparison(QUICK_WIDTHS, repeat=2)
+    record(aggregate_speedup=round(summary["aggregate_speedup"], 2))
+    assert summary["aggregate_speedup"] >= SPEEDUP_BAR, summary
+
+
+def test_e17_node_counts_never_regress(record):
+    summary = run_comparison(QUICK_WIDTHS, repeat=1)
+    for row in summary["rows"]:
+        assert row["new_nodes"] <= row["old_nodes"], row
+    record(workloads=len(summary["rows"]))
+
+
+def _bench_rows():
+    import pytest
+
+    return pytest.mark.parametrize("width", FULL_WIDTHS[:-1])
+
+
+@_bench_rows()
+def test_e17_bitmask_core_throughput(benchmark, record, width):
+    history = wide_overlap_history(width)
+    checker = CALChecker(ExchangerSpec("E"))
+    result = benchmark(lambda: checker.check(history))
+    record(width=width, nodes=result.nodes)
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# standalone (CI smoke) entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller widths, single timed pass (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the summary dict as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    widths = QUICK_WIDTHS if args.quick else FULL_WIDTHS
+    repeat = 1 if args.quick else 3
+    summary = run_comparison(widths, repeat)
+
+    header = f"{'workload':<18} {'old (s)':>10} {'new (s)':>10} {'speedup':>8} {'nodes/s new':>12}"
+    print(header)
+    print("-" * len(header))
+    for row in summary["rows"]:
+        print(
+            f"{row['workload']:<18} {row['old_s']:>10.4f} {row['new_s']:>10.4f}"
+            f" {row['speedup']:>7.1f}x {row['new_nodes_per_s']:>12.0f}"
+        )
+    print(
+        f"\naggregate speedup (wide overlap, width >= 4): "
+        f"{summary['aggregate_speedup']:.1f}x (bar: {SPEEDUP_BAR:.0f}x)"
+    )
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    return 0 if summary["aggregate_speedup"] >= SPEEDUP_BAR else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Shared configuration for the benchmark suite.
 
-Every benchmark regenerates one experiment row of DESIGN.md (E1–E12):
+Every benchmark regenerates one experiment row of DESIGN.md (E1–E17):
 the measured *verdicts* are attached to the pytest-benchmark record as
 ``extra_info`` and asserted, so a benchmark run doubles as a full
 reproduction run; the timing numbers characterize checker/simulator

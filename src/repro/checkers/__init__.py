@@ -18,6 +18,9 @@
   interleavings of a program and check every run.
 * :mod:`repro.checkers.fuzz` — randomized (seeded-schedule) drivers for
   workloads beyond exhaustive reach.
+* :mod:`repro.checkers.parallel` — multiprocessing campaign runner:
+  fuzz seed ranges and explore shards fanned across workers with
+  deterministic merging (see ``docs/checkers.md``).
 """
 
 from repro.checkers.seqspec import SequentialSpec
@@ -41,6 +44,11 @@ from repro.checkers.fuzz import (
     replay,
     shrink_failure,
 )
+from repro.checkers.parallel import (
+    explore_parallel,
+    fuzz_cal_parallel,
+    fuzz_linearizability_parallel,
+)
 
 __all__ = [
     "CALChecker",
@@ -57,8 +65,11 @@ __all__ = [
     "VerificationReport",
     "Verdict",
     "complete_from_witness",
+    "explore_parallel",
     "fuzz_cal",
+    "fuzz_cal_parallel",
     "fuzz_linearizability",
+    "fuzz_linearizability_parallel",
     "replay",
     "shrink_failure",
     "verify_cal",

@@ -1,0 +1,165 @@
+"""The pre-bitmask (seed) search core, preserved as a reference oracle.
+
+This module is a faithful copy of the original frozenset-based
+``_search.py`` plus the recursive ``_check_complete`` bodies of the two
+checkers, kept for two purposes:
+
+* **differential testing** — ``tests/test_search_core.py`` asserts
+  verdict equality between this core and the bitmask core on random
+  histories (hypothesis) and on the E12 scaling workloads;
+* **benchmarking** — ``benchmarks/bench_e17_search_core.py`` measures
+  the bitmask core's nodes/sec and wall-clock speedup against this
+  implementation on identical inputs.
+
+It is deliberately *not* exported from ``repro.checkers``: production
+code must use :class:`~repro.checkers.cal.CALChecker` and
+:class:`~repro.checkers.linearizability.LinearizabilityChecker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.checkers.cal import CALChecker
+from repro.checkers.linearizability import LinearizabilityChecker
+from repro.checkers.result import CheckResult, SearchBudget
+from repro.core.catrace import CAElement, CATrace
+from repro.core.history import History
+
+
+@dataclass(frozen=True)
+class ReferenceSearchProblem:
+    """Precomputed precedence structure — seed (frozenset) representation."""
+
+    spans: Tuple
+    predecessors: Tuple[FrozenSet[int], ...]
+
+    @staticmethod
+    def of(history: History) -> "ReferenceSearchProblem":
+        if not history.is_complete():
+            raise ValueError("search requires a complete history")
+        spans = history.spans()
+        preds: List[Set[int]] = [set() for _ in spans]
+        for i, earlier in enumerate(spans):
+            for j, later in enumerate(spans):
+                if i != j and history.precedes(earlier, later):
+                    preds[j].add(i)
+        return ReferenceSearchProblem(
+            spans=spans,
+            predecessors=tuple(frozenset(p) for p in preds),
+        )
+
+    def frontier(self, taken: FrozenSet[int]) -> List[int]:
+        return [
+            i
+            for i in range(len(self.spans))
+            if i not in taken and self.predecessors[i] <= taken
+        ]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def reference_nonempty_subsets(items: Sequence[int]) -> List[Tuple[int, ...]]:
+    """Seed behaviour: eagerly materialize all 2^n − 1 subsets, sort by size."""
+    out: List[Tuple[int, ...]] = []
+    n = len(items)
+    for mask in range(1, 1 << n):
+        out.append(tuple(items[k] for k in range(n) if mask & (1 << k)))
+    out.sort(key=len)
+    return out
+
+
+class ReferenceCALChecker(CALChecker):
+    """CAL checker running the seed recursive frozenset search."""
+
+    def _check_complete(
+        self, history: History, budget: Optional[SearchBudget] = None
+    ) -> CheckResult:
+        problem = ReferenceSearchProblem.of(history)
+        total = len(problem)
+        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
+        elements: List[CAElement] = []
+        nodes = 0
+
+        def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
+            nonlocal nodes
+            nodes += 1
+            if budget is not None:
+                budget.charge()
+            if len(taken) == total:
+                return True
+            key = (taken, state)
+            if key in seen:
+                return False
+            seen.add(key)
+            frontier = problem.frontier(taken)
+            for subset in reference_nonempty_subsets(frontier):
+                ops = [problem.spans[i].operation for i in subset]
+                element = CAElement(self.spec.oid, ops)  # type: ignore[arg-type]
+                successor = self.spec.step(state, element)
+                if successor is None:
+                    continue
+                elements.append(element)
+                if dfs(taken | set(subset), successor):
+                    return True
+                elements.pop()
+            return False
+
+        if dfs(frozenset(), self.spec.initial()):
+            witness = CATrace(list(elements))
+            return CheckResult(
+                True, witness=witness, completion=history, nodes=nodes
+            )
+        return CheckResult(
+            False, reason="no agreeing CA-trace found", nodes=nodes
+        )
+
+
+class ReferenceLinearizabilityChecker(LinearizabilityChecker):
+    """Linearizability checker running the seed recursive search."""
+
+    def _check_complete(
+        self, history: History, budget: Optional[SearchBudget] = None
+    ) -> CheckResult:
+        problem = ReferenceSearchProblem.of(history)
+        total = len(problem)
+        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
+        order: List[int] = []
+        nodes = 0
+
+        def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
+            nonlocal nodes
+            nodes += 1
+            if budget is not None:
+                budget.charge()
+            if len(taken) == total:
+                return True
+            key = (taken, state)
+            if key in seen:
+                return False
+            seen.add(key)
+            for index in problem.frontier(taken):
+                op = problem.spans[index].operation
+                assert op is not None
+                successor = self.spec.apply(state, op)
+                if successor is None:
+                    continue
+                order.append(index)
+                if dfs(taken | {index}, successor):
+                    return True
+                order.pop()
+            return False
+
+        if dfs(frozenset(), self.spec.initial()):
+            ops = [problem.spans[i].operation for i in order]
+            witness = CATrace(
+                CAElement(op.oid, [op]) for op in ops if op is not None
+            )
+            return CheckResult(
+                True, witness=witness, completion=history, nodes=nodes
+            )
+        return CheckResult(
+            False, reason="no linearization found", nodes=nodes
+        )

@@ -1,66 +1,205 @@
-"""Shared search scaffolding for the history checkers.
+"""Shared search scaffolding for the history checkers — bitmask core.
 
 Both the classic and the CAL checker explore assignments of a complete
 history's operations to positions in a candidate witness, constrained by
 the real-time order.  This module precomputes the constraint structure:
-per-operation predecessor sets and the *frontier* function (operations
-all of whose predecessors have been taken — by construction pairwise
-concurrent, hence candidates for the same CA-element).
+per-operation predecessor/successor sets and the *frontier* function
+(operations all of whose predecessors have been taken — by construction
+pairwise concurrent, hence candidates for the same CA-element).
+
+All sets of operation indices are represented as Python ints used as
+bitmasks (bit ``i`` set ⇔ span ``i`` is in the set):
+
+* membership/containment tests are single big-int operations
+  (``taken & pred_mask == pred_mask`` instead of ``frozenset <=``);
+* memo keys are ``(int, state_id)`` pairs — no per-node ``frozenset``
+  allocation;
+* frontiers update *incrementally*: taking a subset can only enable
+  real-time successors of its members (``succ_masks``), so the checkers
+  never rescan all spans per node.
+
+The precedence masks depend only on the *index structure* of a history
+(which response precedes which invocation), not on operation values, so
+they are cached across the completions of one history: every completion
+that drops the same pending invocations shares one mask computation
+instead of rebuilding an O(n²) ``precedes`` matrix each time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.core.history import History, OperationSpan
+
+# Structural-key → (pred_masks, succ_masks) cache shared across the
+# completions of a history (and across histories that happen to share an
+# index shape).  Bounded: cleared wholesale when it grows past the cap —
+# the workloads that matter re-enter steady state within one history.
+_MASK_CACHE: Dict[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+_MASK_CACHE_CAP = 4096
+
+
+def _precedence_masks(
+    spans: Sequence[OperationSpan],
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """(pred_masks, succ_masks) for a complete history's spans.
+
+    ``span_i ≺_H span_j`` iff ``res_index[i] < inv_index[j]``; instead of
+    the O(n²) pairwise loop, sweep the spans in invocation order while
+    accumulating the mask of already-responded operations — O(n log n).
+    """
+    key = tuple((s.inv_index, -1 if s.res_index is None else s.res_index) for s in spans)
+    cached = _MASK_CACHE.get(key)
+    if cached is not None:
+        return cached
+    n = len(spans)
+    by_inv = sorted(range(n), key=lambda i: spans[i].inv_index)
+    by_res = sorted(range(n), key=lambda i: spans[i].res_index or 0)
+    pred = [0] * n
+    responded = 0
+    r = 0
+    for j in by_inv:
+        inv_index = spans[j].inv_index
+        while r < n and (spans[by_res[r]].res_index or 0) < inv_index:
+            responded |= 1 << by_res[r]
+            r += 1
+        pred[j] = responded
+    succ = [0] * n
+    for j, mask in enumerate(pred):
+        m = mask
+        while m:
+            low = m & -m
+            succ[low.bit_length() - 1] |= 1 << j
+            m ^= low
+    result = (tuple(pred), tuple(succ))
+    if len(_MASK_CACHE) >= _MASK_CACHE_CAP:
+        _MASK_CACHE.clear()
+    _MASK_CACHE[key] = result
+    return result
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 @dataclass(frozen=True)
 class SearchProblem:
-    """Precomputed precedence structure of a complete history."""
+    """Precomputed precedence structure of a complete history.
+
+    ``pred_masks[j]`` has bit ``i`` set iff ``span_i ≺_H span_j``;
+    ``succ_masks[i]`` is the transpose.  ``full_mask`` is the goal test
+    (all operations taken).
+    """
 
     spans: Tuple[OperationSpan, ...]
-    predecessors: Tuple[FrozenSet[int], ...]
+    pred_masks: Tuple[int, ...]
+    succ_masks: Tuple[int, ...]
 
     @staticmethod
-    def of(history: History) -> "SearchProblem":
-        if not history.is_complete():
+    def of(history: History, validate: bool = True) -> "SearchProblem":
+        """Build the precedence structure of ``history``.
+
+        ``validate=False`` skips the completeness re-check — for callers
+        that have already validated the history (the checkers validate at
+        their public ``check()`` boundary, and ``History.completions()``
+        yields complete histories by construction).
+        """
+        if validate and not history.is_complete():
             raise ValueError("search requires a complete history")
         spans = history.spans()
-        preds: List[Set[int]] = [set() for _ in spans]
-        for i, earlier in enumerate(spans):
-            for j, later in enumerate(spans):
-                if i != j and history.precedes(earlier, later):
-                    preds[j].add(i)
-        return SearchProblem(
-            spans=spans,
-            predecessors=tuple(frozenset(p) for p in preds),
-        )
+        pred, succ = _precedence_masks(spans)
+        return SearchProblem(spans=spans, pred_masks=pred, succ_masks=succ)
 
-    def frontier(self, taken: FrozenSet[int]) -> List[int]:
-        """Untaken operations whose predecessors are all taken.
+    # ------------------------------------------------------------------
+    @property
+    def full_mask(self) -> int:
+        return (1 << len(self.spans)) - 1
+
+    def predecessor_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """Frozenset view of ``pred_masks`` (for set-based searches such
+        as the interval-linearizability checker)."""
+        return tuple(frozenset(iter_bits(m)) for m in self.pred_masks)
+
+    # ------------------------------------------------------------------
+    def frontier_mask(self, taken: int) -> int:
+        """Mask of untaken operations whose predecessors are all taken.
 
         Any two frontier operations are concurrent in the history: were
         one ordered before the other, the later one's predecessor set
-        would contain the untaken earlier one.
+        would contain the untaken earlier one.  Full scan — use once at
+        the root, then :meth:`next_frontier` per step.
         """
-        return [
-            i
-            for i in range(len(self.spans))
-            if i not in taken and self.predecessors[i] <= taken
-        ]
+        mask = 0
+        for i, pred in enumerate(self.pred_masks):
+            if not taken >> i & 1 and pred & ~taken == 0:
+                mask |= 1 << i
+        return mask
+
+    def next_frontier(self, frontier: int, taken: int, subset: int) -> int:
+        """Frontier after taking ``subset`` out of ``frontier``.
+
+        ``taken`` is the mask *after* the subset was added.  Only
+        real-time successors of the subset's members can have become
+        newly enabled, so the update is local to ``succ_masks`` instead
+        of a rescan of all spans.
+        """
+        new = frontier & ~subset
+        candidates = 0
+        m = subset
+        while m:
+            low = m & -m
+            candidates |= self.succ_masks[low.bit_length() - 1]
+            m ^= low
+        candidates &= ~taken & ~new
+        while candidates:
+            low = candidates & -candidates
+            if self.pred_masks[low.bit_length() - 1] & ~taken == 0:
+                new |= low
+            candidates ^= low
+        return new
+
+    # ------------------------------------------------------------------
+    def frontier(self, taken) -> List[int]:
+        """Frontier as a list of indices (compatibility helper).
+
+        ``taken`` may be an int mask or any iterable of indices.
+        """
+        if not isinstance(taken, int):
+            mask = 0
+            for i in taken:
+                mask |= 1 << i
+            taken = mask
+        return list(iter_bits(self.frontier_mask(taken)))
 
     def __len__(self) -> int:
         return len(self.spans)
 
 
-def nonempty_subsets(items: Sequence[int]) -> List[Tuple[int, ...]]:
-    """All non-empty subsets, smallest first (favours singleton witnesses,
-    which keeps the classic-linearizability special case fast)."""
-    out: List[Tuple[int, ...]] = []
-    n = len(items)
-    for mask in range(1, 1 << n):
-        out.append(tuple(items[k] for k in range(n) if mask & (1 << k)))
-    out.sort(key=len)
-    return out
+def nonempty_subsets(items: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """All non-empty subsets, *lazily*, smallest first.
+
+    Singletons are yielded before any pair is even constructed — a
+    frontier of 20 concurrent operations no longer allocates ~1M tuples
+    before the first candidate is tried (favours singleton witnesses,
+    which keeps the classic-linearizability special case fast).
+    """
+    items = tuple(items)
+    for size in range(1, len(items) + 1):
+        yield from combinations(items, size)
+
+
+def subset_masks(mask: int) -> Iterator[int]:
+    """All non-empty submasks of ``mask``, lazily, in popcount order."""
+    bits = [1 << i for i in iter_bits(mask)]
+    for size in range(1, len(bits) + 1):
+        for combo in combinations(bits, size):
+            out = 0
+            for bit in combo:
+                out |= bit
+            yield out

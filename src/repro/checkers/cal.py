@@ -24,11 +24,12 @@ instrumented assignments always produce such a witness.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, List, Optional, Set, Tuple
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.checkers.caspec import CASpec
 from repro.checkers.result import CheckResult, SearchBudget, Verdict
-from repro.checkers._search import SearchProblem, nonempty_subsets
+from repro.checkers._search import SearchProblem, iter_bits, subset_masks
 from repro.core.actions import Invocation, Operation
 from repro.core.agreement import agrees
 from repro.core.catrace import CAElement, CATrace
@@ -50,22 +51,26 @@ def complete_from_witness(history: History, trace: CATrace) -> History:
     Matching is positional per signature: a witness operation is only
     used to complete the pending invocation if the history does not
     already contain enough completed operations of the same
-    ``(tid, oid, method, args)`` to account for it.
+    ``(tid, oid, method, args)`` to account for it.  The signature maps
+    are built once, so each pending invocation resolves in O(1) instead
+    of rescanning all operations of ``H`` and ``T``.
     """
     if not history.pending_invocations():
         return history
-    trace_ops: List[Operation] = [
-        op for element in trace for op in element.operations
-    ]
-    completed = history.operations()
 
     def signature(op) -> Tuple:
         return (op.tid, op.oid, op.method, op.args)
 
+    completed_counts = Counter(signature(op) for op in history.operations())
+    trace_index: Dict[Tuple, List[Operation]] = {}
+    for element in trace:
+        for op in element.operations:
+            trace_index.setdefault(signature(op), []).append(op)
+
     def resolver(invocation: Invocation):
         key = (invocation.tid, invocation.oid, invocation.method, invocation.args)
-        already = sum(1 for op in completed if signature(op) == key)
-        matches = [op for op in trace_ops if signature(op) == key]
+        already = completed_counts[key]
+        matches = trace_index.get(key, ())
         if len(matches) > already:
             return matches[already].value
         return None
@@ -125,41 +130,73 @@ class CALChecker:
     def _check_complete(
         self, history: History, budget: Optional[SearchBudget] = None
     ) -> CheckResult:
-        problem = SearchProblem.of(history)
-        total = len(problem)
-        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
-        elements: List[CAElement] = []
-        nodes = 0
+        """Explicit-stack DFS over (taken-mask, spec-state) nodes.
 
-        def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
-            nonlocal nodes
-            nodes += 1
-            if budget is not None:
-                budget.charge()
-            if len(taken) == total:
-                return True
-            key = (taken, state)
-            if key in seen:
-                return False
-            seen.add(key)
-            frontier = problem.frontier(taken)
-            for subset in nonempty_subsets(frontier):
-                ops = [problem.spans[i].operation for i in subset]
-                element = CAElement(self.spec.oid, ops)  # type: ignore[arg-type]
-                successor = self.spec.step(state, element)
+        Taken-sets are int bitmasks; spec states are interned to small
+        ids so memo keys are ``(int, int)`` pairs; frontiers update
+        incrementally through the problem's successor masks; candidate
+        CA-elements come from the lazy popcount-ordered subset stream.
+        """
+        problem = SearchProblem.of(history, validate=False)
+        full = problem.full_mask
+        spans = problem.spans
+        oid = self.spec.oid
+        step = self.spec.step
+        seen: Set[Tuple[int, int]] = set()
+        state_ids: Dict[Hashable, int] = {}
+        elements: List[CAElement] = []
+        nodes = 1
+        if budget is not None:
+            budget.charge()
+
+        initial = self.spec.initial()
+        if full == 0:
+            return CheckResult(
+                True, witness=CATrace([]), completion=history, nodes=nodes
+            )
+        seen.add((0, state_ids.setdefault(initial, 0)))
+        root_frontier = problem.frontier_mask(0)
+        # Frame: (taken, frontier, state, pending-subset iterator).  The
+        # CA-element chosen to reach a frame sits in ``elements`` at the
+        # frame's depth − 1; popping a non-root frame pops it.
+        stack = [(0, root_frontier, initial, subset_masks(root_frontier))]
+        while stack:
+            taken, frontier, state, candidates = stack[-1]
+            pushed = False
+            for subset in candidates:
+                ops = [spans[i].operation for i in iter_bits(subset)]
+                element = CAElement(oid, ops)  # type: ignore[arg-type]
+                successor = step(state, element)
                 if successor is None:
                     continue
+                nodes += 1
+                if budget is not None:
+                    budget.charge()
                 elements.append(element)
-                if dfs(taken | set(subset), successor):
-                    return True
-                elements.pop()
-            return False
-
-        if dfs(frozenset(), self.spec.initial()):
-            witness = CATrace(list(elements))
-            return CheckResult(
-                True, witness=witness, completion=history, nodes=nodes
-            )
+                new_taken = taken | subset
+                if new_taken == full:
+                    return CheckResult(
+                        True,
+                        witness=CATrace(list(elements)),
+                        completion=history,
+                        nodes=nodes,
+                    )
+                state_id = state_ids.setdefault(successor, len(state_ids))
+                key = (new_taken, state_id)
+                if key in seen:
+                    elements.pop()
+                    continue
+                seen.add(key)
+                new_frontier = problem.next_frontier(frontier, new_taken, subset)
+                stack.append(
+                    (new_taken, new_frontier, successor, subset_masks(new_frontier))
+                )
+                pushed = True
+                break
+            if not pushed:
+                stack.pop()
+                if stack:
+                    elements.pop()
         return CheckResult(
             False, reason="no agreeing CA-trace found", nodes=nodes
         )

@@ -18,6 +18,7 @@ truncate the schedule while the failure persists.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -65,23 +66,37 @@ class FuzzReport:
     ``crashed`` counts runs in which at least one thread was halted
     (injected fault or thread exception); such runs are still checked —
     their histories simply contain pending invocations.  ``unknown``
-    counts runs whose search check was cut by a budget.
+    counts runs whose search check was cut by a budget; ``skipped``
+    counts seeds never run because the campaign deadline expired first.
+    A report with skipped seeds is not a clean pass over the requested
+    range — treat it like a budget-cut exploration.
     """
 
     runs: int = 0
     incomplete: int = 0
     crashed: int = 0
     unknown: int = 0
+    skipped: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.runs > 0 and not self.failures
 
+    def merge(self, other: "FuzzReport") -> None:
+        """Fold another report's tallies and failures into this one."""
+        self.runs += other.runs
+        self.incomplete += other.incomplete
+        self.crashed += other.crashed
+        self.unknown += other.unknown
+        self.skipped += other.skipped
+        self.failures.extend(other.failures)
+
     def __repr__(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
         extra = f", crashed={self.crashed}" if self.crashed else ""
         extra += f", unknown={self.unknown}" if self.unknown else ""
+        extra += f", skipped={self.skipped}" if self.skipped else ""
         return (
             f"FuzzReport({verdict}, runs={self.runs}, "
             f"cut={self.incomplete}{extra})"
@@ -202,6 +217,7 @@ def fuzz_cal(
     faults: Faults = None,
     node_budget: Optional[int] = None,
     shrink: bool = True,
+    deadline_at: Optional[float] = None,
 ) -> FuzzReport:
     """Sample random schedules and check CAL on each run.
 
@@ -210,6 +226,10 @@ def fuzz_cal(
     ``faults``, each seed derives a deterministic fault plan; crash runs
     are checked pending-aware (a wait-free exchanger must stay CAL when
     its partner dies mid-exchange).
+
+    ``deadline_at`` is an absolute ``time.monotonic()`` instant: seeds
+    not yet started when it passes are counted ``skipped`` instead of
+    run — the shared-deadline hook used by the parallel campaign runner.
     """
     checker = CALChecker(spec)
     report = FuzzReport()
@@ -231,7 +251,10 @@ def fuzz_cal(
                 return result.reason, False
         return None, False
 
-    for seed in seeds:
+    for position, seed in enumerate(seeds):
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            report.skipped += len(seeds) - position
+            break
         run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
         if not run.completed:
             report.incomplete += 1
@@ -266,8 +289,12 @@ def fuzz_linearizability(
     faults: Faults = None,
     node_budget: Optional[int] = None,
     shrink: bool = True,
+    deadline_at: Optional[float] = None,
 ) -> FuzzReport:
-    """Sample random schedules and check linearizability on each run."""
+    """Sample random schedules and check linearizability on each run.
+
+    ``deadline_at`` behaves as in :func:`fuzz_cal`.
+    """
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
 
@@ -286,7 +313,10 @@ def fuzz_linearizability(
             return result.reason, False
         return None, False
 
-    for seed in seeds:
+    for position, seed in enumerate(seeds):
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            report.skipped += len(seeds) - position
+            break
         run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
         if not run.completed:
             report.incomplete += 1

@@ -85,6 +85,7 @@ class IntervalLinearizabilityChecker:
     # ------------------------------------------------------------------
     def _check_complete(self, history: History) -> CheckResult:
         problem = SearchProblem.of(history)
+        predecessors = problem.predecessor_sets()
         total = len(problem)
         nodes = 0
         seen: Set[
@@ -117,7 +118,7 @@ class IntervalLinearizabilityChecker:
                 for i in range(total)
                 if i not in responded
                 and i not in open_ops
-                and problem.predecessors[i] <= responded
+                and predecessors[i] <= responded
             ]
             # Choose a (possibly empty) set to invoke...
             invoke_options: List[Tuple[int, ...]] = [()]

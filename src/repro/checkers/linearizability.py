@@ -13,11 +13,11 @@ suggested by ``spec.response_candidates``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.checkers.result import CheckResult, SearchBudget, Verdict
 from repro.checkers.seqspec import SequentialSpec
-from repro.checkers._search import SearchProblem
+from repro.checkers._search import SearchProblem, iter_bits
 from repro.core.actions import Operation
 from repro.core.catrace import CAElement, CATrace
 from repro.core.history import History
@@ -70,43 +70,72 @@ class LinearizabilityChecker:
     def _check_complete(
         self, history: History, budget: Optional[SearchBudget] = None
     ) -> CheckResult:
-        problem = SearchProblem.of(history)
-        total = len(problem)
-        seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
-        order: List[int] = []
-        nodes = 0
+        """Explicit-stack Wing–Gong search over (taken-mask, state) nodes.
 
-        def dfs(taken: FrozenSet[int], state: Hashable) -> bool:
-            nonlocal nodes
-            nodes += 1
-            if budget is not None:
-                budget.charge()
-            if len(taken) == total:
-                return True
-            key = (taken, state)
-            if key in seen:
-                return False
-            seen.add(key)
-            for index in problem.frontier(taken):
-                op = problem.spans[index].operation
+        Taken-sets are int bitmasks, spec states are interned to small
+        ids (memo keys are ``(int, int)`` pairs), and the frontier of
+        minimal operations updates incrementally via successor masks.
+        """
+        problem = SearchProblem.of(history, validate=False)
+        full = problem.full_mask
+        spans = problem.spans
+        apply = self.spec.apply
+        seen: Set[Tuple[int, int]] = set()
+        state_ids: Dict[Hashable, int] = {}
+        order: List[int] = []
+        nodes = 1
+        if budget is not None:
+            budget.charge()
+
+        initial = self.spec.initial()
+        if full == 0:
+            return CheckResult(
+                True, witness=CATrace([]), completion=history, nodes=nodes
+            )
+        seen.add((0, state_ids.setdefault(initial, 0)))
+        root_frontier = problem.frontier_mask(0)
+        # Frame: (taken, frontier, state, pending-candidate iterator).
+        stack = [(0, root_frontier, initial, iter_bits(root_frontier))]
+        while stack:
+            taken, frontier, state, candidates = stack[-1]
+            pushed = False
+            for index in candidates:
+                op = spans[index].operation
                 assert op is not None
-                successor = self.spec.apply(state, op)
+                successor = apply(state, op)
                 if successor is None:
                     continue
+                nodes += 1
+                if budget is not None:
+                    budget.charge()
                 order.append(index)
-                if dfs(taken | {index}, successor):
-                    return True
-                order.pop()
-            return False
-
-        if dfs(frozenset(), self.spec.initial()):
-            ops = [problem.spans[i].operation for i in order]
-            witness = CATrace(
-                CAElement(op.oid, [op]) for op in ops if op is not None
-            )
-            return CheckResult(
-                True, witness=witness, completion=history, nodes=nodes
-            )
+                new_taken = taken | (1 << index)
+                if new_taken == full:
+                    ops = [spans[i].operation for i in order]
+                    witness = CATrace(
+                        CAElement(op.oid, [op]) for op in ops if op is not None
+                    )
+                    return CheckResult(
+                        True, witness=witness, completion=history, nodes=nodes
+                    )
+                state_id = state_ids.setdefault(successor, len(state_ids))
+                key = (new_taken, state_id)
+                if key in seen:
+                    order.pop()
+                    continue
+                seen.add(key)
+                new_frontier = problem.next_frontier(
+                    frontier, new_taken, 1 << index
+                )
+                stack.append(
+                    (new_taken, new_frontier, successor, iter_bits(new_frontier))
+                )
+                pushed = True
+                break
+            if not pushed:
+                stack.pop()
+                if stack:
+                    order.pop()
         return CheckResult(
             False, reason="no linearization found", nodes=nodes
         )

@@ -1,0 +1,356 @@
+"""Parallel campaign runner: fan fuzz seed ranges and explore shards
+across ``multiprocessing`` workers.
+
+The searches themselves are deterministic per input (a fuzz run is a
+pure function of its seed; an explore shard is a pure function of its
+pinned prefix), so parallelism is a pure partitioning problem:
+
+* **Fuzz campaigns** (:func:`fuzz_cal_parallel`,
+  :func:`fuzz_linearizability_parallel`) split the seed sequence into
+  contiguous chunks — one per worker — run each chunk with shrinking
+  disabled, and merge the per-chunk :class:`~repro.checkers.fuzz.FuzzReport`
+  tallies.  Failures keep their position in the original seed order, so
+  the *first* failure is identical to the sequential runner's first
+  failure regardless of worker count; it is then re-run and shrunk **in
+  the parent** through the exact sequential code path
+  (:func:`~repro.checkers.fuzz.fuzz_cal` on that single seed), which
+  also re-establishes the sequential report's shrunk schedule.
+
+* **Explore campaigns** (:func:`explore_parallel`) shard the schedule
+  space by the first decision point: a probe run discovers its arity,
+  then each worker enumerates one ``pin_prefix=[k]`` subtree
+  (:func:`~repro.substrate.explore.explore_all`).  Concatenating shard
+  results in pin order reproduces exactly the sequential enumeration
+  order, so downstream consumers cannot tell the difference.
+
+**Budget propagation.**  Campaigns take a ``deadline`` (seconds); the
+parent converts it to an absolute ``time.monotonic()`` instant that is
+valid across ``fork``, and every worker stops starting new work once it
+passes (fuzz seeds not run are counted ``skipped``; explore shards trip
+their :class:`~repro.substrate.explore.ExploreBudget`).  Run/step budgets
+apply per shard — a shared counter would serialize the workers.
+
+**Fallback.**  Without the ``fork`` start method (or with one worker, or
+fewer work items than workers would help with), campaigns run inline in
+the parent — same results, no processes.  ``fork`` is required because
+setup closures and spec objects need not be picklable; only *results*
+cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.checkers.caspec import CASpec
+from repro.checkers.fuzz import (
+    Faults,
+    FuzzReport,
+    fuzz_cal,
+    fuzz_linearizability,
+)
+from repro.checkers.seqspec import SequentialSpec
+from repro.checkers.verify import ViewFn
+from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
+from repro.substrate.runtime import RunResult
+from repro.substrate.schedulers import ReplayScheduler
+
+_T = TypeVar("_T")
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: the CPU count."""
+    return os.cpu_count() or 1
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return None
+
+
+def _child_main(conn, task: Callable[[], Any]) -> None:
+    try:
+        conn.send(("ok", task()))
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+def _map_forked(tasks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
+    """Run ``tasks`` across at most ``workers`` forked processes.
+
+    Tasks are closures (fork shares the parent's memory, so nothing is
+    pickled on the way in); results come back over pipes and must be
+    picklable.  Falls back to inline execution when forking is
+    unavailable or pointless.
+    """
+    context = _fork_context()
+    if context is None or workers <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    results: List[Any] = [None] * len(tasks)
+    pending = list(enumerate(tasks))
+    active: List[Tuple[int, Any, Any]] = []
+    while pending or active:
+        while pending and len(active) < workers:
+            index, task = pending.pop(0)
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_child_main, args=(child_conn, task)
+            )
+            process.start()
+            child_conn.close()
+            active.append((index, process, parent_conn))
+        index, process, conn = active.pop(0)
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            status, payload = "error", f"worker {index} died without a result"
+        finally:
+            conn.close()
+        process.join()
+        if status != "ok":
+            for _, other, other_conn in active:
+                other.terminate()
+                other.join()
+                other_conn.close()
+            raise RuntimeError(f"parallel worker failed: {payload}")
+        results[index] = payload
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fuzz campaigns
+# ----------------------------------------------------------------------
+def _chunk(seeds: Sequence[int], chunks: int) -> List[List[int]]:
+    """Deterministic contiguous partition preserving seed order."""
+    seeds = list(seeds)
+    chunks = max(1, min(chunks, len(seeds)))
+    size, extra = divmod(len(seeds), chunks)
+    out: List[List[int]] = []
+    start = 0
+    for k in range(chunks):
+        end = start + size + (1 if k < extra else 0)
+        out.append(seeds[start:end])
+        start = end
+    return out
+
+
+def _fuzz_parallel(
+    driver: Callable[..., FuzzReport],
+    setup: SetupFn,
+    spec,
+    seeds: Sequence[int],
+    workers: Optional[int],
+    deadline: Optional[float],
+    shrink: bool,
+    kwargs: dict,
+) -> FuzzReport:
+    seeds = list(seeds)
+    workers = default_workers() if workers is None else workers
+    deadline_at = None if deadline is None else time.monotonic() + deadline
+    chunks = _chunk(seeds, workers)
+
+    def task_for(chunk: List[int]) -> Callable[[], FuzzReport]:
+        return lambda: driver(
+            setup,
+            spec,
+            seeds=chunk,
+            shrink=False,
+            deadline_at=deadline_at,
+            **kwargs,
+        )
+
+    partials = _map_forked([task_for(c) for c in chunks], workers)
+    merged = FuzzReport()
+    for partial in partials:
+        merged.merge(partial)
+    # Contiguous chunks merged in order ⇒ merged.failures is already in
+    # original seed order; the first entry is the sequential winner.
+    if merged.failures and shrink:
+        first = merged.failures[0]
+        confirm = driver(
+            setup,
+            spec,
+            seeds=[first.seed],
+            shrink=True,
+            **kwargs,
+        )
+        if confirm.failures:  # deterministic, but never drop a failure
+            merged.failures[0] = confirm.failures[0]
+    return merged
+
+
+def fuzz_cal_parallel(
+    setup: SetupFn,
+    spec: CASpec,
+    seeds: Sequence[int] = range(50),
+    workers: Optional[int] = None,
+    deadline: Optional[float] = None,
+    max_steps: Optional[int] = 5000,
+    check_witness: bool = True,
+    search: bool = False,
+    view: Optional[ViewFn] = None,
+    yield_bias: float = 0.0,
+    faults: Faults = None,
+    node_budget: Optional[int] = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """:func:`~repro.checkers.fuzz.fuzz_cal` fanned across workers.
+
+    The merged report's tallies cover all chunks; its first failure is
+    bit-identical (seed + schedule + plan) to the sequential runner's,
+    regardless of ``workers`` — shrinking happens in the parent, on the
+    winning seed only.
+    """
+    return _fuzz_parallel(
+        fuzz_cal,
+        setup,
+        spec,
+        seeds,
+        workers,
+        deadline,
+        shrink,
+        dict(
+            max_steps=max_steps,
+            check_witness=check_witness,
+            search=search,
+            view=view,
+            yield_bias=yield_bias,
+            faults=faults,
+            node_budget=node_budget,
+        ),
+    )
+
+
+def fuzz_linearizability_parallel(
+    setup: SetupFn,
+    spec: SequentialSpec,
+    seeds: Sequence[int] = range(50),
+    workers: Optional[int] = None,
+    deadline: Optional[float] = None,
+    max_steps: Optional[int] = 5000,
+    check_witness: bool = False,
+    view: Optional[ViewFn] = None,
+    yield_bias: float = 0.0,
+    faults: Faults = None,
+    node_budget: Optional[int] = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """:func:`~repro.checkers.fuzz.fuzz_linearizability` fanned across
+    workers, with the same determinism guarantee as
+    :func:`fuzz_cal_parallel`."""
+    return _fuzz_parallel(
+        fuzz_linearizability,
+        setup,
+        spec,
+        seeds,
+        workers,
+        deadline,
+        shrink,
+        dict(
+            max_steps=max_steps,
+            check_witness=check_witness,
+            view=view,
+            yield_bias=yield_bias,
+            faults=faults,
+            node_budget=node_budget,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Explore campaigns
+# ----------------------------------------------------------------------
+def _sanitize(result: RunResult) -> RunResult:
+    """Strip the unpicklable ``World`` before a result crosses a pipe."""
+    result.world = None
+    return result
+
+
+def _first_arity(setup: SetupFn, max_steps: Optional[int]) -> int:
+    """Arity of the program's first decision point (0 if deterministic)."""
+    scheduler = ReplayScheduler(())
+    runtime = setup(scheduler)
+    runtime.run(max_steps=max_steps)
+    return scheduler.log[0][0] if scheduler.log else 0
+
+
+def explore_parallel(
+    setup: SetupFn,
+    max_steps: Optional[int] = None,
+    include_incomplete: bool = False,
+    preemption_bound: Optional[int] = None,
+    budget: Optional[ExploreBudget] = None,
+    workers: Optional[int] = None,
+) -> List[RunResult]:
+    """Enumerate all runs, sharded by the first decision point.
+
+    Returns the same results in the same order as
+    ``list(explore_all(setup, ...))`` — each worker owns the subtrees of
+    some first-decision alternatives (``pin_prefix=[k]``), and shard
+    results are concatenated in ``k`` order.
+
+    ``budget`` semantics under sharding: the deadline is shared (every
+    worker gets the remaining wall-clock at campaign entry); ``max_runs``
+    and ``step_budget`` apply *per shard*.  Worker tallies are summed
+    back into the caller's budget, and a trip in any shard marks it
+    tripped — so a cut campaign still reports ``UNKNOWN`` downstream.
+    """
+    workers = default_workers() if workers is None else workers
+    if budget is not None:
+        budget.start()
+    arity = _first_arity(setup, max_steps)
+    context = _fork_context()
+    if context is None or workers <= 1 or arity <= 1:
+        return list(
+            explore_all(
+                setup,
+                max_steps=max_steps,
+                include_incomplete=include_incomplete,
+                preemption_bound=preemption_bound,
+                budget=budget,
+            )
+        )
+    remaining = budget.remaining_deadline() if budget is not None else None
+
+    def shard_task(pin: int) -> Callable[[], Tuple[List[RunResult], ExploreBudget]]:
+        def run_shard() -> Tuple[List[RunResult], ExploreBudget]:
+            shard_budget = (
+                ExploreBudget(
+                    max_runs=budget.max_runs,
+                    step_budget=budget.step_budget,
+                    deadline=remaining,
+                )
+                if budget is not None
+                else None
+            )
+            results = [
+                _sanitize(result)
+                for result in explore_all(
+                    setup,
+                    max_steps=max_steps,
+                    include_incomplete=include_incomplete,
+                    preemption_bound=preemption_bound,
+                    budget=shard_budget,
+                    pin_prefix=[pin],
+                )
+            ]
+            return results, (shard_budget or ExploreBudget())
+        return run_shard
+
+    shards = _map_forked([shard_task(k) for k in range(arity)], workers)
+    merged: List[RunResult] = []
+    for results, shard_budget in shards:
+        merged.extend(results)
+        if budget is not None:
+            budget.runs += shard_budget.runs
+            budget.steps += shard_budget.steps
+            if shard_budget.tripped and not budget.tripped:
+                budget.tripped = True
+                budget.reason = shard_budget.reason
+    return merged

@@ -119,6 +119,8 @@ def verify_cal(
     """
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
+    if budget is not None:
+        budget.start()
     for run in explore_all(
         setup,
         max_steps=max_steps,
@@ -194,6 +196,8 @@ def verify_linearizability(
     """
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
+    if budget is not None:
+        budget.start()
     for run in explore_all(
         setup,
         max_steps=max_steps,

@@ -48,11 +48,12 @@ class OperationSpan:
 class History:
     """An immutable sequence of object actions (Def. 2)."""
 
-    __slots__ = ("_actions", "_spans")
+    __slots__ = ("_actions", "_spans", "_well_formed")
 
     def __init__(self, actions: Iterable[Action] = ()) -> None:
         self._actions: Tuple[Action, ...] = tuple(actions)
         self._spans: Optional[Tuple[OperationSpan, ...]] = None
+        self._well_formed: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -138,8 +139,16 @@ class History:
         return True
 
     def is_well_formed(self) -> bool:
-        """``H|t`` is sequential for every thread ``t``."""
-        return all(self.project_thread(t).is_sequential() for t in self.threads())
+        """``H|t`` is sequential for every thread ``t``.
+
+        Cached: histories are immutable and every checker entry point
+        re-validates, so the O(threads × actions) scan runs once.
+        """
+        if self._well_formed is None:
+            self._well_formed = all(
+                self.project_thread(t).is_sequential() for t in self.threads()
+            )
+        return self._well_formed
 
     def is_complete(self) -> bool:
         """Well-formed and every invocation has a matching response."""

@@ -52,6 +52,25 @@ class ExploreBudget:
     reason: str = ""
     _started_at: Optional[float] = field(default=None, repr=False)
 
+    def start(self) -> None:
+        """Start the deadline clock (idempotent).
+
+        Called by :func:`explore_all` and the campaign runners at entry,
+        *before* any per-run setup, so setup time counts against the
+        deadline; a budget handed to several sweeps keeps its original
+        clock.
+        """
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+
+    def remaining_deadline(self) -> Optional[float]:
+        """Seconds left on the deadline clock (``None`` when unbounded)."""
+        if self.deadline is None:
+            return None
+        self.start()
+        assert self._started_at is not None
+        return max(0.0, self.deadline - (time.monotonic() - self._started_at))
+
     def exhausted(self) -> bool:
         """Check (and latch) whether the budget has tripped."""
         if self.tripped:
@@ -140,6 +159,7 @@ def explore_all(
     limit: Optional[int] = None,
     preemption_bound: Optional[int] = None,
     budget: Optional[ExploreBudget] = None,
+    pin_prefix: Sequence[int] = (),
 ) -> Iterator[RunResult]:
     """Enumerate every run of the program (bounded by ``max_steps``).
 
@@ -156,9 +176,19 @@ def explore_all(
     factorial.  ``budget`` bounds the whole sweep (runs / total steps /
     deadline); when it trips, enumeration stops and ``budget.tripped``
     records why — the graceful-degradation path for state-space blowups.
+
+    ``pin_prefix`` confines enumeration to the decision subtree under the
+    given prefix: the pinned decisions are replayed on every run and
+    never backtracked.  The parallel campaign runner shards the schedule
+    space by pinning each alternative of the first decision point;
+    concatenating the shards in pin order reproduces exactly the
+    sequential enumeration order.
     """
-    prefix: list[int] = []
+    pinned = len(pin_prefix)
+    prefix: list[int] = list(pin_prefix)
     produced = 0
+    if budget is not None:
+        budget.start()
     while True:
         if budget is not None and budget.exhausted():
             return
@@ -173,12 +203,13 @@ def explore_all(
             produced += 1
             if limit is not None and produced >= limit:
                 return
-        # Backtrack: flip the deepest decision with an untried alternative.
+        # Backtrack: flip the deepest decision with an untried alternative
+        # (never a pinned one).
         log = scheduler.log
         depth = len(log) - 1
-        while depth >= 0 and log[depth][1] + 1 >= log[depth][0]:
+        while depth >= pinned and log[depth][1] + 1 >= log[depth][0]:
             depth -= 1
-        if depth < 0:
+        if depth < pinned:
             return
         prefix = [chosen for _, chosen in log[:depth]] + [log[depth][1] + 1]
 

@@ -1,0 +1,247 @@
+"""The bitmask search core vs the seed (reference) implementation.
+
+Differential guarantees for the E17 rewrite: on any history, the bitmask
+core and the preserved seed core (:mod:`repro.checkers._reference`) must
+return the same verdict; on the E12 scaling workloads the bitmask core
+must visit no more search nodes than the seed core.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkers import CALChecker, LinearizabilityChecker, SingletonAdapter
+from repro.checkers._reference import (
+    ReferenceCALChecker,
+    ReferenceLinearizabilityChecker,
+)
+from repro.checkers._search import (
+    SearchProblem,
+    iter_bits,
+    nonempty_subsets,
+    subset_masks,
+)
+from repro.core.history import History
+from repro.specs import ExchangerSpec, RegisterSpec
+from repro.workloads.synthetic import (
+    corrupted,
+    random_register_history,
+    swap_chain_history,
+    wide_overlap_history,
+)
+
+
+class TestSearchProblem:
+    def _problem_and_reference(self, history):
+        from repro.checkers._reference import ReferenceSearchProblem
+
+        return SearchProblem.of(history), ReferenceSearchProblem.of(history)
+
+    def test_masks_match_reference_predecessors(self):
+        history = wide_overlap_history(6)
+        problem, reference = self._problem_and_reference(history)
+        assert problem.predecessor_sets() == reference.predecessors
+
+    def test_masks_match_on_chains(self):
+        history, _ = swap_chain_history(pairs=5)
+        problem, reference = self._problem_and_reference(history)
+        assert problem.predecessor_sets() == reference.predecessors
+
+    def test_succ_masks_are_the_transpose(self):
+        history, _ = swap_chain_history(pairs=4, width=4)
+        problem = SearchProblem.of(history)
+        n = len(problem)
+        for i in range(n):
+            for j in range(n):
+                assert bool(problem.pred_masks[j] >> i & 1) == bool(
+                    problem.succ_masks[i] >> j & 1
+                )
+
+    def test_frontier_matches_reference(self):
+        history, _ = swap_chain_history(pairs=3, width=4)
+        problem, reference = self._problem_and_reference(history)
+        # Every taken-set reachable by taking whole frontiers.
+        taken = 0
+        taken_set: frozenset = frozenset()
+        while True:
+            assert problem.frontier(taken) == reference.frontier(taken_set)
+            frontier = problem.frontier_mask(taken)
+            if not frontier:
+                break
+            taken |= frontier
+            taken_set = taken_set | set(iter_bits(frontier))
+
+    def test_next_frontier_agrees_with_rescan(self):
+        history = wide_overlap_history(5)
+        problem = SearchProblem.of(history)
+        frontier = problem.frontier_mask(0)
+        for subset in subset_masks(frontier):
+            taken = subset
+            assert problem.next_frontier(
+                frontier, taken, subset
+            ) == problem.frontier_mask(taken)
+
+    def test_rejects_incomplete_history(self):
+        history, _ = swap_chain_history(pairs=1)
+        pending = History(history.actions[:-1])
+        with pytest.raises(ValueError):
+            SearchProblem.of(pending)
+
+
+class TestLazySubsets:
+    def test_subsets_are_lazy_singletons_first(self):
+        stream = nonempty_subsets(range(20))
+        assert next(stream) == (0,)  # no 2^20 materialization
+        first_twenty = [next(stream) for _ in range(19)]
+        assert all(len(s) == 1 for s in first_twenty)
+        assert next(stream) == (0, 1)
+
+    def test_subsets_cover_the_power_set(self):
+        assert sorted(map(sorted, nonempty_subsets([1, 2, 3]))) == sorted(
+            map(sorted, [[1], [2], [3], [1, 2], [1, 3], [2, 3], [1, 2, 3]])
+        )
+
+    def test_subset_masks_popcount_ordered_and_complete(self):
+        mask = 0b10110
+        out = list(subset_masks(mask))
+        assert len(out) == 7
+        assert all(m & ~mask == 0 and m for m in out)
+        assert len(set(out)) == 7
+        popcounts = [bin(m).count("1") for m in out]
+        assert popcounts == sorted(popcounts)
+
+
+class TestDifferentialVerdicts:
+    """Old-vs-new verdict equality on random small histories."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.integers(min_value=1, max_value=7),
+        threads=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        corrupt=st.booleans(),
+    )
+    def test_linearizability_agrees_on_register_histories(
+        self, operations, threads, seed, corrupt
+    ):
+        history = random_register_history(operations, threads, seed=seed)
+        if corrupt:
+            history = corrupted(history, "R")
+        spec = RegisterSpec("R")
+        new = LinearizabilityChecker(spec).check(history)
+        old = ReferenceLinearizabilityChecker(spec).check(history)
+        assert new.ok == old.ok
+        assert new.nodes == old.nodes  # identical search order for singletons
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.integers(min_value=1, max_value=6),
+        threads=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        corrupt=st.booleans(),
+    )
+    def test_cal_agrees_via_singleton_adapter(
+        self, operations, threads, seed, corrupt
+    ):
+        history = random_register_history(operations, threads, seed=seed)
+        if corrupt:
+            history = corrupted(history, "R")
+        spec = SingletonAdapter(RegisterSpec("R"))
+        new = CALChecker(spec).check(history)
+        old = ReferenceCALChecker(spec).check(history)
+        assert new.ok == old.ok
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=7),
+        corrupt=st.booleans(),
+        drop_responses=st.integers(min_value=0, max_value=2),
+    )
+    def test_cal_agrees_on_exchanger_histories(
+        self, width, corrupt, drop_responses
+    ):
+        history = wide_overlap_history(width)
+        if corrupt:
+            history = corrupted(history, "E")
+        if drop_responses:
+            # Pending invocations: exercises the completion enumeration
+            # (and the mask cache shared across completions).
+            history = History(history.actions[: len(history) - drop_responses])
+        spec = ExchangerSpec("E")
+        new = CALChecker(spec).check(history)
+        old = ReferenceCALChecker(spec).check(history)
+        assert new.ok == old.ok
+
+    @settings(max_examples=20, deadline=None)
+    @given(pairs=st.integers(min_value=1, max_value=6), corrupt=st.booleans())
+    def test_cal_agrees_on_swap_chains(self, pairs, corrupt):
+        history, _ = swap_chain_history(pairs=pairs)
+        if corrupt:
+            history = corrupted(history, "E")
+        spec = ExchangerSpec("E")
+        new = CALChecker(spec).check(history)
+        old = ReferenceCALChecker(spec).check(history)
+        assert new.ok == old.ok
+
+
+class TestNodeRegression:
+    """The bitmask core must search no harder than the seed core on the
+    E12 scaling workloads."""
+
+    @pytest.mark.parametrize("pairs", [2, 4, 8, 16, 32])
+    def test_chain_nodes_at_most_seed(self, pairs):
+        history, _ = swap_chain_history(pairs=pairs)
+        spec = ExchangerSpec("E")
+        new = CALChecker(spec).check(history)
+        old = ReferenceCALChecker(spec).check(history)
+        assert new.ok and old.ok
+        assert new.nodes <= old.nodes
+
+    @pytest.mark.parametrize("width", [2, 4, 6, 8, 10])
+    def test_width_nodes_at_most_seed(self, width):
+        history = wide_overlap_history(width)
+        spec = ExchangerSpec("E")
+        new = CALChecker(spec).check(history)
+        old = ReferenceCALChecker(spec).check(history)
+        assert new.ok and old.ok
+        assert new.nodes <= old.nodes
+
+    @pytest.mark.parametrize("operations,threads", [(6, 2), (8, 3), (10, 3)])
+    def test_register_nodes_match_seed(self, operations, threads):
+        spec = RegisterSpec("R")
+        for seed in range(10):
+            history = random_register_history(operations, threads, seed=seed)
+            new = LinearizabilityChecker(spec).check(history)
+            old = ReferenceLinearizabilityChecker(spec).check(history)
+            assert new.nodes == old.nodes
+
+
+class TestWitnessShape:
+    """The rewritten searches must still produce valid witnesses."""
+
+    def test_cal_witness_still_agrees(self):
+        from repro.core.agreement import agrees
+
+        history = wide_overlap_history(6)
+        spec = ExchangerSpec("E")
+        result = CALChecker(spec).check(history)
+        assert result.ok
+        assert spec.accepts(result.witness)
+        assert agrees(result.completion, result.witness)
+
+    def test_linearization_witness_is_singleton_order(self):
+        spec = RegisterSpec("R")
+        history = random_register_history(8, 3, seed=7)
+        result = LinearizabilityChecker(spec).check(history)
+        assert result.ok
+        assert all(e.is_singleton() for e in result.witness)
+        ops = [e.single() for e in result.witness]
+        assert spec.accepts(ops)
+
+    def test_empty_history_is_trivially_ok(self):
+        spec = ExchangerSpec("E")
+        result = CALChecker(spec).check(History())
+        assert result.ok
+        assert list(result.witness) == []
