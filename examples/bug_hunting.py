@@ -12,6 +12,7 @@ Run:  python examples/bug_hunting.py
 """
 
 from repro.checkers import LinearizabilityChecker, verify_linearizability
+from repro.obs import Metrics
 from repro.objects import NaiveEliminationQueue
 from repro.specs import QueueSpec
 from repro.substrate import Program, World
@@ -33,17 +34,22 @@ def main() -> None:
     print("Workload:  t1: enqueue(1)  ||  t2: enqueue(2)  ||  t3: dequeue()")
     print("Exploring all interleavings (preemption bound 2)...\n")
 
+    metrics = Metrics()
     report = verify_linearizability(
-        build, QueueSpec("EQ"), max_steps=300, preemption_bound=2
+        build, QueueSpec("EQ"), max_steps=300, preemption_bound=2,
+        metrics=metrics,
     )
     print(f"  {report}")
+    print(
+        f"  searched {metrics.get('search.nodes')} nodes over"
+        f" {metrics.get('lin.checks')} checks"
+        f" ({metrics.get('runtime.steps')} simulator steps)"
+    )
     assert not report.ok, "the naive queue should be broken!"
 
     failure = report.failures[0]
-    print(f"\nfirst counterexample (schedule {failure.schedule}):")
-    from repro.analysis import render_timeline
-
-    print(render_timeline(failure.history.project_object("EQ")))
+    print("\nfirst counterexample, as a report:\n")
+    print(failure.report.render())
 
     print(
         "\n  No linearization exists: the dequeue returned a value whose"

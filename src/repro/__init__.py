@@ -18,7 +18,9 @@ The package provides:
   (Figure 1), the elimination stack (Figure 2), and further CA-objects;
 * :mod:`repro.specs` — their specifications as CA-trace transition systems;
 * :mod:`repro.workloads` — client programs, including Figure 3's program P;
-* :mod:`repro.analysis` — experiment tables and reporting.
+* :mod:`repro.analysis` — experiment tables and reporting;
+* :mod:`repro.obs` — observability: the metrics registry, JSON-lines
+  trace sinks and counterexample reports (all off by default).
 
 Quickstart:
 
@@ -56,6 +58,7 @@ from repro.checkers import (
     verify_cal,
     verify_linearizability,
 )
+from repro.obs import CounterexampleReport, JsonLinesTraceSink, Metrics, TraceSink
 
 __version__ = "1.0.0"
 
@@ -63,11 +66,15 @@ __all__ = [
     "CAElement",
     "CALChecker",
     "CATrace",
+    "CounterexampleReport",
     "History",
     "Invocation",
+    "JsonLinesTraceSink",
     "LinearizabilityChecker",
+    "Metrics",
     "Operation",
     "Response",
+    "TraceSink",
     "agrees",
     "verify_cal",
     "verify_linearizability",

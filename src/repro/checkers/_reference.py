@@ -75,8 +75,14 @@ class ReferenceCALChecker(CALChecker):
     """CAL checker running the seed recursive frozenset search."""
 
     def _check_complete(
-        self, history: History, budget: Optional[SearchBudget] = None
+        self,
+        history: History,
+        budget: Optional[SearchBudget] = None,
+        metrics=None,
     ) -> CheckResult:
+        # The reference search is a differential-testing oracle only; it
+        # does not record search metrics.
+
         problem = ReferenceSearchProblem.of(history)
         total = len(problem)
         seen: Set[Tuple[FrozenSet[int], Hashable]] = set()
@@ -121,8 +127,14 @@ class ReferenceLinearizabilityChecker(LinearizabilityChecker):
     """Linearizability checker running the seed recursive search."""
 
     def _check_complete(
-        self, history: History, budget: Optional[SearchBudget] = None
+        self,
+        history: History,
+        budget: Optional[SearchBudget] = None,
+        metrics=None,
     ) -> CheckResult:
+        # The reference search is a differential-testing oracle only; it
+        # does not record search metrics.
+
         problem = ReferenceSearchProblem.of(history)
         total = len(problem)
         seen: Set[Tuple[FrozenSet[int], Hashable]] = set()

@@ -40,6 +40,42 @@ from repro.core.history import History, OperationSpan
 _MASK_CACHE: Dict[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
 _MASK_CACHE_CAP = 4096
 
+# Process-local cache diagnostics (see mask_cache_stats()).  Plain module
+# ints, not Metrics counters: hit rates depend on cache warmth, which is
+# process history — keeping them out of Metrics keeps every Metrics
+# counter deterministic (the parallel-merge equality guarantee).
+_MASK_CACHE_HITS = 0
+_MASK_CACHE_MISSES = 0
+
+
+def structural_key(spans: Sequence[OperationSpan]) -> Tuple[Tuple[int, int], ...]:
+    """The index shape of a history — the mask-cache key.
+
+    Depends only on which response precedes which invocation, never on
+    operation values; two histories with the same key share one
+    precedence-mask computation.
+    """
+    return tuple(
+        (s.inv_index, -1 if s.res_index is None else s.res_index) for s in spans
+    )
+
+
+def mask_cache_stats() -> Dict[str, int]:
+    """Process-local structural-cache diagnostics (hits/misses/size)."""
+    return {
+        "hits": _MASK_CACHE_HITS,
+        "misses": _MASK_CACHE_MISSES,
+        "size": len(_MASK_CACHE),
+    }
+
+
+def clear_mask_cache() -> None:
+    """Drop the structural cache and reset its diagnostics (tests)."""
+    global _MASK_CACHE_HITS, _MASK_CACHE_MISSES
+    _MASK_CACHE.clear()
+    _MASK_CACHE_HITS = 0
+    _MASK_CACHE_MISSES = 0
+
 
 def _precedence_masks(
     spans: Sequence[OperationSpan],
@@ -50,10 +86,13 @@ def _precedence_masks(
     the O(n²) pairwise loop, sweep the spans in invocation order while
     accumulating the mask of already-responded operations — O(n log n).
     """
-    key = tuple((s.inv_index, -1 if s.res_index is None else s.res_index) for s in spans)
+    global _MASK_CACHE_HITS, _MASK_CACHE_MISSES
+    key = structural_key(spans)
     cached = _MASK_CACHE.get(key)
     if cached is not None:
+        _MASK_CACHE_HITS += 1
         return cached
+    _MASK_CACHE_MISSES += 1
     n = len(spans)
     by_inv = sorted(range(n), key=lambda i: spans[i].inv_index)
     by_res = sorted(range(n), key=lambda i: spans[i].res_index or 0)
@@ -102,18 +141,28 @@ class SearchProblem:
     succ_masks: Tuple[int, ...]
 
     @staticmethod
-    def of(history: History, validate: bool = True) -> "SearchProblem":
+    def of(
+        history: History, validate: bool = True, metrics=None
+    ) -> "SearchProblem":
         """Build the precedence structure of ``history``.
 
         ``validate=False`` skips the completeness re-check — for callers
         that have already validated the history (the checkers validate at
         their public ``check()`` boundary, and ``History.completions()``
         yields complete histories by construction).
+
+        ``metrics`` (an :class:`~repro.obs.metrics.Metrics`) counts
+        ``search.problems`` and tracks the largest problem built;
+        structural-cache hit rates stay process-local — see
+        :func:`mask_cache_stats`.
         """
         if validate and not history.is_complete():
             raise ValueError("search requires a complete history")
         spans = history.spans()
         pred, succ = _precedence_masks(spans)
+        if metrics is not None:
+            metrics.count("search.problems")
+            metrics.record_max("search.problem_size_max", len(spans))
         return SearchProblem(spans=spans, pred_masks=pred, succ_masks=succ)
 
     # ------------------------------------------------------------------
@@ -179,6 +228,36 @@ class SearchProblem:
 
     def __len__(self) -> int:
         return len(self.spans)
+
+
+def flush_search_tallies(
+    metrics,
+    nodes: int,
+    memo_hits: int,
+    memo_misses: int,
+    candidates: int,
+    rejections: int,
+    frames: int,
+    frontier_sum: int,
+    frontier_max: int,
+) -> None:
+    """Fold one search's local tallies into a metrics registry.
+
+    The checkers keep plain local ints in their hot loops (so the
+    disabled-metrics path pays nothing but integer increments) and flush
+    once per search through this helper; every value is a pure function
+    of the searched history and spec, so parallel merges of per-worker
+    registries reproduce the sequential totals exactly.
+    """
+    metrics.count("search.nodes", nodes)
+    metrics.count("search.memo_hits", memo_hits)
+    metrics.count("search.memo_misses", memo_misses)
+    metrics.count("search.candidates_tried", candidates)
+    metrics.count("search.spec_rejections", rejections)
+    metrics.count("search.frames_pushed", frames)
+    metrics.count("search.frontier_width_sum", frontier_sum)
+    if frontier_max:
+        metrics.record_max("search.frontier_width_max", frontier_max)
 
 
 def nonempty_subsets(items: Sequence[int]) -> Iterator[Tuple[int, ...]]:

@@ -24,12 +24,19 @@ instrumented assignments always produce such a witness.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.checkers.caspec import CASpec
 from repro.checkers.result import CheckResult, SearchBudget, Verdict
-from repro.checkers._search import SearchProblem, iter_bits, subset_masks
+from repro.checkers._search import (
+    SearchProblem,
+    flush_search_tallies,
+    iter_bits,
+    structural_key,
+    subset_masks,
+)
 from repro.core.actions import Invocation, Operation
 from repro.core.agreement import agrees
 from repro.core.catrace import CAElement, CATrace
@@ -91,13 +98,56 @@ class CALChecker:
         project: bool = True,
         node_budget: Optional[int] = None,
         deadline: Optional[float] = None,
+        metrics=None,
+        trace=None,
     ) -> CheckResult:
         """Search for a spec CA-trace that some completion agrees with.
 
         ``node_budget``/``deadline`` bound the search across *all*
         completions; when either trips, the result is ``UNKNOWN`` rather
         than a hang (see :class:`~repro.checkers.result.Verdict`).
+
+        ``metrics``/``trace`` (see :mod:`repro.obs`) record search
+        statistics and phase events; both default off, and neither can
+        change the verdict or the node count.
         """
+        instrumented = metrics is not None or trace is not None
+        started = time.perf_counter() if instrumented else 0.0
+        if trace is not None:
+            trace.emit(
+                "check_begin",
+                checker="cal",
+                oid=self.spec.oid,
+                actions=len(history),
+            )
+        result = self._check_impl(history, project, node_budget, deadline, metrics, trace)
+        if metrics is not None:
+            metrics.count("cal.checks")
+            if result.unknown:
+                metrics.count("cal.unknown")
+            elif not result.ok:
+                metrics.count("cal.failures")
+            metrics.add_time("cal.check_s", time.perf_counter() - started)
+        if trace is not None:
+            trace.emit(
+                "check_end",
+                checker="cal",
+                oid=self.spec.oid,
+                verdict=result.verdict.value,
+                nodes=result.nodes,
+                reason=result.reason,
+            )
+        return result
+
+    def _check_impl(
+        self,
+        history: History,
+        project: bool,
+        node_budget: Optional[int],
+        deadline: Optional[float],
+        metrics,
+        trace,
+    ) -> CheckResult:
         target = history.project_object(self.spec.oid) if project else history
         if not target.is_well_formed():
             return CheckResult(False, reason="ill-formed history")
@@ -110,14 +160,37 @@ class CALChecker:
         budget = SearchBudget(node_budget=node_budget, deadline=deadline)
         best = CheckResult(False, reason="no agreeing CA-trace found")
         candidates = lambda inv: self.spec.response_candidates_in(inv, target)
+        # Structural-cache counters are deliberately *per-call*: a repeat
+        # shape within one check is a guaranteed cache hit and a pure
+        # function of the history, so the counts stay deterministic (the
+        # warm process-wide cache can only do better — see
+        # repro.checkers._search.mask_cache_stats for that diagnostic).
+        shapes: Set[Tuple[Tuple[int, int], ...]] = set()
         try:
             for completion in target.completions(candidates):
-                result = self._check_complete(completion, budget)
+                if metrics is not None:
+                    metrics.count("cal.completions")
+                    shape = structural_key(completion.spans())
+                    if shape in shapes:
+                        metrics.count("search.structural_cache_hits")
+                    else:
+                        shapes.add(shape)
+                        metrics.count("search.structural_cache_misses")
+                result = self._check_complete(completion, budget, metrics)
                 best.nodes += result.nodes
                 if result.ok:
                     result.nodes = best.nodes
                     return result
         except BudgetExceeded as exceeded:
+            if metrics is not None:
+                metrics.count("search.budget_trips")
+            if trace is not None:
+                trace.emit(
+                    "budget_trip",
+                    checker="cal",
+                    reason=str(exceeded),
+                    nodes=budget.nodes,
+                )
             return CheckResult(
                 False,
                 nodes=budget.nodes,
@@ -128,7 +201,10 @@ class CALChecker:
 
     # ------------------------------------------------------------------
     def _check_complete(
-        self, history: History, budget: Optional[SearchBudget] = None
+        self,
+        history: History,
+        budget: Optional[SearchBudget] = None,
+        metrics=None,
     ) -> CheckResult:
         """Explicit-stack DFS over (taken-mask, spec-state) nodes.
 
@@ -136,6 +212,10 @@ class CALChecker:
         ids so memo keys are ``(int, int)`` pairs; frontiers update
         incrementally through the problem's successor masks; candidate
         CA-elements come from the lazy popcount-ordered subset stream.
+
+        Search statistics are kept as local ints (the metrics-off path
+        pays only the increments) and flushed once on every exit —
+        including a budget trip — via ``flush_search_tallies``.
         """
         problem = SearchProblem.of(history, validate=False)
         full = problem.full_mask
@@ -146,64 +226,99 @@ class CALChecker:
         state_ids: Dict[Hashable, int] = {}
         elements: List[CAElement] = []
         nodes = 1
+        memo_hits = memo_misses = cand_tried = rejections = 0
+        frames = 1
+        frontier_sum = frontier_max = 0
         if budget is not None:
             budget.charge()
 
         initial = self.spec.initial()
         if full == 0:
+            if metrics is not None:
+                flush_search_tallies(metrics, nodes, 0, 0, 0, 0, 0, 0, 0)
             return CheckResult(
                 True, witness=CATrace([]), completion=history, nodes=nodes
             )
         seen.add((0, state_ids.setdefault(initial, 0)))
         root_frontier = problem.frontier_mask(0)
+        width = root_frontier.bit_count()
+        frontier_sum += width
+        frontier_max = width
         # Frame: (taken, frontier, state, pending-subset iterator).  The
         # CA-element chosen to reach a frame sits in ``elements`` at the
         # frame's depth − 1; popping a non-root frame pops it.
         stack = [(0, root_frontier, initial, subset_masks(root_frontier))]
-        while stack:
-            taken, frontier, state, candidates = stack[-1]
-            pushed = False
-            for subset in candidates:
-                ops = [spans[i].operation for i in iter_bits(subset)]
-                element = CAElement(oid, ops)  # type: ignore[arg-type]
-                successor = step(state, element)
-                if successor is None:
-                    continue
-                nodes += 1
-                if budget is not None:
-                    budget.charge()
-                elements.append(element)
-                new_taken = taken | subset
-                if new_taken == full:
-                    return CheckResult(
-                        True,
-                        witness=CATrace(list(elements)),
-                        completion=history,
-                        nodes=nodes,
+        try:
+            while stack:
+                taken, frontier, state, candidates = stack[-1]
+                pushed = False
+                for subset in candidates:
+                    cand_tried += 1
+                    ops = [spans[i].operation for i in iter_bits(subset)]
+                    element = CAElement(oid, ops)  # type: ignore[arg-type]
+                    successor = step(state, element)
+                    if successor is None:
+                        rejections += 1
+                        continue
+                    nodes += 1
+                    if budget is not None:
+                        budget.charge()
+                    elements.append(element)
+                    new_taken = taken | subset
+                    if new_taken == full:
+                        return CheckResult(
+                            True,
+                            witness=CATrace(list(elements)),
+                            completion=history,
+                            nodes=nodes,
+                        )
+                    state_id = state_ids.setdefault(successor, len(state_ids))
+                    key = (new_taken, state_id)
+                    if key in seen:
+                        memo_hits += 1
+                        elements.pop()
+                        continue
+                    memo_misses += 1
+                    seen.add(key)
+                    new_frontier = problem.next_frontier(frontier, new_taken, subset)
+                    frames += 1
+                    width = new_frontier.bit_count()
+                    frontier_sum += width
+                    if width > frontier_max:
+                        frontier_max = width
+                    stack.append(
+                        (new_taken, new_frontier, successor, subset_masks(new_frontier))
                     )
-                state_id = state_ids.setdefault(successor, len(state_ids))
-                key = (new_taken, state_id)
-                if key in seen:
-                    elements.pop()
-                    continue
-                seen.add(key)
-                new_frontier = problem.next_frontier(frontier, new_taken, subset)
-                stack.append(
-                    (new_taken, new_frontier, successor, subset_masks(new_frontier))
+                    pushed = True
+                    break
+                if not pushed:
+                    stack.pop()
+                    if stack:
+                        elements.pop()
+            return CheckResult(
+                False, reason="no agreeing CA-trace found", nodes=nodes
+            )
+        finally:
+            if metrics is not None:
+                flush_search_tallies(
+                    metrics,
+                    nodes,
+                    memo_hits,
+                    memo_misses,
+                    cand_tried,
+                    rejections,
+                    frames,
+                    frontier_sum,
+                    frontier_max,
                 )
-                pushed = True
-                break
-            if not pushed:
-                stack.pop()
-                if stack:
-                    elements.pop()
-        return CheckResult(
-            False, reason="no agreeing CA-trace found", nodes=nodes
-        )
 
     # ------------------------------------------------------------------
     def check_witness(
-        self, history: History, trace: CATrace, project: bool = True
+        self,
+        history: History,
+        trace: CATrace,
+        project: bool = True,
+        metrics=None,
     ) -> CheckResult:
         """Validate a recorded witness trace against the observed history.
 
@@ -216,6 +331,16 @@ class CALChecker:
         stay CAL when its partner dies mid-exchange — this is where that
         is decided.
         """
+        result = self._check_witness_impl(history, trace, project)
+        if metrics is not None:
+            metrics.count("cal.witness_checks")
+            if not result.ok:
+                metrics.count("cal.witness_failures")
+        return result
+
+    def _check_witness_impl(
+        self, history: History, trace: CATrace, project: bool
+    ) -> CheckResult:
         target = history.project_object(self.spec.oid) if project else history
         if not target.is_well_formed():
             return CheckResult(False, reason="ill-formed history")

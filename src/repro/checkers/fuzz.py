@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.checkers.cal import CALChecker
 from repro.checkers.caspec import CASpec
@@ -28,12 +28,25 @@ from repro.checkers.linearizability import LinearizabilityChecker
 from repro.checkers.seqspec import SequentialSpec
 from repro.checkers.verify import ViewFn, _validate_singleton_witness
 from repro.core.history import History
+from repro.obs.metrics import Metrics, observe_run
+from repro.obs.report import CounterexampleReport
 from repro.substrate.explore import SetupFn, run_random, run_schedule
 from repro.substrate.faults import FaultCampaign, FaultPlan
 from repro.substrate.runtime import RunResult
 from repro.substrate.schedulers import RandomScheduler
 
 Faults = Union[FaultCampaign, FaultPlan, None]
+
+Stats = Optional[Dict[str, Dict[str, Any]]]
+
+
+def _merge_stats(mine: Stats, theirs: Stats) -> Stats:
+    """Merge two :meth:`Metrics.snapshot` dicts (either may be None)."""
+    if theirs is None:
+        return mine
+    if mine is None:
+        return Metrics.from_snapshot(theirs).snapshot()
+    return Metrics.from_snapshot(mine).merge(Metrics.from_snapshot(theirs)).snapshot()
 
 
 @dataclass
@@ -43,6 +56,8 @@ class FuzzFailure:
     ``schedule`` is the run's complete decision sequence and ``plan`` the
     fault plan that was active; together they replay the failing run
     exactly (:func:`replay`), independent of the RNG that produced it.
+    ``report`` is the rendered :class:`~repro.obs.report.CounterexampleReport`
+    for the (shrunk) failure.
     """
 
     seed: int
@@ -50,6 +65,7 @@ class FuzzFailure:
     reason: str
     schedule: List[int] = field(default_factory=list)
     plan: Optional[FaultPlan] = None
+    report: Optional[CounterexampleReport] = None
 
     def __repr__(self) -> str:
         plan = f", faults={len(self.plan)}" if self.plan else ""
@@ -70,6 +86,12 @@ class FuzzReport:
     counts seeds never run because the campaign deadline expired first.
     A report with skipped seeds is not a clean pass over the requested
     range — treat it like a budget-cut exploration.
+
+    ``reports`` collects one :class:`~repro.obs.report.CounterexampleReport`
+    per FAIL **and** per budget-cut (UNKNOWN) run.  ``stats`` is the
+    campaign's :meth:`~repro.obs.metrics.Metrics.snapshot` when the
+    campaign was run with ``metrics=``; parallel campaigns merge worker
+    snapshots, so the totals match a sequential run over the same seeds.
     """
 
     runs: int = 0
@@ -78,19 +100,23 @@ class FuzzReport:
     unknown: int = 0
     skipped: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
+    reports: List[CounterexampleReport] = field(default_factory=list)
+    stats: Stats = None
 
     @property
     def ok(self) -> bool:
         return self.runs > 0 and not self.failures
 
     def merge(self, other: "FuzzReport") -> None:
-        """Fold another report's tallies and failures into this one."""
+        """Fold another report's tallies, failures and stats into this one."""
         self.runs += other.runs
         self.incomplete += other.incomplete
         self.crashed += other.crashed
         self.unknown += other.unknown
         self.skipped += other.skipped
         self.failures.extend(other.failures)
+        self.reports.extend(other.reports)
+        self.stats = _merge_stats(self.stats, other.stats)
 
     def __repr__(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
@@ -149,6 +175,8 @@ def shrink_failure(
     failure: FuzzFailure,
     fails: Callable[[RunResult], Optional[str]],
     max_steps: Optional[int] = None,
+    metrics=None,
+    trace=None,
 ) -> FuzzFailure:
     """Greedy counterexample minimization.
 
@@ -158,6 +186,11 @@ def shrink_failure(
     keeps any mutation under which ``fails`` still reports a failure.
     Every accepted mutation strictly shrinks (plan size, prefix length),
     so the loop terminates.  The result replays like any other failure.
+
+    ``metrics`` counts ``shrink.attempts``/``shrink.accepted``; ``trace``
+    gets one ``shrink_step`` event per accepted mutation.  Shrink replays
+    deliberately do **not** feed the campaign's run/search counters —
+    those stay a pure function of the seed range.
     """
     plan = failure.plan
     prefix = list(failure.schedule)
@@ -166,6 +199,8 @@ def shrink_failure(
     def attempt(
         candidate_prefix: Sequence[int], candidate_plan: Optional[FaultPlan]
     ) -> Optional[FuzzFailure]:
+        if metrics is not None:
+            metrics.count("shrink.attempts")
         run = run_schedule(
             setup,
             candidate_prefix,
@@ -184,6 +219,17 @@ def shrink_failure(
             failure.seed, run.history, reason, run.schedule, candidate_plan
         )
 
+    def accept(candidate: FuzzFailure) -> None:
+        if metrics is not None:
+            metrics.count("shrink.accepted")
+        if trace is not None:
+            trace.emit(
+                "shrink_step",
+                seed=failure.seed,
+                schedule_len=len(candidate.schedule),
+                faults=0 if candidate.plan is None else len(candidate.plan),
+            )
+
     improved = True
     while improved:
         improved = False
@@ -193,6 +239,7 @@ def shrink_failure(
                 candidate = attempt(prefix, smaller)
                 if candidate is not None:
                     plan, best, improved = smaller, candidate, True
+                    accept(candidate)
                     break
             if improved:
                 continue
@@ -201,6 +248,7 @@ def shrink_failure(
                 candidate = attempt(prefix[:new_len], plan)
                 if candidate is not None:
                     prefix, best, improved = prefix[:new_len], candidate, True
+                    accept(candidate)
                     break
     return best
 
@@ -218,6 +266,8 @@ def fuzz_cal(
     node_budget: Optional[int] = None,
     shrink: bool = True,
     deadline_at: Optional[float] = None,
+    metrics=None,
+    trace=None,
 ) -> FuzzReport:
     """Sample random schedules and check CAL on each run.
 
@@ -230,41 +280,81 @@ def fuzz_cal(
     ``deadline_at`` is an absolute ``time.monotonic()`` instant: seeds
     not yet started when it passes are counted ``skipped`` instead of
     run — the shared-deadline hook used by the parallel campaign runner.
+
+    ``metrics``/``trace`` (see :mod:`repro.obs`) observe the campaign.
+    The campaign's own counters land in ``report.stats`` and are merged
+    into the caller's ``metrics``; shrink replays never feed the run or
+    search counters, so (deadline-free) campaign stats are a pure
+    function of the seed range.
     """
     checker = CALChecker(spec)
     report = FuzzReport()
+    campaign = Metrics() if metrics is not None else None
 
-    def diagnose(run: RunResult) -> Tuple[Optional[str], bool]:
-        """(failure reason or None, search was budget-cut)."""
+    def diagnose(run: RunResult, stats=None, sink=None):
+        """(failure reason or None, budget-cut reason or None)."""
         history = run.history
         if check_witness:
-            trace = view(run.trace) if view is not None else run.trace
-            witness = trace.project_object(spec.oid)
-            result = checker.check_witness(history, witness)
+            recorded = view(run.trace) if view is not None else run.trace
+            witness = recorded.project_object(spec.oid)
+            result = checker.check_witness(history, witness, metrics=stats)
             if not result.ok:
-                return result.reason, False
+                return result.reason, None
         if search:
-            result = checker.check(history, node_budget=node_budget)
+            result = checker.check(
+                history, node_budget=node_budget, metrics=stats, trace=sink
+            )
             if result.unknown:
-                return None, True
+                return None, result.reason
             if not result.ok:
-                return result.reason, False
-        return None, False
+                return result.reason, None
+        return None, None
 
+    if trace is not None:
+        trace.emit(
+            "campaign_begin",
+            driver="fuzz_cal",
+            seeds=len(seeds),
+            faults=faults is not None,
+        )
     for position, seed in enumerate(seeds):
         if deadline_at is not None and time.monotonic() >= deadline_at:
-            report.skipped += len(seeds) - position
+            skipped = len(seeds) - position
+            report.skipped += skipped
+            if campaign is not None:
+                campaign.count("fuzz.skipped", skipped)
+            if trace is not None:
+                trace.emit("campaign_deadline", skipped=skipped)
             break
         run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
+        if campaign is not None:
+            campaign.count("fuzz.seeds")
+            observe_run(campaign, run)
         if not run.completed:
             report.incomplete += 1
+            if campaign is not None:
+                campaign.count("fuzz.incomplete")
             continue
         report.runs += 1
         if run.crashed:
             report.crashed += 1
-        reason, cut = diagnose(run)
-        if cut:
+        reason, unknown_reason = diagnose(run, campaign, trace)
+        if unknown_reason is not None:
             report.unknown += 1
+            if campaign is not None:
+                campaign.count("fuzz.unknown")
+            report.reports.append(
+                CounterexampleReport.build(
+                    run.history,
+                    unknown_reason,
+                    verdict="unknown",
+                    seed=seed,
+                    schedule=run.schedule,
+                    plan=plan,
+                    oid=spec.oid,
+                    max_steps=max_steps,
+                )
+            )
         if reason is not None:
             failure = FuzzFailure(seed, run.history, reason, run.schedule, plan)
             if shrink:
@@ -273,8 +363,28 @@ def fuzz_cal(
                     failure,
                     lambda r: diagnose(r)[0],
                     max_steps=max_steps,
+                    metrics=campaign,
+                    trace=trace,
                 )
+            failure.report = CounterexampleReport.from_failure(
+                failure, oid=spec.oid, max_steps=max_steps
+            )
             report.failures.append(failure)
+            report.reports.append(failure.report)
+            if campaign is not None:
+                campaign.count("fuzz.failures")
+    if campaign is not None:
+        report.stats = campaign.snapshot()
+        metrics.merge(campaign)
+    if trace is not None:
+        trace.emit(
+            "campaign_end",
+            driver="fuzz_cal",
+            runs=report.runs,
+            failures=len(report.failures),
+            unknown=report.unknown,
+            skipped=report.skipped,
+        )
     return report
 
 
@@ -290,43 +400,81 @@ def fuzz_linearizability(
     node_budget: Optional[int] = None,
     shrink: bool = True,
     deadline_at: Optional[float] = None,
+    metrics=None,
+    trace=None,
 ) -> FuzzReport:
     """Sample random schedules and check linearizability on each run.
 
-    ``deadline_at`` behaves as in :func:`fuzz_cal`.
+    ``deadline_at`` and ``metrics``/``trace`` behave as in
+    :func:`fuzz_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
+    campaign = Metrics() if metrics is not None else None
 
-    def diagnose(run: RunResult) -> Tuple[Optional[str], bool]:
+    def diagnose(run: RunResult, stats=None, sink=None):
+        """(failure reason or None, budget-cut reason or None)."""
         history = run.history
         if check_witness:
-            trace = view(run.trace) if view is not None else run.trace
-            witness = trace.project_object(spec.oid)
+            recorded = view(run.trace) if view is not None else run.trace
+            witness = recorded.project_object(spec.oid)
             problem = _validate_singleton_witness(checker, history, witness)
             if problem is not None:
-                return problem, False
-        result = checker.check(history, node_budget=node_budget)
+                return problem, None
+        result = checker.check(
+            history, node_budget=node_budget, metrics=stats, trace=sink
+        )
         if result.unknown:
-            return None, True
+            return None, result.reason
         if not result.ok:
-            return result.reason, False
-        return None, False
+            return result.reason, None
+        return None, None
 
+    if trace is not None:
+        trace.emit(
+            "campaign_begin",
+            driver="fuzz_linearizability",
+            seeds=len(seeds),
+            faults=faults is not None,
+        )
     for position, seed in enumerate(seeds):
         if deadline_at is not None and time.monotonic() >= deadline_at:
-            report.skipped += len(seeds) - position
+            skipped = len(seeds) - position
+            report.skipped += skipped
+            if campaign is not None:
+                campaign.count("fuzz.skipped", skipped)
+            if trace is not None:
+                trace.emit("campaign_deadline", skipped=skipped)
             break
         run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
+        if campaign is not None:
+            campaign.count("fuzz.seeds")
+            observe_run(campaign, run)
         if not run.completed:
             report.incomplete += 1
+            if campaign is not None:
+                campaign.count("fuzz.incomplete")
             continue
         report.runs += 1
         if run.crashed:
             report.crashed += 1
-        reason, cut = diagnose(run)
-        if cut:
+        reason, unknown_reason = diagnose(run, campaign, trace)
+        if unknown_reason is not None:
             report.unknown += 1
+            if campaign is not None:
+                campaign.count("fuzz.unknown")
+            report.reports.append(
+                CounterexampleReport.build(
+                    run.history,
+                    unknown_reason,
+                    verdict="unknown",
+                    seed=seed,
+                    schedule=run.schedule,
+                    plan=plan,
+                    oid=spec.oid,
+                    max_steps=max_steps,
+                )
+            )
         if reason is not None:
             failure = FuzzFailure(seed, run.history, reason, run.schedule, plan)
             if shrink:
@@ -335,6 +483,26 @@ def fuzz_linearizability(
                     failure,
                     lambda r: diagnose(r)[0],
                     max_steps=max_steps,
+                    metrics=campaign,
+                    trace=trace,
                 )
+            failure.report = CounterexampleReport.from_failure(
+                failure, oid=spec.oid, max_steps=max_steps
+            )
             report.failures.append(failure)
+            report.reports.append(failure.report)
+            if campaign is not None:
+                campaign.count("fuzz.failures")
+    if campaign is not None:
+        report.stats = campaign.snapshot()
+        metrics.merge(campaign)
+    if trace is not None:
+        trace.emit(
+            "campaign_end",
+            driver="fuzz_linearizability",
+            runs=report.runs,
+            failures=len(report.failures),
+            unknown=report.unknown,
+            skipped=report.skipped,
+        )
     return report

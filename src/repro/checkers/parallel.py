@@ -53,6 +53,7 @@ from repro.checkers.fuzz import (
 )
 from repro.checkers.seqspec import SequentialSpec
 from repro.checkers.verify import ViewFn
+from repro.obs.metrics import Metrics
 from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
 from repro.substrate.runtime import RunResult
 from repro.substrate.schedulers import ReplayScheduler
@@ -81,16 +82,23 @@ def _child_main(conn, task: Callable[[], Any]) -> None:
         conn.close()
 
 
-def _map_forked(tasks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
+def _map_forked(
+    tasks: Sequence[Callable[[], _T]], workers: int, trace=None
+) -> List[_T]:
     """Run ``tasks`` across at most ``workers`` forked processes.
 
     Tasks are closures (fork shares the parent's memory, so nothing is
     pickled on the way in); results come back over pipes and must be
     picklable.  Falls back to inline execution when forking is
     unavailable or pointless.
+
+    ``trace`` (parent-owned, never shared with children — forked writers
+    would interleave lines) gets ``worker_spawn``/``worker_done`` events.
     """
     context = _fork_context()
     if context is None or workers <= 1 or len(tasks) <= 1:
+        if trace is not None:
+            trace.emit("workers_inline", tasks=len(tasks))
         return [task() for task in tasks]
     results: List[Any] = [None] * len(tasks)
     pending = list(enumerate(tasks))
@@ -104,6 +112,8 @@ def _map_forked(tasks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
             )
             process.start()
             child_conn.close()
+            if trace is not None:
+                trace.emit("worker_spawn", task=index, pid=process.pid)
             active.append((index, process, parent_conn))
         index, process, conn = active.pop(0)
         try:
@@ -113,6 +123,8 @@ def _map_forked(tasks: Sequence[Callable[[], _T]], workers: int) -> List[_T]:
         finally:
             conn.close()
         process.join()
+        if trace is not None:
+            trace.emit("worker_done", task=index, status=status)
         if status != "ok":
             for _, other, other_conn in active:
                 other.terminate()
@@ -149,6 +161,8 @@ def _fuzz_parallel(
     deadline: Optional[float],
     shrink: bool,
     kwargs: dict,
+    metrics=None,
+    trace=None,
 ) -> FuzzReport:
     seeds = list(seeds)
     workers = default_workers() if workers is None else workers
@@ -156,16 +170,21 @@ def _fuzz_parallel(
     chunks = _chunk(seeds, workers)
 
     def task_for(chunk: List[int]) -> Callable[[], FuzzReport]:
+        # Each worker owns a private Metrics (created inside the forked
+        # closure); its snapshot rides back on the report's ``stats`` and
+        # the parent merges snapshots — counter merging is associative,
+        # so the totals equal a sequential campaign over the same seeds.
         return lambda: driver(
             setup,
             spec,
             seeds=chunk,
             shrink=False,
             deadline_at=deadline_at,
+            metrics=Metrics() if metrics is not None else None,
             **kwargs,
         )
 
-    partials = _map_forked([task_for(c) for c in chunks], workers)
+    partials = _map_forked([task_for(c) for c in chunks], workers, trace=trace)
     merged = FuzzReport()
     for partial in partials:
         merged.merge(partial)
@@ -173,6 +192,9 @@ def _fuzz_parallel(
     # original seed order; the first entry is the sequential winner.
     if merged.failures and shrink:
         first = merged.failures[0]
+        # Confirm re-run gets metrics=None: the campaign stats must keep
+        # covering each seed exactly once (shrink replays are excluded
+        # from stats in the sequential driver for the same reason).
         confirm = driver(
             setup,
             spec,
@@ -182,6 +204,8 @@ def _fuzz_parallel(
         )
         if confirm.failures:  # deterministic, but never drop a failure
             merged.failures[0] = confirm.failures[0]
+    if metrics is not None and merged.stats is not None:
+        metrics.merge(Metrics.from_snapshot(merged.stats))
     return merged
 
 
@@ -199,6 +223,8 @@ def fuzz_cal_parallel(
     faults: Faults = None,
     node_budget: Optional[int] = None,
     shrink: bool = True,
+    metrics=None,
+    trace=None,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_cal` fanned across workers.
 
@@ -206,6 +232,10 @@ def fuzz_cal_parallel(
     bit-identical (seed + schedule + plan) to the sequential runner's,
     regardless of ``workers`` — shrinking happens in the parent, on the
     winning seed only.
+
+    With ``metrics``, each worker records into a private registry and
+    the merged snapshots (``report.stats``) total exactly what the
+    sequential driver records over the same seeds, counter by counter.
     """
     return _fuzz_parallel(
         fuzz_cal,
@@ -224,6 +254,8 @@ def fuzz_cal_parallel(
             faults=faults,
             node_budget=node_budget,
         ),
+        metrics=metrics,
+        trace=trace,
     )
 
 
@@ -240,10 +272,12 @@ def fuzz_linearizability_parallel(
     faults: Faults = None,
     node_budget: Optional[int] = None,
     shrink: bool = True,
+    metrics=None,
+    trace=None,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_linearizability` fanned across
-    workers, with the same determinism guarantee as
-    :func:`fuzz_cal_parallel`."""
+    workers, with the same determinism guarantees (first failure and
+    merged stats) as :func:`fuzz_cal_parallel`."""
     return _fuzz_parallel(
         fuzz_linearizability,
         setup,
@@ -260,6 +294,8 @@ def fuzz_linearizability_parallel(
             faults=faults,
             node_budget=node_budget,
         ),
+        metrics=metrics,
+        trace=trace,
     )
 
 
@@ -287,6 +323,8 @@ def explore_parallel(
     preemption_bound: Optional[int] = None,
     budget: Optional[ExploreBudget] = None,
     workers: Optional[int] = None,
+    metrics=None,
+    trace=None,
 ) -> List[RunResult]:
     """Enumerate all runs, sharded by the first decision point.
 
@@ -300,6 +338,9 @@ def explore_parallel(
     and ``step_budget`` apply *per shard*.  Worker tallies are summed
     back into the caller's budget, and a trip in any shard marks it
     tripped — so a cut campaign still reports ``UNKNOWN`` downstream.
+
+    ``metrics`` counts ``explore.runs``/``explore.steps`` over the merged
+    results and ``explore.budget_trips`` when the campaign was cut.
     """
     workers = default_workers() if workers is None else workers
     if budget is not None:
@@ -307,7 +348,7 @@ def explore_parallel(
     arity = _first_arity(setup, max_steps)
     context = _fork_context()
     if context is None or workers <= 1 or arity <= 1:
-        return list(
+        results = list(
             explore_all(
                 setup,
                 max_steps=max_steps,
@@ -316,6 +357,8 @@ def explore_parallel(
                 budget=budget,
             )
         )
+        _observe_explore(metrics, trace, results, budget)
+        return results
     remaining = budget.remaining_deadline() if budget is not None else None
 
     def shard_task(pin: int) -> Callable[[], Tuple[List[RunResult], ExploreBudget]]:
@@ -343,7 +386,7 @@ def explore_parallel(
             return results, (shard_budget or ExploreBudget())
         return run_shard
 
-    shards = _map_forked([shard_task(k) for k in range(arity)], workers)
+    shards = _map_forked([shard_task(k) for k in range(arity)], workers, trace=trace)
     merged: List[RunResult] = []
     for results, shard_budget in shards:
         merged.extend(results)
@@ -353,4 +396,25 @@ def explore_parallel(
             if shard_budget.tripped and not budget.tripped:
                 budget.tripped = True
                 budget.reason = shard_budget.reason
+    _observe_explore(metrics, trace, merged, budget)
     return merged
+
+
+def _observe_explore(metrics, trace, results: List[RunResult], budget) -> None:
+    """Fold a finished explore campaign into metrics/trace sinks.
+
+    Counts are taken from the *merged* results, so sharded and sequential
+    campaigns record identical ``explore.*`` totals.
+    """
+    if metrics is not None:
+        metrics.count("explore.runs", len(results))
+        metrics.count("explore.steps", sum(r.steps for r in results))
+        if budget is not None and budget.tripped:
+            metrics.count("explore.budget_trips")
+    if trace is not None:
+        trace.emit(
+            "explore_end",
+            runs=len(results),
+            tripped=bool(budget is not None and budget.tripped),
+            reason=None if budget is None else budget.reason,
+        )

@@ -17,7 +17,7 @@ hanging on a factorial schedule or search space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.checkers.cal import CALChecker, complete_from_witness
 from repro.checkers.caspec import CASpec
@@ -26,17 +26,25 @@ from repro.checkers.result import Verdict
 from repro.checkers.seqspec import SequentialSpec
 from repro.core.catrace import CATrace
 from repro.core.history import History
+from repro.obs.metrics import Metrics, observe_run
+from repro.obs.report import CounterexampleReport
 from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
 
 
 @dataclass
 class Failure:
-    """One run that violated the specification."""
+    """One run that violated the specification.
+
+    ``report`` carries the rendered
+    :class:`~repro.obs.report.CounterexampleReport` (timeline + replay
+    snippet) for the failing run.
+    """
 
     schedule: List[int]
     history: History
     trace: CATrace
     reason: str
+    report: Optional[CounterexampleReport] = None
 
     def __repr__(self) -> str:
         return f"Failure({self.reason}; schedule={self.schedule})"
@@ -50,6 +58,8 @@ class VerificationReport:
     ``budget`` (when supplied) records whether exploration itself was
     cut short.  :attr:`verdict` folds both into the three-valued answer:
     a clean ``OK`` needs every run checked and every check definitive.
+    ``stats`` is the driver's :meth:`~repro.obs.metrics.Metrics.snapshot`
+    when run with ``metrics=``.
     """
 
     runs: int = 0
@@ -58,6 +68,7 @@ class VerificationReport:
     failures: List[Failure] = field(default_factory=list)
     unknown: int = 0
     budget: Optional[ExploreBudget] = None
+    stats: Optional[Dict[str, Dict[str, Any]]] = None
 
     @property
     def verdict(self) -> Verdict:
@@ -92,6 +103,26 @@ class VerificationReport:
 ViewFn = Callable[[CATrace], CATrace]
 
 
+def _record_failure(
+    report: VerificationReport,
+    run,
+    witness: CATrace,
+    reason: str,
+    oid: str,
+    max_steps: Optional[int],
+) -> None:
+    """Append a Failure with its counterexample report attached."""
+    failure = Failure(run.schedule, run.history, witness, reason)
+    failure.report = CounterexampleReport.build(
+        run.history,
+        reason,
+        schedule=run.schedule,
+        oid=oid,
+        max_steps=max_steps,
+    )
+    report.failures.append(failure)
+
+
 def verify_cal(
     setup: SetupFn,
     spec: CASpec,
@@ -104,6 +135,8 @@ def verify_cal(
     budget: Optional[ExploreBudget] = None,
     node_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    metrics=None,
+    trace=None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -116,11 +149,18 @@ def verify_cal(
     When a per-run search trips its ``node_budget``/``deadline``, the
     driver falls back to witness validation for that run (if not already
     performed) and counts the run ``unknown`` — degraded but never hung.
+
+    ``metrics``/``trace`` (see :mod:`repro.obs`) observe the driver; the
+    driver's counters land in ``report.stats`` and are merged into the
+    caller's ``metrics``.
     """
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
+    campaign = Metrics() if metrics is not None else None
     if budget is not None:
         budget.start()
+    if trace is not None:
+        trace.emit("verify_begin", driver="verify_cal", oid=spec.oid)
     for run in explore_all(
         setup,
         max_steps=max_steps,
@@ -128,26 +168,32 @@ def verify_cal(
         preemption_bound=preemption_bound,
         budget=budget,
     ):
+        if campaign is not None:
+            observe_run(campaign, run)
         if not run.completed:
             report.incomplete += 1
             continue
         report.runs += 1
         history = run.history
-        trace = view(run.trace) if view is not None else run.trace
-        witness = trace.project_object(spec.oid)
+        recorded = view(run.trace) if view is not None else run.trace
+        witness = recorded.project_object(spec.oid)
         witness_checked = False
         if check_witness:
-            result = checker.check_witness(history, witness)
+            result = checker.check_witness(history, witness, metrics=campaign)
             report.nodes += result.nodes
             witness_checked = True
             if not result.ok:
-                report.failures.append(
-                    Failure(run.schedule, history, witness, result.reason)
+                _record_failure(
+                    report, run, witness, result.reason, spec.oid, max_steps
                 )
                 continue
         if search:
             result = checker.check(
-                history, node_budget=node_budget, deadline=deadline
+                history,
+                node_budget=node_budget,
+                deadline=deadline,
+                metrics=campaign,
+                trace=trace,
             )
             report.nodes += result.nodes
             if result.unknown:
@@ -155,19 +201,36 @@ def verify_cal(
                 if not witness_checked:
                     # Degrade: the linear witness check still decides
                     # this run even when search is over budget.
-                    fallback = checker.check_witness(history, witness)
+                    fallback = checker.check_witness(
+                        history, witness, metrics=campaign
+                    )
                     report.nodes += fallback.nodes
                     if not fallback.ok:
-                        report.failures.append(
-                            Failure(
-                                run.schedule, history, witness, fallback.reason
-                            )
+                        _record_failure(
+                            report,
+                            run,
+                            witness,
+                            fallback.reason,
+                            spec.oid,
+                            max_steps,
                         )
                 continue
             if not result.ok:
-                report.failures.append(
-                    Failure(run.schedule, history, run.trace, result.reason)
+                _record_failure(
+                    report, run, run.trace, result.reason, spec.oid, max_steps
                 )
+    if campaign is not None:
+        report.stats = campaign.snapshot()
+        metrics.merge(campaign)
+    if trace is not None:
+        trace.emit(
+            "verify_end",
+            driver="verify_cal",
+            verdict=report.verdict.value,
+            runs=report.runs,
+            failures=len(report.failures),
+            unknown=report.unknown,
+        )
     return report
 
 
@@ -182,6 +245,8 @@ def verify_linearizability(
     budget: Optional[ExploreBudget] = None,
     node_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    metrics=None,
+    trace=None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -192,12 +257,16 @@ def verify_linearizability(
 
     Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
     falls back to witness validation (when a view is available) and the
-    run counts as ``unknown``.
+    run counts as ``unknown``.  ``metrics``/``trace`` behave as in
+    :func:`verify_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
+    campaign = Metrics() if metrics is not None else None
     if budget is not None:
         budget.start()
+    if trace is not None:
+        trace.emit("verify_begin", driver="verify_linearizability", oid=spec.oid)
     for run in explore_all(
         setup,
         max_steps=max_steps,
@@ -205,24 +274,30 @@ def verify_linearizability(
         preemption_bound=preemption_bound,
         budget=budget,
     ):
+        if campaign is not None:
+            observe_run(campaign, run)
         if not run.completed:
             report.incomplete += 1
             continue
         report.runs += 1
         history = run.history
-        trace = view(run.trace) if view is not None else run.trace
-        witness = trace.project_object(spec.oid)
+        recorded = view(run.trace) if view is not None else run.trace
+        witness = recorded.project_object(spec.oid)
         witness_checked = False
         if check_witness:
             problem = _validate_singleton_witness(checker, history, witness)
             witness_checked = True
             if problem is not None:
-                report.failures.append(
-                    Failure(run.schedule, history, witness, problem)
+                _record_failure(
+                    report, run, witness, problem, spec.oid, max_steps
                 )
                 continue
         result = checker.check(
-            history, node_budget=node_budget, deadline=deadline
+            history,
+            node_budget=node_budget,
+            deadline=deadline,
+            metrics=campaign,
+            trace=trace,
         )
         report.nodes += result.nodes
         if result.unknown:
@@ -232,14 +307,26 @@ def verify_linearizability(
                     checker, history, witness
                 )
                 if problem is not None:
-                    report.failures.append(
-                        Failure(run.schedule, history, witness, problem)
+                    _record_failure(
+                        report, run, witness, problem, spec.oid, max_steps
                     )
             continue
         if not result.ok:
-            report.failures.append(
-                Failure(run.schedule, history, run.trace, result.reason)
+            _record_failure(
+                report, run, run.trace, result.reason, spec.oid, max_steps
             )
+    if campaign is not None:
+        report.stats = campaign.snapshot()
+        metrics.merge(campaign)
+    if trace is not None:
+        trace.emit(
+            "verify_end",
+            driver="verify_linearizability",
+            verdict=report.verdict.value,
+            runs=report.runs,
+            failures=len(report.failures),
+            unknown=report.unknown,
+        )
     return report
 
 

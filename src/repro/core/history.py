@@ -46,14 +46,41 @@ class OperationSpan:
 
 
 class History:
-    """An immutable sequence of object actions (Def. 2)."""
+    """An immutable sequence of object actions (Def. 2).
+
+    Immutability is enforced, not just advertised: ``spans()`` and
+    ``is_well_formed()`` memoize their answers, so a post-construction
+    reassignment of ``_actions`` would silently serve stale caches.
+    ``__setattr__`` rejects it; every "mutation" returns a new History
+    (``append``, ``complete_with``, the projections).
+    """
 
     __slots__ = ("_actions", "_spans", "_well_formed")
 
     def __init__(self, actions: Iterable[Action] = ()) -> None:
-        self._actions: Tuple[Action, ...] = tuple(actions)
-        self._spans: Optional[Tuple[OperationSpan, ...]] = None
-        self._well_formed: Optional[bool] = None
+        object.__setattr__(self, "_actions", tuple(actions))
+        object.__setattr__(self, "_spans", None)
+        object.__setattr__(self, "_well_formed", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # The lazy caches (_spans/_well_formed) may be filled in; the
+        # action sequence itself is frozen once __init__ has set it.
+        if name == "_actions":
+            raise AttributeError(
+                "History is immutable: build a new History instead of "
+                "reassigning _actions (cached spans/well-formedness would "
+                "go stale)"
+            )
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("History is immutable")
+
+    def __reduce__(self):
+        # Default slots pickling restores attributes via setattr, which
+        # the _actions freeze rejects; rebuild through __init__ instead
+        # (caches re-warm lazily on the other side of the pipe).
+        return (History, (self._actions,))
 
     # ------------------------------------------------------------------
     # Sequence protocol

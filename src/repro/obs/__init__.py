@@ -1,0 +1,45 @@
+"""Observability for the checker searches and the substrate runtime.
+
+The evaluation loop of this reproduction lives on two artifacts that the
+bare verdicts do not carry:
+
+* **search/runtime statistics** — nodes expanded, memo hits, subset
+  enumerations, frontier widths, scheduler steps, CAS failures, injected
+  faults — the numbers that make checker comparisons meaningful
+  (Dongol & Derrick's survey point) and budget-`UNKNOWN` verdicts
+  diagnosable;
+* **counterexample artifacts** — seed, schedule, fault plan, a rendered
+  timeline and a replay snippet — the primary debugging currency of any
+  FAIL.
+
+This package provides both, zero-dependency and off by default:
+
+* :class:`Metrics` — a dict-backed counter/timer registry.  Thread- and
+  fork-safe by *construction*: every worker gets its own instance and
+  the parent merges snapshots on join (merging is associative and
+  commutative, so partition order cannot change the totals).
+* :class:`TraceSink` / :class:`JsonLinesTraceSink` — an optional event
+  stream (JSON lines) for search phase transitions, budget trips,
+  worker lifecycle and shrink iterations, with a :meth:`TraceSink.span`
+  timer context manager for per-phase wall clock.
+* :class:`CounterexampleReport` — bundles everything needed to stare at
+  (and replay) a FAIL/UNKNOWN verdict into one serializable object.
+
+Every entry point that accepts ``metrics=``/``trace=`` defaults both to
+``None``; the disabled path is the plain code path (guarded by the E17
+overhead bench).  See ``docs/observability.md`` for the counter-name
+tables and the trace event schema.
+"""
+
+from repro.obs.metrics import Metrics, observe_run
+from repro.obs.report import CounterexampleReport
+from repro.obs.tracing import JsonLinesTraceSink, TraceSink, read_trace
+
+__all__ = [
+    "CounterexampleReport",
+    "JsonLinesTraceSink",
+    "Metrics",
+    "TraceSink",
+    "observe_run",
+    "read_trace",
+]

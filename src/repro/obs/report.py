@@ -1,0 +1,174 @@
+"""Counterexample reports: everything a FAIL/UNKNOWN needs to be debugged.
+
+The machine-certified-proofs line of work treats counterexample artifacts
+as the primary debugging currency; this module makes them first-class.
+A :class:`CounterexampleReport` bundles, for one offending run:
+
+* the **seed** (when the run came from a fuzz campaign) and the full
+  decision **schedule** — the run replays from the schedule alone,
+  independent of RNG internals;
+* the **fault plan** that was active, if any;
+* a rendered ASCII **timeline** of the offending history (reusing
+  :mod:`repro.analysis.timeline`, Figure 3's visual language);
+* a **replay snippet** — copy-pasteable Python reproducing the run.
+
+Reports are plain data: picklable across worker pipes, serializable via
+:meth:`CounterexampleReport.to_dict` / :meth:`~CounterexampleReport.to_json`.
+The fuzz drivers attach one to every failure and every budget-cut
+(``UNKNOWN``) run; :meth:`CounterexampleReport.from_failure` builds one
+from a verify-driver :class:`~repro.checkers.verify.Failure` or a fuzz
+:class:`~repro.checkers.fuzz.FuzzFailure`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.history import History
+
+
+def _replay_snippet(
+    schedule: Sequence[int], plan: Optional[Any], max_steps: Optional[int]
+) -> str:
+    """Copy-pasteable reproduction code for a recorded run.
+
+    ``setup`` is the caller's program factory — the one thing a report
+    cannot serialize.
+    """
+    lines = ["from repro.substrate.explore import run_schedule", ""]
+    if plan is not None:
+        lines += [
+            "# reconstruct the fault plan (repr of the one that was active):",
+            f"# plan = {plan!r}",
+        ]
+        plan_arg = ", faults=plan"
+    else:
+        plan_arg = ""
+    steps_arg = f", max_steps={max_steps}" if max_steps is not None else ""
+    lines += [
+        "# 'setup' is your program factory (scheduler -> Runtime)",
+        f"result = run_schedule(setup, {list(schedule)!r}{steps_arg}{plan_arg})",
+        "print(result.history)",
+    ]
+    return "\n".join(lines)
+
+
+@dataclass
+class CounterexampleReport:
+    """One FAIL/UNKNOWN verdict, bundled for replay and inspection.
+
+    ``verdict`` is ``"fail"`` or ``"unknown"`` (the string value of
+    :class:`~repro.checkers.result.Verdict`); ``plan`` is the live
+    :class:`~repro.substrate.faults.FaultPlan` (kept as an object so the
+    report replays directly; serialized as its repr).
+    """
+
+    verdict: str
+    reason: str
+    schedule: List[int] = field(default_factory=list)
+    seed: Optional[int] = None
+    plan: Optional[Any] = None
+    timeline: str = ""
+    replay_snippet: str = ""
+    oid: Optional[str] = None
+    operations: int = 0
+    pending: int = 0
+
+    # -- construction --------------------------------------------------
+    @staticmethod
+    def build(
+        history: History,
+        reason: str,
+        verdict: str = "fail",
+        seed: Optional[int] = None,
+        schedule: Sequence[int] = (),
+        plan: Optional[Any] = None,
+        oid: Optional[str] = None,
+        max_steps: Optional[int] = None,
+    ) -> "CounterexampleReport":
+        """Render a report for one offending run."""
+        # Lazy: repro.analysis pulls in the experiment tables (which
+        # import the verify driver); keep this module import-light.
+        from repro.analysis.timeline import render_timeline
+
+        target = history.project_object(oid) if oid is not None else history
+        return CounterexampleReport(
+            verdict=verdict,
+            reason=reason,
+            schedule=list(schedule),
+            seed=seed,
+            plan=plan,
+            timeline=render_timeline(target),
+            replay_snippet=_replay_snippet(schedule, plan, max_steps),
+            oid=oid,
+            operations=len(target.operations()),
+            pending=len(target.pending_invocations()),
+        )
+
+    @staticmethod
+    def from_failure(
+        failure: Any,
+        verdict: str = "fail",
+        oid: Optional[str] = None,
+        max_steps: Optional[int] = None,
+    ) -> "CounterexampleReport":
+        """Build from a fuzz ``FuzzFailure`` or a verify ``Failure``.
+
+        Duck-typed: needs ``history``, ``reason``, ``schedule`` and
+        optionally ``seed``/``plan``.
+        """
+        return CounterexampleReport.build(
+            failure.history,
+            failure.reason,
+            verdict=verdict,
+            seed=getattr(failure, "seed", None),
+            schedule=failure.schedule,
+            plan=getattr(failure, "plan", None),
+            oid=oid,
+            max_steps=max_steps,
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (fault plan as repr) — JSON-ready."""
+        return {
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "seed": self.seed,
+            "schedule": list(self.schedule),
+            "fault_plan": None if self.plan is None else repr(self.plan),
+            "oid": self.oid,
+            "operations": self.operations,
+            "pending": self.pending,
+            "timeline": self.timeline,
+            "replay_snippet": self.replay_snippet,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # -- display -------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable block: header, timeline, replay snippet."""
+        header = f"{self.verdict.upper()}: {self.reason}"
+        parts = [header, "=" * len(header)]
+        if self.seed is not None:
+            parts.append(f"seed:      {self.seed}")
+        parts.append(f"schedule:  {self.schedule}")
+        if self.plan is not None:
+            parts.append(f"faults:    {self.plan!r}")
+        if self.oid is not None:
+            parts.append(f"object:    {self.oid}")
+        parts.append(
+            f"history:   {self.operations} operation(s), {self.pending} pending"
+        )
+        parts += ["", "timeline:", self.timeline, "", "replay:", self.replay_snippet]
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"CounterexampleReport({self.verdict}, {self.reason!r}, "
+            f"|schedule|={len(self.schedule)})"
+        )

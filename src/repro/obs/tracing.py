@@ -1,0 +1,112 @@
+"""Trace sinks: an optional JSON-lines event stream.
+
+Events are flat dicts with an ``event`` key naming the event type plus
+arbitrary JSON-safe fields (non-JSON values are ``repr()``-ed on the way
+in, so emitting never raises on exotic payloads).  The library emits
+search phase transitions (``check_begin``/``check_end``), budget trips,
+run and worker lifecycle, shrink iterations, and ``span``-timed phases;
+``docs/observability.md`` tabulates the schema.
+
+:class:`TraceSink` collects events in memory (tests, interactive use);
+:class:`JsonLinesTraceSink` streams them to a file as JSON lines, one
+event per line, round-trippable through :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Union
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce ``value`` to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class TraceSink:
+    """In-memory event sink: ``emit()`` appends to :attr:`events`."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Record one event; field values are coerced to JSON-safe."""
+        record: Dict[str, Any] = {"event": event}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        self._write(record)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self.events.append(record)
+
+    @contextmanager
+    def span(self, phase: str, **fields: Any) -> Iterator[None]:
+        """Emit ``phase_begin``/``phase_end`` around a block, with the
+        block's wall clock on the ``phase_end`` event."""
+        self.emit("phase_begin", phase=phase, **fields)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(
+                "phase_end",
+                phase=phase,
+                elapsed_s=time.perf_counter() - started,
+                **fields,
+            )
+
+    def close(self) -> None:
+        """Release any resources (no-op for the in-memory sink)."""
+
+
+class JsonLinesTraceSink(TraceSink):
+    """Streams events to ``path_or_file`` as JSON lines.
+
+    Accepts a path (opened and owned — closed by :meth:`close` or the
+    context manager) or an open text file (borrowed — left open).
+    Events are flushed per line so a crashed campaign still leaves a
+    readable prefix.
+    """
+
+    def __init__(self, path_or_file: Union[str, io.TextIOBase]) -> None:
+        super().__init__()
+        if isinstance(path_or_file, (str, bytes)):
+            self._handle = open(path_or_file, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = path_or_file
+            self._owns_handle = False
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonLinesTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines trace file back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

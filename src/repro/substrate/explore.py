@@ -92,6 +92,22 @@ class ExploreBudget:
         self.runs += 1
         self.steps += result.steps
 
+    def stats(self) -> dict:
+        """Plain-dict snapshot of the budget's tallies.
+
+        The campaign runners surface this next to a
+        :meth:`~repro.obs.metrics.Metrics.snapshot`, and the parallel
+        runner's merged shard budgets sum to the same totals as a
+        sequential sweep (runs and steps are per-run facts, not
+        wall-clock artifacts).
+        """
+        return {
+            "runs": self.runs,
+            "steps": self.steps,
+            "tripped": self.tripped,
+            "reason": self.reason,
+        }
+
     def _trip(self, reason: str) -> None:
         self.tripped = True
         self.reason = reason

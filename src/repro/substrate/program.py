@@ -48,9 +48,19 @@ class Program:
         self._monitors.append(monitor)
         return self
 
-    def runtime(self, scheduler: Scheduler) -> Runtime:
+    def runtime(
+        self,
+        scheduler: Scheduler,
+        metrics: Optional[Any] = None,
+        trace: Optional[Any] = None,
+    ) -> Runtime:
         return Runtime(
-            self.world, dict(self._threads), scheduler, self._monitors
+            self.world,
+            dict(self._threads),
+            scheduler,
+            self._monitors,
+            metrics=metrics,
+            trace=trace,
         )
 
     @property

@@ -188,6 +188,8 @@ class Runtime:
         monitors: Sequence[Any] = (),
         faults: Optional[FaultPlan] = None,
         on_crash: str = "record",
+        metrics: Optional[Any] = None,
+        trace: Optional[Any] = None,
     ) -> None:
         if on_crash not in ("record", "raise"):
             raise ValueError(f"on_crash must be 'record' or 'raise': {on_crash!r}")
@@ -205,6 +207,10 @@ class Runtime:
         self._injector: Optional[FaultInjector] = (
             FaultInjector(faults) if faults is not None else None
         )
+        # Duck-typed sinks (see repro.obs) — kept untyped so the
+        # substrate stays import-free of the observability layer.
+        self._metrics = metrics
+        self._trace_sink = trace
 
     # ------------------------------------------------------------------
     @property
@@ -252,7 +258,32 @@ class Runtime:
             finish = getattr(monitor, "on_finish", None)
             if finish is not None:
                 finish(self.world)
-        return self._result(completed)
+        result = self._result(completed)
+        if self._metrics is not None:
+            # Mirrors repro.obs.metrics.observe_run (kept inline so the
+            # substrate does not import the observability layer): a
+            # Runtime built with metrics= records the same runtime.*
+            # counters as observe_run over its finished result.
+            metrics = self._metrics
+            metrics.count("runtime.runs")
+            metrics.count("runtime.steps", result.steps)
+            for name, value in result.counters.items():
+                metrics.count(f"runtime.{name}", value)
+            injected = result.counters.get("injected_pause", 0) + result.counters.get(
+                "injected_halt", 0
+            )
+            if injected:
+                metrics.count("runtime.injected_faults", injected)
+            if result.crashed:
+                metrics.count("runtime.crashed_threads", len(result.crashed))
+        if self._trace_sink is not None:
+            self._trace_sink.emit(
+                "run_end",
+                completed=completed,
+                steps=result.steps,
+                crashed=sorted(result.crashed),
+            )
+        return result
 
     def _halt(self, tid: str, reason: str) -> None:
         """Silently halt ``tid``: it never steps again, its invocation

@@ -1,0 +1,25 @@
+"""Shared test configuration: hypothesis profiles.
+
+Two registered profiles:
+
+* ``dev`` (default) — hypothesis defaults; fast, randomized, good for
+  local iteration.
+* ``ci`` — what the coverage job runs: more examples, derandomized (so
+  coverage numbers and failures are reproducible run-to-run), and no
+  per-example deadline (CI machines are noisy; a slow example is not a
+  bug).
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...``.  Per-test
+``@settings(...)`` decorators still override individual fields.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", settings())
+settings.register_profile(
+    "ci",
+    settings(max_examples=200, derandomize=True, deadline=None),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

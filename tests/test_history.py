@@ -312,3 +312,56 @@ def test_overlapped_history_has_empty_real_time_order(raw):
     actions = [o.invocation for o in ops] + [o.response for o in ops]
     history = History(actions)
     assert history.real_time_pairs() == set()
+
+
+class TestImmutability:
+    """The lazy span/well-formedness caches must never go stale.
+
+    History memoizes ``spans()`` and ``is_well_formed()``; the guard is
+    that the underlying action tuple is frozen after construction, so a
+    memoized answer can never disagree with the actions it was computed
+    from.
+    """
+
+    def test_actions_cannot_be_reassigned(self):
+        history = seq_history(op("t1", "o", "m", (1,), (2,)))
+        with pytest.raises(AttributeError, match="immutable"):
+            history._actions = ()
+
+    def test_actions_cannot_be_reassigned_after_cache_warm(self):
+        history = seq_history(op("t1", "o", "m", (1,), (2,)))
+        history.spans()
+        history.is_well_formed()
+        with pytest.raises(AttributeError, match="immutable"):
+            history._actions = (inv("t2", "o", "m"),)
+        # The caches still answer for the original actions.
+        assert history.is_well_formed()
+        assert len(history.spans()) == 1
+
+    def test_attributes_cannot_be_deleted(self):
+        history = seq_history(op("t1", "o", "m", (1,), (2,)))
+        with pytest.raises(AttributeError, match="immutable"):
+            del history._actions
+
+    def test_complete_with_returns_fresh_history_with_fresh_caches(self):
+        pending = History([inv("t1", "o", "m", )])
+        assert pending.pending_invocations()
+        completed = pending.complete_with(lambda _inv: (42,))
+        assert completed is not pending
+        assert completed.is_complete()
+        # The original's caches are untouched by the completion.
+        assert pending.pending_invocations()
+        assert not pending.is_complete()
+
+    def test_pickle_round_trip_preserves_equality(self):
+        import pickle
+
+        history = seq_history(
+            op("t1", "o", "m", (1,), (2,)), op("t2", "o", "m", (3,), (4,))
+        )
+        history.spans()  # warm the cache before pickling
+        clone = pickle.loads(pickle.dumps(history))
+        assert clone == history
+        assert clone.spans() == history.spans()
+        with pytest.raises(AttributeError, match="immutable"):
+            clone._actions = ()

@@ -245,3 +245,83 @@ class TestWitnessShape:
         result = CALChecker(spec).check(History())
         assert result.ok
         assert list(result.witness) == []
+
+
+class TestMetricsTransparency:
+    """Instrumentation must be observationally free: the same verdict,
+    witness validity and node count whether or not a Metrics registry is
+    attached — the hot loops tally into local ints either way and flush
+    once at the end, so divergence here means a real search change."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        operations=st.integers(min_value=1, max_value=7),
+        threads=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        corrupt=st.booleans(),
+    )
+    def test_linearizability_identical_with_metrics_on(
+        self, operations, threads, seed, corrupt
+    ):
+        from repro.obs import Metrics
+
+        history = random_register_history(operations, threads, seed=seed)
+        if corrupt:
+            history = corrupted(history, "R")
+        spec = RegisterSpec("R")
+        plain = LinearizabilityChecker(spec).check(history)
+        metrics = Metrics()
+        observed = LinearizabilityChecker(spec).check(history, metrics=metrics)
+        assert observed.ok == plain.ok
+        assert observed.verdict == plain.verdict
+        assert observed.nodes == plain.nodes
+        assert metrics.get("search.nodes") == plain.nodes
+        assert metrics.get("lin.checks") == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=6),
+        corrupt=st.booleans(),
+        drop_responses=st.integers(min_value=0, max_value=2),
+    )
+    def test_cal_identical_with_metrics_on(self, width, corrupt, drop_responses):
+        from repro.obs import Metrics
+
+        history = wide_overlap_history(width)
+        if corrupt:
+            history = corrupted(history, "E")
+        if drop_responses:
+            history = History(history.actions[: len(history) - drop_responses])
+        spec = ExchangerSpec("E")
+        plain = CALChecker(spec).check(history)
+        metrics = Metrics()
+        observed = CALChecker(spec).check(history, metrics=metrics)
+        assert observed.ok == plain.ok
+        assert observed.verdict == plain.verdict
+        assert observed.nodes == plain.nodes
+        assert metrics.get("search.nodes") == plain.nodes
+        # Memo bookkeeping is internally consistent: every completion
+        # searched contributes its tallies.
+        assert metrics.get("cal.completions") >= 1
+        assert (
+            metrics.get("search.structural_cache_hits")
+            + metrics.get("search.structural_cache_misses")
+            == metrics.get("cal.completions")
+        )
+
+    def test_budget_trip_is_counted_and_traced(self):
+        from repro.obs import Metrics, TraceSink
+
+        history = wide_overlap_history(6)
+        spec = ExchangerSpec("E")
+        metrics = Metrics()
+        sink = TraceSink()
+        result = CALChecker(spec).check(
+            history, node_budget=2, metrics=metrics, trace=sink
+        )
+        assert result.unknown
+        assert metrics.get("search.budget_trips") == 1
+        assert metrics.get("cal.unknown") == 1
+        events = [e["event"] for e in sink.events]
+        assert events == ["check_begin", "budget_trip", "check_end"]
+        assert sink.events[-1]["verdict"] == "unknown"

@@ -1,0 +1,73 @@
+"""The plain-text table renderer used by the experiment scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table, format_table
+
+
+class TestTable:
+    def test_add_returns_self_for_chaining(self):
+        table = Table("T", ["a", "b"])
+        assert table.add(1, 2) is table
+        assert table.rows == [[1, 2]]
+
+    def test_add_rejects_wrong_arity(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError, match="header has 2"):
+            table.add(1)
+        with pytest.raises(ValueError):
+            table.add(1, 2, 3)
+        assert table.rows == []  # nothing half-appended
+
+    def test_str_matches_render(self):
+        table = Table("T", ["x"]).add(1)
+        assert str(table) == table.render()
+
+    def test_render_golden(self):
+        table = Table("Results", ["object", "runs", "ok"])
+        table.add("exchanger", 7, True)
+        table.add("stack", 123, False)
+        assert table.render() == "\n".join(
+            [
+                "Results",
+                "========================",
+                "object    | runs | ok   ",
+                "----------+------+------",
+                "exchanger |    7 |  True",
+                "    stack |  123 | False",
+            ]
+        )
+
+
+class TestFormatTable:
+    def test_floats_formatted_to_two_places(self):
+        text = format_table("T", ["v"], [[3.14159], [2.0]])
+        assert "3.14" in text
+        assert "2.00" in text
+        assert "3.14159" not in text
+
+    def test_columns_widen_to_longest_cell(self):
+        text = format_table("T", ["h"], [["a-very-long-cell"]])
+        header_line = text.splitlines()[2]
+        assert header_line.rstrip() == "h"
+        assert len(header_line) == len("a-very-long-cell")
+
+    def test_title_bar_spans_at_least_title(self):
+        text = format_table("A rather long table title", ["x"], [[1]])
+        lines = text.splitlines()
+        assert set(lines[1]) == {"="}
+        assert len(lines[1]) >= len(lines[0])
+
+    def test_empty_rows_renders_header_only(self):
+        text = format_table("T", ["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 4  # title, bar, header, divider
+        assert "a" in lines[2] and "b" in lines[2]
+
+    def test_cells_right_justified_headers_left(self):
+        text = format_table("T", ["name"], [["x"]])
+        lines = text.splitlines()
+        assert lines[2].startswith("name")
+        assert lines[4].endswith("x")

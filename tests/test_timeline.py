@@ -72,3 +72,61 @@ class TestRenderTimeline:
         text = render_timeline(history)
         line = text.splitlines()[0]
         assert line.count("|") == 4  # two closed intervals
+
+
+class TestGoldenFigure3:
+    """Exact rendered output for the paper's Figure 3 histories.
+
+    These pin the renderer's layout (auto-sized columns, label placement,
+    open/closed interval glyphs); any deliberate layout change must update
+    the goldens.
+    """
+
+    GOLDEN_H1 = "\n".join(
+        [
+            "t1: |-exchange(3) ▷ (True, 4)-----|",
+            "t2:           |-exchange(4) ▷ (True, 3)-----|",
+            "t3:                     |-exchange(7) ▷ (False, 7)----|",
+        ]
+    )
+
+    GOLDEN_H2 = "\n".join(
+        [
+            "t1: |-exchange(3) ▷ (True, 4)"
+            "-------------------------------|",
+            "t2:                             "
+            "|-exchange(4) ▷ (True, 3)-------------------------------|",
+            "t3:                             "
+            "                                "
+            "                                "
+            "                    |-exchange(7) ▷ (False, 7)--|",
+        ]
+    )
+
+    GOLDEN_H3 = "\n".join(
+        [
+            "t1: |-exchange(3) ▷ (True, 4)---|",
+            "t2:                             "
+            "                            |-exchange(4) ▷ (True, 3)---|",
+            "t3:                             "
+            "                                "
+            "                                "
+            "                    |-exchange(7) ▷ (False, 7)--|",
+        ]
+    )
+
+    def test_h1_golden(self):
+        assert render_timeline(figure3_history_h1()) == self.GOLDEN_H1
+
+    def test_h2_golden(self):
+        from repro.workloads.figure3 import figure3_history_h2
+
+        assert render_timeline(figure3_history_h2()) == self.GOLDEN_H2
+
+    def test_h3_golden(self):
+        assert render_timeline(figure3_history_h3()) == self.GOLDEN_H3
+
+    def test_goldens_are_distinct(self):
+        # H1 is concurrent (overlaps), H3 sequential; the renderings must
+        # visibly differ even though the operations are identical.
+        assert self.GOLDEN_H1 != self.GOLDEN_H3
