@@ -1,0 +1,99 @@
+"""Append a bench_e17 summary to ``bench_results.json``'s trajectory.
+
+``bench_results.json`` is the repo's committed pytest-benchmark dump; a
+single run is a snapshot, but regressions show up as *trends*.  This
+script folds the headline numbers of one ``bench_e17_search_core.py
+--json`` summary into a top-level ``trajectory`` list::
+
+    python benchmarks/bench_e17_search_core.py --quick --json e17.json
+    python benchmarks/append_trajectory.py e17.json bench_results.json
+
+Each appended entry is small and append-only — the CI smoke job runs
+this after the E17 benchmark, so the artifact it uploads carries the
+history of aggregate speedup and disabled-observability overhead next
+to the raw pytest-benchmark data.  The commit is taken from
+``GITHUB_SHA`` when present (CI) and the current ``git rev-parse``
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+
+def _commit() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "HEAD"], stderr=subprocess.DEVNULL
+            )
+            .decode()
+            .strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def trajectory_entry(summary: dict) -> dict:
+    """The compact trajectory record for one E17 summary dict."""
+    overhead = summary.get("overhead") or {}
+    if isinstance(overhead, dict):
+        overhead = overhead.get("overhead")
+    return {
+        "experiment": summary.get("experiment", "E17"),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": _commit(),
+        "aggregate_speedup": summary.get("aggregate_speedup"),
+        "overhead": overhead,
+    }
+
+
+def append(summary_path: str, results_path: str) -> dict:
+    with open(summary_path, "r", encoding="utf-8") as handle:
+        summary = json.load(handle)
+    try:
+        with open(results_path, "r", encoding="utf-8") as handle:
+            results = json.load(handle)
+    except FileNotFoundError:
+        results = {}
+    entry = trajectory_entry(summary)
+    results.setdefault("trajectory", []).append(entry)
+    with open(results_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("summary", help="bench_e17 --json output")
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default="bench_results.json",
+        help="pytest-benchmark dump to append to (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    entry = append(args.summary, args.results)
+    trajectory = json.load(open(args.results, encoding="utf-8"))["trajectory"]
+    print(
+        f"appended {entry['experiment']} @ {entry['commit'][:12]} "
+        f"(speedup {entry['aggregate_speedup']}, overhead {entry['overhead']}) "
+        f"— trajectory now has {len(trajectory)} entr"
+        f"{'y' if len(trajectory) == 1 else 'ies'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Coverage saturation: when has a fuzz campaign seen enough?
+
+A fuzz campaign over Figure 3's program P samples random schedules; an
+exhaustive exploration (E1) enumerates all of them.  Between the two
+sits the practical question every budgeted campaign faces: *how many
+seeds until new behaviour stops appearing?*  `CoverageTracker` answers
+it with a saturation curve — new distinct histories per bucket of
+campaign positions — which flattens to zero as the schedule space is
+exhausted.
+
+This walkthrough fuzzes P under an increasing seed budget, prints the
+ASCII saturation curve, and checks the plateau against the exhaustive
+history count.  The same curve drives the live `hist=` readout of
+`python -m repro fuzz` and the inline-SVG chart of `python -m repro
+report --html`.
+
+Run:  python examples/coverage_saturation.py
+"""
+
+from repro.checkers import fuzz_cal
+from repro.obs import CoverageTracker
+from repro.specs import ExchangerSpec
+from repro.substrate.explore import explore_all
+from repro.workloads.figure3 import figure3_program
+
+BUDGETS = [50, 200, 800]
+MAX_STEPS = 2000
+
+
+def distinct_at(tracker: CoverageTracker, budget: int) -> int:
+    """Distinct histories among the first ``budget`` campaign positions."""
+    return len(
+        {f for position, f in tracker.samples.items() if position < budget}
+    )
+
+
+def main() -> None:
+    print(__doc__)
+
+    # One campaign at the largest budget; smaller budgets are prefixes
+    # of it (seeded runs are deterministic, so seed i's history is the
+    # same in every campaign that includes it).
+    spec = ExchangerSpec("E")
+    tracker = CoverageTracker()
+    report = fuzz_cal(
+        figure3_program,
+        spec,
+        seeds=range(max(BUDGETS)),
+        max_steps=MAX_STEPS,
+        coverage=tracker,
+    )
+    assert report.ok, "Figure 3's program P is CAL — fuzzing must pass"
+
+    print(f"Fuzzed {tracker.observed} seeds of program P "
+          f"(3 threads exchanging 3, 4, 7).\n")
+    print(tracker.render(bucket=50))
+
+    print("\nDistinct histories by budget:")
+    for budget in BUDGETS:
+        print(f"  {budget:>5} seeds: {distinct_at(tracker, budget):>3}")
+
+    # The systematic baseline — E1's enumeration: every interleaving
+    # within preemption bound 2 (1650 runs), the paper's Figure 3 sweep.
+    exhaustive = CoverageTracker()
+    for position, run in enumerate(
+        explore_all(figure3_program, max_steps=200, preemption_bound=2)
+    ):
+        exhaustive.observe_run(position, run.schedule, run.history)
+    total = len(exhaustive.histories)
+    found = len(tracker.histories)
+    print(f"\nE1 baseline (preemption bound 2): {exhaustive.observed} runs, "
+          f"{total} distinct histories.")
+    print(f"The fuzz campaign found {found} distinct histories with "
+          f"{max(BUDGETS)} random seeds ({len(tracker.histories & exhaustive.histories)} "
+          "shared with the bounded enumeration — random schedules also "
+          "wander outside the preemption bound).")
+
+    curve = tracker.saturation(bucket=50)
+    tail_new = sum(new for start, new in curve if start >= max(BUDGETS) // 2)
+    half = max(BUDGETS) // 2
+    first_bucket = curve[0][1] if curve else 0
+    print(f"\nNew histories after seed {half}: {tail_new}, vs "
+          f"{first_bucket} in the first {curve[0][0] + 50 if curve else 0} "
+          "alone — the rate decays toward zero; the flat tail is the "
+          "stopping signal.")
+    print("\nDone: the saturation curve is the budget's stopping rule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,7 +58,14 @@ from repro.checkers import (
     verify_cal,
     verify_linearizability,
 )
-from repro.obs import CounterexampleReport, JsonLinesTraceSink, Metrics, TraceSink
+from repro.obs import (
+    CounterexampleReport,
+    CoverageTracker,
+    JsonLinesTraceSink,
+    Metrics,
+    SearchProfiler,
+    TraceSink,
+)
 
 __version__ = "1.0.0"
 
@@ -67,6 +74,7 @@ __all__ = [
     "CALChecker",
     "CATrace",
     "CounterexampleReport",
+    "CoverageTracker",
     "History",
     "Invocation",
     "JsonLinesTraceSink",
@@ -74,6 +82,7 @@ __all__ = [
     "Metrics",
     "Operation",
     "Response",
+    "SearchProfiler",
     "TraceSink",
     "agrees",
     "verify_cal",

@@ -1,5 +1,6 @@
 """Experiment reporting: plain-text tables and aggregate summaries."""
 
+from repro.analysis.htmlreport import render_html_report
 from repro.analysis.tables import Table, format_table
 from repro.analysis.timeline import render_timeline
 from repro.analysis.experiments import (
@@ -13,6 +14,7 @@ __all__ = [
     "Table",
     "checker_comparison_table",
     "format_table",
+    "render_html_report",
     "render_timeline",
     "throughput_table",
 ]

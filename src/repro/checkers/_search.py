@@ -258,6 +258,21 @@ def flush_search_tallies(
     metrics.count("search.frontier_width_sum", frontier_sum)
     if frontier_max:
         metrics.record_max("search.frontier_width_max", frontier_max)
+    observe = getattr(metrics, "observe_search", None)
+    if observe is not None:
+        # A profiling registry (repro.obs.profile.SearchProfiler) also
+        # buckets the tallies by its current (checker, oid, width)
+        # context; plain Metrics has no such hook.
+        observe(
+            nodes=nodes,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            candidates=candidates,
+            rejections=rejections,
+            frames=frames,
+            frontier_sum=frontier_sum,
+            frontier_max=frontier_max,
+        )
 
 
 def nonempty_subsets(items: Sequence[int]) -> Iterator[Tuple[int, ...]]:

@@ -166,6 +166,11 @@ class CALChecker:
         # warm process-wide cache can only do better — see
         # repro.checkers._search.mask_cache_stats for that diagnostic).
         shapes: Set[Tuple[Tuple[int, int], ...]] = set()
+        if metrics is not None:
+            begin_check = getattr(metrics, "begin_check", None)
+            if begin_check is not None:
+                begin_check("cal", self.spec.oid)
+            enter_completion = getattr(metrics, "enter_completion", None)
         try:
             for completion in target.completions(candidates):
                 if metrics is not None:
@@ -176,6 +181,8 @@ class CALChecker:
                     else:
                         shapes.add(shape)
                         metrics.count("search.structural_cache_misses")
+                    if enter_completion is not None:
+                        enter_completion(len(completion.spans()))
                 result = self._check_complete(completion, budget, metrics)
                 best.nodes += result.nodes
                 if result.ok:

@@ -39,6 +39,8 @@ Faults = Union[FaultCampaign, FaultPlan, None]
 
 Stats = Optional[Dict[str, Dict[str, Any]]]
 
+Coverage = Optional[Dict[str, Any]]
+
 
 def _merge_stats(mine: Stats, theirs: Stats) -> Stats:
     """Merge two :meth:`Metrics.snapshot` dicts (either may be None)."""
@@ -47,6 +49,32 @@ def _merge_stats(mine: Stats, theirs: Stats) -> Stats:
     if mine is None:
         return Metrics.from_snapshot(theirs).snapshot()
     return Metrics.from_snapshot(mine).merge(Metrics.from_snapshot(theirs)).snapshot()
+
+
+def _merge_coverage(mine: Coverage, theirs: Coverage) -> Coverage:
+    """Merge two :meth:`CoverageTracker.snapshot` dicts (either may be None)."""
+    from repro.obs.coverage import CoverageTracker
+
+    if theirs is None:
+        return mine
+    if mine is None:
+        return CoverageTracker.from_snapshot(theirs).snapshot()
+    return (
+        CoverageTracker.from_snapshot(mine)
+        .merge(CoverageTracker.from_snapshot(theirs))
+        .snapshot()
+    )
+
+
+def _campaign_registry(metrics) -> Optional[Metrics]:
+    """A fresh campaign-local registry of the caller's registry class.
+
+    Instantiating ``type(metrics)`` (not plain :class:`Metrics`) keeps
+    profiling registries (:class:`~repro.obs.profile.SearchProfiler`)
+    working end-to-end: the campaign-local instance the checkers see
+    carries the same hooks as the caller's.
+    """
+    return type(metrics)() if metrics is not None else None
 
 
 @dataclass
@@ -102,6 +130,7 @@ class FuzzReport:
     failures: List[FuzzFailure] = field(default_factory=list)
     reports: List[CounterexampleReport] = field(default_factory=list)
     stats: Stats = None
+    coverage: Coverage = None
 
     @property
     def ok(self) -> bool:
@@ -117,6 +146,7 @@ class FuzzReport:
         self.failures.extend(other.failures)
         self.reports.extend(other.reports)
         self.stats = _merge_stats(self.stats, other.stats)
+        self.coverage = _merge_coverage(self.coverage, other.coverage)
 
     def __repr__(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
@@ -268,6 +298,8 @@ def fuzz_cal(
     deadline_at: Optional[float] = None,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> FuzzReport:
     """Sample random schedules and check CAL on each run.
 
@@ -286,10 +318,18 @@ def fuzz_cal(
     into the caller's ``metrics``; shrink replays never feed the run or
     search counters, so (deadline-free) campaign stats are a pure
     function of the seed range.
+
+    ``coverage`` (a :class:`~repro.obs.coverage.CoverageTracker`) records
+    every attempted run's schedule prefix / history shape / spec
+    transitions; shrink replays are excluded, so the tracker too is a
+    pure function of the seed range.  With ``progress_every > 0`` and a
+    trace sink, a ``campaign_progress`` event is emitted every that many
+    attempted seeds.
     """
     checker = CALChecker(spec)
     report = FuzzReport()
-    campaign = Metrics() if metrics is not None else None
+    campaign = _campaign_registry(metrics)
+    started = time.monotonic()
 
     def diagnose(run: RunResult, stats=None, sink=None):
         """(failure reason or None, budget-cut reason or None)."""
@@ -330,6 +370,29 @@ def fuzz_cal(
         if campaign is not None:
             campaign.count("fuzz.seeds")
             observe_run(campaign, run)
+        if coverage is not None:
+            coverage.observe_run(position, run.schedule, run.history, oid=spec.oid)
+            if run.completed:
+                recorded = view(run.trace) if view is not None else run.trace
+                coverage.observe_spec_trace(
+                    spec, recorded.project_object(spec.oid)
+                )
+        if trace is not None and progress_every and (position + 1) % progress_every == 0:
+            live = {}
+            if coverage is not None:
+                live["distinct_histories"] = len(coverage.histories)
+            trace.emit(
+                "campaign_progress",
+                driver="fuzz_cal",
+                attempted=position + 1,
+                total=len(seeds),
+                runs=report.runs + (1 if run.completed else 0),
+                failures=len(report.failures),
+                unknown=report.unknown,
+                skipped=report.skipped,
+                elapsed_s=time.monotonic() - started,
+                **live,
+            )
         if not run.completed:
             report.incomplete += 1
             if campaign is not None:
@@ -376,6 +439,8 @@ def fuzz_cal(
     if campaign is not None:
         report.stats = campaign.snapshot()
         metrics.merge(campaign)
+    if coverage is not None:
+        report.coverage = coverage.snapshot()
     if trace is not None:
         trace.emit(
             "campaign_end",
@@ -402,15 +467,18 @@ def fuzz_linearizability(
     deadline_at: Optional[float] = None,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> FuzzReport:
     """Sample random schedules and check linearizability on each run.
 
-    ``deadline_at`` and ``metrics``/``trace`` behave as in
-    :func:`fuzz_cal`.
+    ``deadline_at``, ``metrics``/``trace``, ``coverage`` and
+    ``progress_every`` behave as in :func:`fuzz_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
-    campaign = Metrics() if metrics is not None else None
+    campaign = _campaign_registry(metrics)
+    started = time.monotonic()
 
     def diagnose(run: RunResult, stats=None, sink=None):
         """(failure reason or None, budget-cut reason or None)."""
@@ -450,6 +518,29 @@ def fuzz_linearizability(
         if campaign is not None:
             campaign.count("fuzz.seeds")
             observe_run(campaign, run)
+        if coverage is not None:
+            coverage.observe_run(position, run.schedule, run.history, oid=spec.oid)
+            if run.completed:
+                recorded = view(run.trace) if view is not None else run.trace
+                coverage.observe_spec_trace(
+                    spec, recorded.project_object(spec.oid)
+                )
+        if trace is not None and progress_every and (position + 1) % progress_every == 0:
+            live = {}
+            if coverage is not None:
+                live["distinct_histories"] = len(coverage.histories)
+            trace.emit(
+                "campaign_progress",
+                driver="fuzz_linearizability",
+                attempted=position + 1,
+                total=len(seeds),
+                runs=report.runs + (1 if run.completed else 0),
+                failures=len(report.failures),
+                unknown=report.unknown,
+                skipped=report.skipped,
+                elapsed_s=time.monotonic() - started,
+                **live,
+            )
         if not run.completed:
             report.incomplete += 1
             if campaign is not None:
@@ -496,6 +587,8 @@ def fuzz_linearizability(
     if campaign is not None:
         report.stats = campaign.snapshot()
         metrics.merge(campaign)
+    if coverage is not None:
+        report.coverage = coverage.snapshot()
     if trace is not None:
         trace.emit(
             "campaign_end",

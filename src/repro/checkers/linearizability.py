@@ -102,6 +102,11 @@ class LinearizabilityChecker:
         # Per-call structural dedup — deterministic, unlike the warm
         # process-wide mask cache (see repro.checkers._search).
         shapes: Set[Tuple[Tuple[int, int], ...]] = set()
+        if metrics is not None:
+            begin_check = getattr(metrics, "begin_check", None)
+            if begin_check is not None:
+                begin_check("lin", self.spec.oid)
+            enter_completion = getattr(metrics, "enter_completion", None)
         try:
             for completion in target.completions(candidates):
                 if metrics is not None:
@@ -112,6 +117,8 @@ class LinearizabilityChecker:
                     else:
                         shapes.add(shape)
                         metrics.count("search.structural_cache_misses")
+                    if enter_completion is not None:
+                        enter_completion(len(completion.spans()))
                 result = self._check_complete(completion, budget, metrics)
                 best.nodes += result.nodes
                 if result.ok:

@@ -53,6 +53,7 @@ from repro.checkers.fuzz import (
 )
 from repro.checkers.seqspec import SequentialSpec
 from repro.checkers.verify import ViewFn
+from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics
 from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
 from repro.substrate.runtime import RunResult
@@ -83,7 +84,10 @@ def _child_main(conn, task: Callable[[], Any]) -> None:
 
 
 def _map_forked(
-    tasks: Sequence[Callable[[], _T]], workers: int, trace=None
+    tasks: Sequence[Callable[[], _T]],
+    workers: int,
+    trace=None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[_T]:
     """Run ``tasks`` across at most ``workers`` forked processes.
 
@@ -94,12 +98,21 @@ def _map_forked(
 
     ``trace`` (parent-owned, never shared with children — forked writers
     would interleave lines) gets ``worker_spawn``/``worker_done`` events.
+    ``on_result`` is called in the parent with ``(index, result)`` as
+    each task finishes (both forked and inline paths) — the live-progress
+    hook used by the campaign runners.
     """
     context = _fork_context()
     if context is None or workers <= 1 or len(tasks) <= 1:
         if trace is not None:
             trace.emit("workers_inline", tasks=len(tasks))
-        return [task() for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            result = task()
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     results: List[Any] = [None] * len(tasks)
     pending = list(enumerate(tasks))
     active: List[Tuple[int, Any, Any]] = []
@@ -132,6 +145,8 @@ def _map_forked(
                 other_conn.close()
             raise RuntimeError(f"parallel worker failed: {payload}")
         results[index] = payload
+        if on_result is not None:
+            on_result(index, payload)
     return results
 
 
@@ -163,28 +178,86 @@ def _fuzz_parallel(
     kwargs: dict,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> FuzzReport:
     seeds = list(seeds)
     workers = default_workers() if workers is None else workers
     deadline_at = None if deadline is None else time.monotonic() + deadline
     chunks = _chunk(seeds, workers)
+    started = time.monotonic()
+    # Global position of each chunk's first seed: worker coverage
+    # trackers sample at offset + local position, so merged saturation
+    # curves are keyed by the *sequential* seed position regardless of
+    # worker count.
+    offsets: List[int] = []
+    total = 0
+    for chunk in chunks:
+        offsets.append(total)
+        total += len(chunk)
 
-    def task_for(chunk: List[int]) -> Callable[[], FuzzReport]:
-        # Each worker owns a private Metrics (created inside the forked
-        # closure); its snapshot rides back on the report's ``stats`` and
-        # the parent merges snapshots — counter merging is associative,
-        # so the totals equal a sequential campaign over the same seeds.
-        return lambda: driver(
-            setup,
-            spec,
-            seeds=chunk,
-            shrink=False,
-            deadline_at=deadline_at,
-            metrics=Metrics() if metrics is not None else None,
-            **kwargs,
+    def task_for(chunk: List[int], offset: int) -> Callable[[], FuzzReport]:
+        # Each worker owns a private registry/tracker (created inside the
+        # forked closure, of the caller's classes so profiling hooks
+        # survive the fork); snapshots ride back on the report and the
+        # parent merges them — merging is associative and commutative, so
+        # the totals equal a sequential campaign over the same seeds.
+        def run_chunk() -> FuzzReport:
+            chunk_coverage = None
+            if coverage is not None:
+                chunk_coverage = type(coverage)(
+                    prefix_depth=coverage.prefix_depth, offset=offset
+                )
+            return driver(
+                setup,
+                spec,
+                seeds=chunk,
+                shrink=False,
+                deadline_at=deadline_at,
+                metrics=type(metrics)() if metrics is not None else None,
+                coverage=chunk_coverage,
+                **kwargs,
+            )
+        return run_chunk
+
+    finished = {"chunks": 0, "attempted": 0}
+    progress = FuzzReport()
+    seen_histories: set = set()
+
+    def chunk_done(index: int, partial: FuzzReport) -> None:
+        if trace is None or not progress_every:
+            return
+        finished["chunks"] += 1
+        finished["attempted"] += len(chunks[index])
+        progress.runs += partial.runs
+        progress.unknown += partial.unknown
+        progress.skipped += partial.skipped
+        progress.failures.extend(partial.failures)
+        live = {}
+        if partial.coverage is not None:
+            seen_histories.update(partial.coverage.get("histories", ()))
+            live["distinct_histories"] = len(seen_histories)
+        trace.emit(
+            "campaign_progress",
+            driver=getattr(driver, "__name__", "fuzz"),
+            attempted=finished["attempted"],
+            total=total,
+            chunks_done=finished["chunks"],
+            chunks=len(chunks),
+            runs=progress.runs,
+            failures=len(progress.failures),
+            unknown=progress.unknown,
+            skipped=progress.skipped,
+            elapsed_s=time.monotonic() - started,
+            **live,
         )
 
-    partials = _map_forked([task_for(c) for c in chunks], workers, trace=trace)
+    partials = _map_forked(
+        [task_for(c, o) for c, o in zip(chunks, offsets)],
+        workers,
+        trace=trace,
+        on_result=chunk_done,
+    )
     merged = FuzzReport()
     for partial in partials:
         merged.merge(partial)
@@ -206,6 +279,12 @@ def _fuzz_parallel(
             merged.failures[0] = confirm.failures[0]
     if metrics is not None and merged.stats is not None:
         metrics.merge(Metrics.from_snapshot(merged.stats))
+    if coverage is not None and merged.coverage is not None:
+        # Fold worker trackers into the caller's, then re-snapshot so
+        # ``report.coverage`` reflects the caller's whole tracker — the
+        # same contract as the sequential driver.
+        coverage.merge(CoverageTracker.from_snapshot(merged.coverage))
+        merged.coverage = coverage.snapshot()
     return merged
 
 
@@ -225,6 +304,8 @@ def fuzz_cal_parallel(
     shrink: bool = True,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_cal` fanned across workers.
 
@@ -236,6 +317,11 @@ def fuzz_cal_parallel(
     With ``metrics``, each worker records into a private registry and
     the merged snapshots (``report.stats``) total exactly what the
     sequential driver records over the same seeds, counter by counter.
+    ``coverage`` behaves the same way: workers track their chunk at its
+    global seed offset and the merged tracker equals a sequential run's
+    (:meth:`~repro.obs.coverage.CoverageTracker.snapshot` byte-identical).
+    ``progress_every > 0`` with a trace sink emits one cumulative
+    ``campaign_progress`` event per finished chunk.
     """
     return _fuzz_parallel(
         fuzz_cal,
@@ -256,6 +342,8 @@ def fuzz_cal_parallel(
         ),
         metrics=metrics,
         trace=trace,
+        coverage=coverage,
+        progress_every=progress_every,
     )
 
 
@@ -274,10 +362,12 @@ def fuzz_linearizability_parallel(
     shrink: bool = True,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_linearizability` fanned across
-    workers, with the same determinism guarantees (first failure and
-    merged stats) as :func:`fuzz_cal_parallel`."""
+    workers, with the same determinism guarantees (first failure, merged
+    stats and merged coverage) as :func:`fuzz_cal_parallel`."""
     return _fuzz_parallel(
         fuzz_linearizability,
         setup,
@@ -296,6 +386,8 @@ def fuzz_linearizability_parallel(
         ),
         metrics=metrics,
         trace=trace,
+        coverage=coverage,
+        progress_every=progress_every,
     )
 
 
@@ -325,6 +417,7 @@ def explore_parallel(
     workers: Optional[int] = None,
     metrics=None,
     trace=None,
+    coverage=None,
 ) -> List[RunResult]:
     """Enumerate all runs, sharded by the first decision point.
 
@@ -341,6 +434,8 @@ def explore_parallel(
 
     ``metrics`` counts ``explore.runs``/``explore.steps`` over the merged
     results and ``explore.budget_trips`` when the campaign was cut.
+    ``coverage`` observes the merged results in enumeration order, so
+    sharded and sequential campaigns produce identical trackers.
     """
     workers = default_workers() if workers is None else workers
     if budget is not None:
@@ -357,7 +452,7 @@ def explore_parallel(
                 budget=budget,
             )
         )
-        _observe_explore(metrics, trace, results, budget)
+        _observe_explore(metrics, trace, results, budget, coverage)
         return results
     remaining = budget.remaining_deadline() if budget is not None else None
 
@@ -396,21 +491,28 @@ def explore_parallel(
             if shard_budget.tripped and not budget.tripped:
                 budget.tripped = True
                 budget.reason = shard_budget.reason
-    _observe_explore(metrics, trace, merged, budget)
+    _observe_explore(metrics, trace, merged, budget, coverage)
     return merged
 
 
-def _observe_explore(metrics, trace, results: List[RunResult], budget) -> None:
-    """Fold a finished explore campaign into metrics/trace sinks.
+def _observe_explore(
+    metrics, trace, results: List[RunResult], budget, coverage=None
+) -> None:
+    """Fold a finished explore campaign into metrics/trace/coverage sinks.
 
     Counts are taken from the *merged* results, so sharded and sequential
-    campaigns record identical ``explore.*`` totals.
+    campaigns record identical ``explore.*`` totals (and, with a
+    ``coverage`` tracker, identical snapshots — positions follow the
+    sequential enumeration order).
     """
     if metrics is not None:
         metrics.count("explore.runs", len(results))
         metrics.count("explore.steps", sum(r.steps for r in results))
         if budget is not None and budget.tripped:
             metrics.count("explore.budget_trips")
+    if coverage is not None:
+        for position, result in enumerate(results):
+            coverage.observe_run(position, result.schedule, result.history)
     if trace is not None:
         trace.emit(
             "explore_end",

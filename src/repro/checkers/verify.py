@@ -16,6 +16,7 @@ hanging on a factorial schedule or search space.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -69,6 +70,7 @@ class VerificationReport:
     unknown: int = 0
     budget: Optional[ExploreBudget] = None
     stats: Optional[Dict[str, Dict[str, Any]]] = None
+    coverage: Optional[Dict[str, Any]] = None
 
     @property
     def verdict(self) -> Verdict:
@@ -137,6 +139,8 @@ def verify_cal(
     deadline: Optional[float] = None,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -152,11 +156,17 @@ def verify_cal(
 
     ``metrics``/``trace`` (see :mod:`repro.obs`) observe the driver; the
     driver's counters land in ``report.stats`` and are merged into the
-    caller's ``metrics``.
+    caller's ``metrics``.  ``coverage``
+    (:class:`~repro.obs.coverage.CoverageTracker`) fingerprints every
+    explored run; its snapshot lands in ``report.coverage``.  With
+    ``progress_every > 0`` and a trace sink, a ``campaign_progress``
+    event is emitted every that many explored runs.
     """
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
-    campaign = Metrics() if metrics is not None else None
+    campaign = type(metrics)() if metrics is not None else None
+    started = time.monotonic()
+    attempted = 0
     if budget is not None:
         budget.start()
     if trace is not None:
@@ -170,6 +180,23 @@ def verify_cal(
     ):
         if campaign is not None:
             observe_run(campaign, run)
+        position, attempted = attempted, attempted + 1
+        if coverage is not None:
+            coverage.observe_run(position, run.schedule, run.history, oid=spec.oid)
+        if trace is not None and progress_every and attempted % progress_every == 0:
+            live = {}
+            if coverage is not None:
+                live["distinct_histories"] = len(coverage.histories)
+            trace.emit(
+                "campaign_progress",
+                driver="verify_cal",
+                attempted=attempted,
+                runs=report.runs + (1 if run.completed else 0),
+                failures=len(report.failures),
+                unknown=report.unknown,
+                elapsed_s=time.monotonic() - started,
+                **live,
+            )
         if not run.completed:
             report.incomplete += 1
             continue
@@ -177,6 +204,8 @@ def verify_cal(
         history = run.history
         recorded = view(run.trace) if view is not None else run.trace
         witness = recorded.project_object(spec.oid)
+        if coverage is not None:
+            coverage.observe_spec_trace(spec, witness)
         witness_checked = False
         if check_witness:
             result = checker.check_witness(history, witness, metrics=campaign)
@@ -222,6 +251,8 @@ def verify_cal(
     if campaign is not None:
         report.stats = campaign.snapshot()
         metrics.merge(campaign)
+    if coverage is not None:
+        report.coverage = coverage.snapshot()
     if trace is not None:
         trace.emit(
             "verify_end",
@@ -247,6 +278,8 @@ def verify_linearizability(
     deadline: Optional[float] = None,
     metrics=None,
     trace=None,
+    coverage=None,
+    progress_every: int = 0,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -257,12 +290,14 @@ def verify_linearizability(
 
     Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
     falls back to witness validation (when a view is available) and the
-    run counts as ``unknown``.  ``metrics``/``trace`` behave as in
-    :func:`verify_cal`.
+    run counts as ``unknown``.  ``metrics``/``trace``/``coverage``/
+    ``progress_every`` behave as in :func:`verify_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
-    campaign = Metrics() if metrics is not None else None
+    campaign = type(metrics)() if metrics is not None else None
+    started = time.monotonic()
+    attempted = 0
     if budget is not None:
         budget.start()
     if trace is not None:
@@ -276,6 +311,23 @@ def verify_linearizability(
     ):
         if campaign is not None:
             observe_run(campaign, run)
+        position, attempted = attempted, attempted + 1
+        if coverage is not None:
+            coverage.observe_run(position, run.schedule, run.history, oid=spec.oid)
+        if trace is not None and progress_every and attempted % progress_every == 0:
+            live = {}
+            if coverage is not None:
+                live["distinct_histories"] = len(coverage.histories)
+            trace.emit(
+                "campaign_progress",
+                driver="verify_linearizability",
+                attempted=attempted,
+                runs=report.runs + (1 if run.completed else 0),
+                failures=len(report.failures),
+                unknown=report.unknown,
+                elapsed_s=time.monotonic() - started,
+                **live,
+            )
         if not run.completed:
             report.incomplete += 1
             continue
@@ -283,6 +335,8 @@ def verify_linearizability(
         history = run.history
         recorded = view(run.trace) if view is not None else run.trace
         witness = recorded.project_object(spec.oid)
+        if coverage is not None:
+            coverage.observe_spec_trace(spec, witness)
         witness_checked = False
         if check_witness:
             problem = _validate_singleton_witness(checker, history, witness)
@@ -318,6 +372,8 @@ def verify_linearizability(
     if campaign is not None:
         report.stats = campaign.snapshot()
         metrics.merge(campaign)
+    if coverage is not None:
+        report.coverage = coverage.snapshot()
     if trace is not None:
         trace.emit(
             "verify_end",

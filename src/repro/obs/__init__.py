@@ -24,22 +24,41 @@ This package provides both, zero-dependency and off by default:
   timer context manager for per-phase wall clock.
 * :class:`CounterexampleReport` — bundles everything needed to stare at
   (and replay) a FAIL/UNKNOWN verdict into one serializable object.
+* :class:`CoverageTracker` — schedule-space coverage: fingerprints of
+  explored schedule prefixes, history shapes and spec-state transitions,
+  with saturation curves and the same partition-transparent merge law as
+  :class:`Metrics`.
+* :class:`SearchProfiler` — a :class:`Metrics` subclass that additionally
+  buckets the search tallies per (checker, object, history width);
+  :func:`profile_breakdown` / :func:`render_profile` read it back.
 
-Every entry point that accepts ``metrics=``/``trace=`` defaults both to
-``None``; the disabled path is the plain code path (guarded by the E17
-overhead bench).  See ``docs/observability.md`` for the counter-name
-tables and the trace event schema.
+Every entry point that accepts ``metrics=``/``trace=``/``coverage=``
+defaults them to ``None``; the disabled path is the plain code path
+(guarded by the E17 overhead bench).  See ``docs/observability.md`` for
+the counter-name tables and the trace event schema.
 """
 
+from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics, observe_run
+from repro.obs.profile import SearchProfiler, profile_breakdown, render_profile
 from repro.obs.report import CounterexampleReport
-from repro.obs.tracing import JsonLinesTraceSink, TraceSink, read_trace
+from repro.obs.tracing import (
+    JsonLinesTraceSink,
+    TeeTraceSink,
+    TraceSink,
+    read_trace,
+)
 
 __all__ = [
     "CounterexampleReport",
+    "CoverageTracker",
     "JsonLinesTraceSink",
     "Metrics",
+    "SearchProfiler",
+    "TeeTraceSink",
     "TraceSink",
     "observe_run",
+    "profile_breakdown",
     "read_trace",
+    "render_profile",
 ]

@@ -1,0 +1,243 @@
+"""Search profiling: where the checker's nodes actually went.
+
+``search.nodes`` says how much work a campaign did; this module says
+*where* — per checker, per object, per history width, per completion.
+:class:`SearchProfiler` is a drop-in :class:`~repro.obs.metrics.Metrics`
+subclass: pass it anywhere ``metrics=`` is accepted and it records, in
+addition to every ordinary counter, a family of **bucketed counters**
+
+    profile.<checker>.<oid>.w<width>.<field>
+
+using three optional hooks the checkers invoke when present
+(``begin_check``, ``enter_completion``, ``observe_search`` — plain
+``Metrics`` has none, so the uninstrumented path is untouched).  Because
+the buckets are ordinary counters/maxima, every existing guarantee
+carries over for free: snapshots are plain dicts, merging is the same
+associative/commutative fold, and parallel campaigns partition
+transparently (``tests/test_profile.py``).
+
+Per-bucket fields (counters unless noted):
+
+* ``completions`` — completions searched in this bucket;
+* ``nodes``, ``memo_hits``, ``memo_misses``, ``candidates``,
+  ``rejections``, ``frontier_sum``, ``frames`` — summed search tallies;
+* ``nodes_max``, ``frontier_max`` — per-completion maxima (maxima).
+
+:func:`profile_breakdown` parses the buckets back into rows and
+:func:`render_profile` renders them as ASCII tables
+(:mod:`repro.analysis.tables`); both accept a live registry or a
+snapshot dict, so they work on ``report.stats`` from a finished
+campaign as well.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import Metrics
+
+_PREFIX = "profile."
+
+#: Ordered per-bucket summed fields, as flushed by ``observe_search``.
+_SUM_FIELDS = (
+    "nodes",
+    "memo_hits",
+    "memo_misses",
+    "candidates",
+    "rejections",
+    "frames",
+    "frontier_sum",
+)
+
+
+class SearchProfiler(Metrics):
+    """A metrics registry that additionally buckets the search tallies.
+
+    The context (checker, oid, completion width) is set by the checker
+    hooks; everything recorded between hook calls lands in the bucket
+    named by the current context.  Contexts nest trivially (checks are
+    not reentrant), so plain attributes suffice.
+    """
+
+    __slots__ = ("_checker", "_oid", "_width")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._checker = "?"
+        self._oid = "?"
+        self._width = 0
+
+    # -- checker hooks -------------------------------------------------
+    def begin_check(self, checker: str, oid: str) -> None:
+        """Called by a checker at ``check()`` entry."""
+        self._checker = checker
+        self._oid = oid
+
+    def enter_completion(self, width: int) -> None:
+        """Called once per searched completion with its span count."""
+        self._width = width
+        self.count(f"{self._bucket()}.completions")
+
+    def observe_search(
+        self,
+        nodes: int,
+        memo_hits: int,
+        memo_misses: int,
+        candidates: int,
+        rejections: int,
+        frames: int,
+        frontier_sum: int,
+        frontier_max: int,
+    ) -> None:
+        """Called by ``flush_search_tallies`` with one completion's tallies."""
+        bucket = self._bucket()
+        for field, value in zip(
+            _SUM_FIELDS,
+            (
+                nodes,
+                memo_hits,
+                memo_misses,
+                candidates,
+                rejections,
+                frames,
+                frontier_sum,
+            ),
+        ):
+            if value:
+                self.count(f"{bucket}.{field}", value)
+        self.record_max(f"{bucket}.nodes_max", nodes)
+        if frontier_max:
+            self.record_max(f"{bucket}.frontier_max", frontier_max)
+
+    def _bucket(self) -> str:
+        return f"profile.{self._checker}.{self._oid}.w{self._width}"
+
+
+# ----------------------------------------------------------------------
+# Parsing / rendering
+# ----------------------------------------------------------------------
+Snapshotish = Union[Metrics, Mapping[str, Mapping[str, Any]]]
+
+
+def _counters_and_maxima(source: Snapshotish):
+    if isinstance(source, Metrics):
+        return source.counters, source.maxima
+    return source.get("counters", {}), source.get("maxima", {})
+
+
+def _parse_bucket(name: str) -> Optional[tuple]:
+    """``profile.<checker>.<oid>.w<width>.<field>`` → parts, or None.
+
+    The oid may itself contain dots, so checker/width/field are peeled
+    from the fixed ends and the middle is rejoined.
+    """
+    if not name.startswith(_PREFIX):
+        return None
+    parts = name.split(".")
+    if len(parts) < 5:
+        return None
+    checker, field, width_part = parts[1], parts[-1], parts[-2]
+    if not width_part.startswith("w") or not width_part[1:].isdigit():
+        return None
+    return checker, ".".join(parts[2:-2]), int(width_part[1:]), field
+
+
+def profile_breakdown(source: Snapshotish) -> List[Dict[str, Any]]:
+    """Rows of per-(checker, oid, width) search attribution.
+
+    Each row carries the raw sums plus the derived rates: mean nodes per
+    completion, memo hit-rate, mean frontier width.  Rows are sorted by
+    (checker, oid, width) so output is deterministic.
+    """
+    counters, maxima = _counters_and_maxima(source)
+    buckets: Dict[tuple, Dict[str, Any]] = {}
+    for name, value in counters.items():
+        parsed = _parse_bucket(name)
+        if parsed is None:
+            continue
+        checker, oid, width, field = parsed
+        buckets.setdefault((checker, oid, width), {})[field] = value
+    for name, value in maxima.items():
+        parsed = _parse_bucket(name)
+        if parsed is None:
+            continue
+        checker, oid, width, field = parsed
+        buckets.setdefault((checker, oid, width), {})[field] = value
+    rows = []
+    for (checker, oid, width), fields in sorted(buckets.items()):
+        completions = fields.get("completions", 0)
+        nodes = fields.get("nodes", 0)
+        hits = fields.get("memo_hits", 0)
+        misses = fields.get("memo_misses", 0)
+        frames = fields.get("frames", 0)
+        rows.append(
+            {
+                "checker": checker,
+                "oid": oid,
+                "width": width,
+                "completions": completions,
+                "nodes": nodes,
+                "nodes_per_completion": nodes / completions if completions else 0.0,
+                "nodes_max": fields.get("nodes_max", 0),
+                "memo_hits": hits,
+                "memo_misses": misses,
+                "memo_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "candidates": fields.get("candidates", 0),
+                "rejections": fields.get("rejections", 0),
+                "frontier_mean": (
+                    fields.get("frontier_sum", 0) / frames if frames else 0.0
+                ),
+                "frontier_max": fields.get("frontier_max", 0),
+            }
+        )
+    return rows
+
+
+def render_profile(source: Snapshotish) -> str:
+    """ASCII breakdown tables of the profiled search effort.
+
+    One node-attribution table plus one search-quality table (memo
+    hit-rates, frontier widths), both over (checker, object, width)
+    buckets.  Empty when nothing was profiled.
+    """
+    # Lazy: repro.analysis imports the verify driver via its experiment
+    # tables; keep this module import-light.
+    from repro.analysis.tables import format_table
+
+    rows = profile_breakdown(source)
+    if not rows:
+        return "(no profiled searches)"
+    attribution = format_table(
+        "search effort by checker / object / width",
+        ["checker", "object", "width", "completions", "nodes", "nodes/compl", "nodes max"],
+        [
+            [
+                r["checker"],
+                r["oid"],
+                r["width"],
+                r["completions"],
+                r["nodes"],
+                r["nodes_per_completion"],
+                r["nodes_max"],
+            ]
+            for r in rows
+        ],
+    )
+    quality = format_table(
+        "search quality",
+        ["checker", "object", "width", "memo hit-rate", "candidates", "rejections", "frontier mean", "frontier max"],
+        [
+            [
+                r["checker"],
+                r["oid"],
+                r["width"],
+                r["memo_hit_rate"],
+                r["candidates"],
+                r["rejections"],
+                r["frontier_mean"],
+                r["frontier_max"],
+            ]
+            for r in rows
+        ],
+    )
+    return attribution + "\n\n" + quality

@@ -101,12 +101,53 @@ class JsonLinesTraceSink(TraceSink):
         self.close()
 
 
+class TeeTraceSink(TraceSink):
+    """Fans every event out to several sinks (e.g. a JSON-lines file
+    plus a live progress renderer).  Owns nothing by default: ``close``
+    closes the wrapped sinks, which apply their own ownership rules."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        super().__init__()
+        self.sinks = list(sinks)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink._write(dict(record))
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
 def read_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSON-lines trace file back into a list of event dicts."""
+    """Parse a JSON-lines trace file back into a list of event dicts.
+
+    A truncated **final** line (a worker killed mid-write — the sink
+    flushes per line, so only the last line can be cut) is tolerated: it
+    is skipped and replaced by a synthetic ``trace_truncated`` warning
+    record, so a crashed campaign's trace stays readable end-to-end.  A
+    malformed line elsewhere still raises — that is corruption, not
+    truncation.
+    """
     events: List[Dict[str, Any]] = []
+    numbered = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                events.append(json.loads(line))
+                numbered.append((number, line))
+    for index, (number, line) in enumerate(numbered):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if index != len(numbered) - 1:
+                raise
+            events.append(
+                {
+                    "event": "trace_truncated",
+                    "line": number,
+                    "error": str(error),
+                    "prefix": line[:80],
+                }
+            )
     return events

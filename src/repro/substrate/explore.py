@@ -176,6 +176,8 @@ def explore_all(
     preemption_bound: Optional[int] = None,
     budget: Optional[ExploreBudget] = None,
     pin_prefix: Sequence[int] = (),
+    trace=None,
+    progress_every: int = 0,
 ) -> Iterator[RunResult]:
     """Enumerate every run of the program (bounded by ``max_steps``).
 
@@ -199,10 +201,18 @@ def explore_all(
     space by pinning each alternative of the first decision point;
     concatenating the shards in pin order reproduces exactly the
     sequential enumeration order.
+
+    ``trace``/``progress_every`` (see :mod:`repro.obs`) emit one
+    ``campaign_progress`` event every ``progress_every`` attempted runs
+    — the live-progress hook for open-ended enumerations, usable
+    standalone (without any checker driver on top).
     """
     pinned = len(pin_prefix)
     prefix: list[int] = list(pin_prefix)
     produced = 0
+    attempted = 0
+    steps = 0
+    started = time.monotonic()
     if budget is not None:
         budget.start()
     while True:
@@ -214,6 +224,17 @@ def explore_all(
         result.schedule = scheduler.choices()
         if budget is not None:
             budget.charge(result)
+        attempted += 1
+        steps += result.steps
+        if trace is not None and progress_every and attempted % progress_every == 0:
+            trace.emit(
+                "campaign_progress",
+                driver="explore",
+                attempted=attempted,
+                runs=produced,
+                steps=steps,
+                elapsed_s=time.monotonic() - started,
+            )
         if result.completed or include_incomplete:
             yield result
             produced += 1

@@ -1,0 +1,301 @@
+"""The ``python -m repro`` campaign CLI: subcommands, artifacts, HTML.
+
+Everything drives :func:`repro.cli.main` in-process with ``--quiet`` (no
+live stderr line to pollute pytest output) and asserts on the three
+artifact channels: exit codes, the JSON campaign artifact, and the
+JSON-lines trace stream.  The HTML export is checked by actually parsing
+it — the report must be a single well-formed, self-contained page.
+"""
+
+from __future__ import annotations
+
+import json
+from html.parser import HTMLParser
+from io import StringIO
+
+import pytest
+
+from repro.cli import WORKLOADS, ProgressRenderer, main
+from repro.obs.tracing import read_trace
+
+
+def _run(*argv):
+    return main(list(argv))
+
+
+class TestWorkloadRegistry:
+    def test_workloads_subcommand_lists_everything(self, capsys):
+        assert _run("workloads") == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+    def test_unknown_workload_exits_with_message(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            _run("fuzz", "--workload", "nope", "--quiet")
+
+
+class TestFuzzCommand:
+    def test_round_trip_artifact_and_trace(self, tmp_path, capsys):
+        artifact_path = tmp_path / "campaign.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = _run(
+            "fuzz",
+            "--workload",
+            "figure3",
+            "--seeds",
+            "40",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+            "--trace",
+            str(trace_path),
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz figure3 — OK" in out
+        assert "schedule-space coverage" in out
+
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["verdict"] == "OK"
+        assert artifact["kind"] == "fuzz"
+        assert artifact["tallies"]["runs"] == 40
+        assert artifact["tallies"]["failures"] == 0
+        assert artifact["coverage"]["observed"] == 40
+        assert artifact["stats"]["counters"]["fuzz.seeds"] == 40
+        assert artifact["counterexamples"] == []
+
+        events = read_trace(str(trace_path))
+        kinds = {event["event"] for event in events}
+        assert "campaign_begin" in kinds
+        assert "campaign_progress" in kinds
+        assert "campaign_end" in kinds
+        progress = [e for e in events if e["event"] == "campaign_progress"]
+        assert progress[-1]["attempted"] == 40
+        assert progress[-1]["total"] == 40
+        assert "distinct_histories" in progress[-1]
+
+    def test_parallel_fuzz_matches_sequential_artifact(self, tmp_path):
+        paths = []
+        for label, workers in (("seq", "0"), ("par", "3")):
+            path = tmp_path / f"{label}.json"
+            paths.append(path)
+            assert (
+                _run(
+                    "fuzz",
+                    "--workload",
+                    "figure3",
+                    "--seeds",
+                    "24",
+                    "--workers",
+                    workers,
+                    "--quiet",
+                    "--json",
+                    str(path),
+                )
+                == 0
+            )
+        seq, par = (json.loads(p.read_text()) for p in paths)
+        assert par["coverage"] == seq["coverage"]
+        assert par["tallies"] == seq["tallies"]
+
+    def test_failing_workload_exits_nonzero(self, tmp_path):
+        artifact_path = tmp_path / "fail.json"
+        code = _run(
+            "fuzz",
+            "--workload",
+            "naive-queue",
+            "--seeds",
+            "300",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        assert code == 1
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["verdict"] == "FAIL"
+        assert artifact["tallies"]["failures"] > 0
+        assert artifact["counterexamples"]
+        first = artifact["counterexamples"][0]
+        assert first["verdict"] == "fail"
+        assert first["timeline"]
+
+
+class TestExploreAndVerify:
+    def test_explore_command(self, tmp_path):
+        artifact_path = tmp_path / "explore.json"
+        code = _run(
+            "explore",
+            "--workload",
+            "exchanger2",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        assert code == 0
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["kind"] == "explore"
+        assert artifact["tallies"]["runs"] == 4622
+        assert artifact["coverage"]["observed"] == 4622
+
+    def test_explore_budget_trips_to_unknown(self, tmp_path):
+        artifact_path = tmp_path / "explore.json"
+        code = _run(
+            "explore",
+            "--workload",
+            "exchanger2",
+            "--max-runs",
+            "10",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        assert code == 1
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["verdict"] == "UNKNOWN"
+        assert artifact["tallies"]["budget_tripped"] is True
+
+    def test_verify_reproduces_e2(self, tmp_path):
+        artifact_path = tmp_path / "verify.json"
+        code = _run(
+            "verify",
+            "--workload",
+            "exchanger2",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        assert code == 0
+        artifact = json.loads(artifact_path.read_text())
+        # The paper's E2 scale: all interleavings of two exchangers.
+        assert artifact["tallies"]["runs"] == 4622
+        assert artifact["tallies"]["nodes"] == 12830
+        assert artifact["profile"], "verify should populate profile buckets"
+        row = artifact["profile"][0]
+        assert row["checker"] == "cal"
+        assert row["oid"] == "E"
+
+
+class _PageChecker(HTMLParser):
+    def __init__(self):
+        super().__init__()
+        self.tags = []
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.append(tag)
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def artifact_path(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        assert (
+            _run(
+                "fuzz",
+                "--workload",
+                "figure3",
+                "--seeds",
+                "30",
+                "--quiet",
+                "--json",
+                str(path),
+            )
+            == 0
+        )
+        return path
+
+    def test_ascii_report(self, artifact_path, capsys):
+        capsys.readouterr()
+        assert _run("report", "--json", str(artifact_path)) == 0
+        out = capsys.readouterr().out
+        assert "fuzz figure3 — OK" in out
+        assert "schedule-space coverage" in out
+
+    def test_html_report_is_well_formed(self, artifact_path, tmp_path):
+        html_path = tmp_path / "report.html"
+        assert (
+            _run(
+                "report",
+                "--json",
+                str(artifact_path),
+                "--html",
+                str(html_path),
+            )
+            == 0
+        )
+        page = html_path.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        checker = _PageChecker()
+        checker.feed(page)
+        assert "svg" in checker.tags  # the saturation curve
+        assert "table" in checker.tags
+        assert "figure3" in page
+        assert "Schedule-space coverage" in page
+
+    def test_html_report_embeds_counterexamples(self, tmp_path):
+        artifact_path = tmp_path / "fail.json"
+        _run(
+            "fuzz",
+            "--workload",
+            "naive-queue",
+            "--seeds",
+            "300",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        html_path = tmp_path / "fail.html"
+        assert (
+            _run(
+                "report",
+                "--json",
+                str(artifact_path),
+                "--html",
+                str(html_path),
+            )
+            == 0
+        )
+        page = html_path.read_text()
+        assert "Counterexamples" in page
+        assert "verdict-fail" in page
+
+
+class TestProgressRenderer:
+    def test_renders_campaign_progress(self):
+        stream = StringIO()
+        renderer = ProgressRenderer(stream=stream)
+        renderer.emit(
+            "campaign_progress",
+            driver="fuzz_cal",
+            attempted=50,
+            total=100,
+            elapsed_s=2.0,
+            runs=49,
+            failures=1,
+            unknown=0,
+            skipped=0,
+            distinct_histories=12,
+        )
+        line = stream.getvalue()
+        assert "[fuzz_cal]" in line
+        assert "50/100" in line
+        assert "25 runs/s" in line
+        assert "eta" in line
+        assert "fail=1" in line
+        assert "hist=12" in line
+
+    def test_other_events_pass_silently(self):
+        stream = StringIO()
+        renderer = ProgressRenderer(stream=stream)
+        renderer.emit("campaign_begin", driver="fuzz_cal")
+        assert stream.getvalue() == ""
+        renderer.finish()  # nothing rendered, nothing to terminate
+        assert stream.getvalue() == ""
+
+    def test_finish_terminates_the_live_line_once(self):
+        stream = StringIO()
+        renderer = ProgressRenderer(stream=stream)
+        renderer.emit("campaign_progress", attempted=1, elapsed_s=1.0)
+        renderer.finish()
+        renderer.finish()
+        assert stream.getvalue().count("\n") == 1

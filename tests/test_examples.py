@@ -15,6 +15,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "figure3_walkthrough.py",
     "synchronous_queue_demo.py",
+    "coverage_saturation.py",
 ]
 
 SLOW_EXAMPLES = [

@@ -1,0 +1,135 @@
+"""Instrumentation invariance: observing a campaign cannot change it.
+
+The PR-3 contract, extended to coverage/profiling/progress (PR-4): for
+any driver and any inputs, running with the full observability stack
+(SearchProfiler, CoverageTracker, trace sink, periodic progress) must
+produce **bit-identical** verdicts and search-node counts to running
+with plain Metrics, and identical verdicts to running with nothing at
+all.  Hypothesis drives the differential over seed windows, schedule
+bias and checker configuration; fixed tests pin the exhaustive drivers
+and the failing path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkers.fuzz import fuzz_cal, fuzz_linearizability
+from repro.checkers.verify import verify_cal
+from repro.obs import CoverageTracker, Metrics, SearchProfiler, TraceSink
+from repro.specs import ExchangerSpec, QueueSpec
+from repro.workloads.programs import exchanger_program
+
+from tests.test_fuzz import TestFuzzLinearizability
+
+_naive_queue_setup = TestFuzzLinearizability._naive_queue_setup
+
+
+def _tallies(report):
+    return {
+        "runs": report.runs,
+        "incomplete": report.incomplete,
+        "crashed": report.crashed,
+        "unknown": report.unknown,
+        "skipped": report.skipped,
+        "failures": [(f.seed, f.reason, tuple(f.schedule)) for f in report.failures],
+    }
+
+
+class TestFuzzDifferential:
+    @given(
+        start=st.integers(0, 400),
+        count=st.integers(1, 6),
+        search=st.booleans(),
+        yield_bias=st.sampled_from([0.0, 0.3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fuzz_cal_is_observation_invariant(
+        self, start, count, search, yield_bias
+    ):
+        seeds = range(start, start + count)
+        kwargs = dict(
+            seeds=seeds, max_steps=200, search=search, yield_bias=yield_bias
+        )
+        setup = exchanger_program([3, 4])
+        spec = ExchangerSpec("E")
+
+        bare = fuzz_cal(setup, spec, **kwargs)
+        plain = Metrics()
+        baseline = fuzz_cal(setup, spec, metrics=plain, **kwargs)
+        full = SearchProfiler()
+        observed = fuzz_cal(
+            setup,
+            spec,
+            metrics=full,
+            coverage=CoverageTracker(),
+            trace=TraceSink(),
+            progress_every=1,
+            **kwargs,
+        )
+
+        assert _tallies(bare) == _tallies(baseline) == _tallies(observed)
+        assert full.counters.get("search.nodes", 0) == plain.counters.get(
+            "search.nodes", 0
+        )
+        assert full.counters.get("cal.completions", 0) == plain.counters.get(
+            "cal.completions", 0
+        )
+
+    @given(start=st.integers(0, 300), count=st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_fuzz_lin_is_observation_invariant(self, start, count):
+        seeds = range(start, start + count)
+        kwargs = dict(seeds=seeds, max_steps=1000)
+        spec = QueueSpec("EQ")
+
+        plain = Metrics()
+        baseline = fuzz_linearizability(
+            _naive_queue_setup, spec, metrics=plain, **kwargs
+        )
+        full = SearchProfiler()
+        observed = fuzz_linearizability(
+            _naive_queue_setup,
+            spec,
+            metrics=full,
+            coverage=CoverageTracker(),
+            trace=TraceSink(),
+            progress_every=1,
+            **kwargs,
+        )
+
+        assert _tallies(baseline) == _tallies(observed)
+        assert full.counters.get("search.nodes", 0) == plain.counters.get(
+            "search.nodes", 0
+        )
+
+
+class TestVerifyDifferential:
+    def test_verify_cal_is_observation_invariant(self):
+        setup = exchanger_program([3, 4])
+        spec = ExchangerSpec("E")
+        kwargs = dict(max_steps=200, search=True)
+
+        bare = verify_cal(setup, spec, **kwargs)
+        plain = Metrics()
+        baseline = verify_cal(setup, spec, metrics=plain, **kwargs)
+        full = SearchProfiler()
+        observed = verify_cal(
+            setup,
+            spec,
+            metrics=full,
+            coverage=CoverageTracker(),
+            trace=TraceSink(),
+            progress_every=100,
+            **kwargs,
+        )
+
+        for left, right in ((bare, baseline), (baseline, observed)):
+            assert left.verdict == right.verdict
+            assert left.runs == right.runs
+            assert left.nodes == right.nodes
+            assert left.unknown == right.unknown
+            assert len(left.failures) == len(right.failures)
+        assert full.counters["search.nodes"] == plain.counters["search.nodes"]
+        assert observed.nodes == full.counters["search.nodes"]

@@ -30,6 +30,7 @@ from repro.obs import (
     CounterexampleReport,
     JsonLinesTraceSink,
     Metrics,
+    TeeTraceSink,
     TraceSink,
     observe_run,
     read_trace,
@@ -223,6 +224,181 @@ class TestTraceSinks:
         # Flushed per event: readable before close (crash-resilience).
         assert read_trace(path) == [{"event": "a"}]
         sink.close()
+
+    def test_timer_entries_survive_snapshot_round_trip(self):
+        metrics = Metrics()
+        metrics.add_time("phase.search", 0.125)
+        metrics.add_time("phase.shrink", 2.5)
+        clone = Metrics.from_snapshot(metrics.snapshot())
+        assert clone.timers == {"phase.search": 0.125, "phase.shrink": 2.5}
+        # The rebuilt registry keeps merging like the original.
+        clone.merge(Metrics.from_snapshot(metrics.snapshot()))
+        assert clone.timers["phase.search"] == pytest.approx(0.25)
+        # Detached: mutating the clone leaves the source untouched.
+        clone.add_time("phase.search", 1.0)
+        assert metrics.timers["phase.search"] == 0.125
+
+
+class TestSinkLifecycle:
+    def test_owned_handle_double_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonLinesTraceSink(path)
+        sink.emit("a", x=1)
+        sink.close()
+        sink.close()  # second close must not raise
+        assert read_trace(path) == [{"event": "a", "x": 1}]
+
+    def test_owned_handle_emit_after_close_raises(self, tmp_path):
+        sink = JsonLinesTraceSink(str(tmp_path / "trace.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit("late")
+
+    def test_borrowed_handle_usable_after_close(self):
+        handle = io.StringIO()
+        sink = JsonLinesTraceSink(handle)
+        sink.emit("a")
+        sink.close()  # borrowed: left open by contract
+        sink.emit("b")
+        events = [json.loads(line) for line in handle.getvalue().splitlines()]
+        assert [e["event"] for e in events] == ["a", "b"]
+
+    def test_context_manager_closes_owned_handle(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonLinesTraceSink(path) as sink:
+            sink.emit("a")
+        assert sink._handle.closed
+
+    def test_tee_fans_out_isolated_copies(self):
+        class Mutating(TraceSink):
+            def _write(self, record):
+                record["mutated"] = True
+                super()._write(record)
+
+        first, second = Mutating(), TraceSink()
+        tee = TeeTraceSink(first, second)
+        tee.emit("e", x=1)
+        assert first.events == [{"event": "e", "x": 1, "mutated": True}]
+        # The first sink's mutation must not leak into the second's copy.
+        assert second.events == [{"event": "e", "x": 1}]
+        tee.close()
+
+
+class TestReadTraceTruncation:
+    """A worker killed mid-write leaves a cut final line; the sink
+    flushes per line, so that is the only corruption shape truncation
+    can produce — and the reader must survive it (satellite of PR-4)."""
+
+    def test_truncated_final_line_yields_warning_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"event": "a"}\n{"event": "b"}\n{"event": "campaign_pro'
+        )
+        events = read_trace(str(path))
+        assert [e["event"] for e in events[:2]] == ["a", "b"]
+        warning = events[2]
+        assert warning["event"] == "trace_truncated"
+        assert warning["line"] == 3
+        assert warning["prefix"].startswith('{"event": "campaign_pro')
+        assert "error" in warning
+
+    def test_trailing_newline_is_not_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "a"}\n')
+        assert read_trace(str(path)) == [{"event": "a"}]
+
+    def test_malformed_interior_line_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "a"}\n{oops\n{"event": "b"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_trace(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert read_trace(str(path)) == []
+
+
+class TestCampaignProgressEvents:
+    """``campaign_progress`` must be emittable standalone — a trace sink
+    and ``progress_every`` suffice, no coverage tracker required — and
+    must carry the live-rendering fields the CLI consumes."""
+
+    def _progress(self, sink):
+        return [e for e in sink.events if e["event"] == "campaign_progress"]
+
+    def test_fuzz_emits_periodic_progress_without_coverage(self):
+        sink = TraceSink()
+        fuzz_cal(
+            exchanger_program([3, 4]),
+            ExchangerSpec("E"),
+            seeds=range(12),
+            max_steps=200,
+            trace=sink,
+            progress_every=5,
+        )
+        progress = self._progress(sink)
+        assert [e["attempted"] for e in progress] == [5, 10]
+        for event in progress:
+            assert event["driver"] == "fuzz_cal"
+            assert event["total"] == 12
+            assert event["elapsed_s"] >= 0.0
+            for key in ("runs", "failures", "unknown", "skipped"):
+                assert key in event
+            assert "distinct_histories" not in event
+
+    def test_fuzz_progress_reports_live_coverage_when_tracked(self):
+        from repro.obs import CoverageTracker
+
+        sink = TraceSink()
+        fuzz_cal(
+            exchanger_program([3, 4]),
+            ExchangerSpec("E"),
+            seeds=range(10),
+            max_steps=200,
+            trace=sink,
+            coverage=CoverageTracker(),
+            progress_every=5,
+        )
+        progress = self._progress(sink)
+        assert progress
+        assert all(e["distinct_histories"] >= 1 for e in progress)
+
+    def test_explore_emits_progress(self):
+        from repro.substrate.explore import explore_all
+
+        sink = TraceSink()
+        runs = list(
+            explore_all(
+                exchanger_program([3, 4]),
+                max_steps=200,
+                trace=sink,
+                progress_every=1000,
+            )
+        )
+        progress = self._progress(sink)
+        assert progress
+        assert progress[-1]["driver"] == "explore"
+        assert progress[-1]["attempted"] % 1000 == 0
+        assert progress[-1]["runs"] <= len(runs)
+
+    def test_parallel_fuzz_emits_cumulative_chunk_progress(self):
+        sink = TraceSink()
+        fuzz_cal_parallel(
+            exchanger_program([3, 4]),
+            ExchangerSpec("E"),
+            seeds=range(12),
+            workers=3,
+            max_steps=200,
+            trace=sink,
+            progress_every=1,
+        )
+        progress = self._progress(sink)
+        assert progress
+        assert [e["chunks_done"] for e in progress] == [1, 2, 3]
+        last = progress[-1]
+        assert last["attempted"] == 12
+        assert last["total"] == 12
 
 
 # ----------------------------------------------------------------------
