@@ -43,11 +43,16 @@ def _commit() -> str:
 
 
 def trajectory_entry(summary: dict) -> dict:
-    """The compact trajectory record for one E17 summary dict."""
+    """The compact trajectory record for one bench summary dict.
+
+    Handles both bench_e17 summaries (aggregate speedup + disabled-
+    observability overhead) and bench_e19 summaries (checkpoint
+    overhead); fields absent from a summary are simply omitted.
+    """
     overhead = summary.get("overhead") or {}
     if isinstance(overhead, dict):
         overhead = overhead.get("overhead")
-    return {
+    entry = {
         "experiment": summary.get("experiment", "E17"),
         "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
@@ -56,6 +61,9 @@ def trajectory_entry(summary: dict) -> dict:
         "aggregate_speedup": summary.get("aggregate_speedup"),
         "overhead": overhead,
     }
+    if "checkpoint_overhead" in summary:
+        entry["checkpoint_overhead"] = summary["checkpoint_overhead"]
+    return entry
 
 
 def append(summary_path: str, results_path: str) -> dict:
@@ -86,10 +94,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     entry = append(args.summary, args.results)
     trajectory = json.load(open(args.results, encoding="utf-8"))["trajectory"]
+    numbers = ", ".join(
+        f"{key} {entry[key]}"
+        for key in ("aggregate_speedup", "overhead", "checkpoint_overhead")
+        if entry.get(key) is not None
+    )
     print(
         f"appended {entry['experiment']} @ {entry['commit'][:12]} "
-        f"(speedup {entry['aggregate_speedup']}, overhead {entry['overhead']}) "
-        f"— trajectory now has {len(trajectory)} entr"
+        f"({numbers}) — trajectory now has {len(trajectory)} entr"
         f"{'y' if len(trajectory) == 1 else 'ies'}"
     )
     return 0

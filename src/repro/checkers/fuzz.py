@@ -120,6 +120,13 @@ class FuzzReport:
     campaign's :meth:`~repro.obs.metrics.Metrics.snapshot` when the
     campaign was run with ``metrics=``; parallel campaigns merge worker
     snapshots, so the totals match a sequential run over the same seeds.
+
+    ``deduped`` counts runs whose full schedule digest was already
+    verified by a prior campaign (cross-run dedup — the run happened but
+    its check was skipped); ``fresh_schedules`` carries the digests of
+    newly-verified passing schedules back to the store.  ``quarantined``
+    lists chunks the parallel supervisor gave up on (worker kept dying);
+    their seeds are included in ``skipped`` — explicit, never silent.
     """
 
     runs: int = 0
@@ -127,8 +134,11 @@ class FuzzReport:
     crashed: int = 0
     unknown: int = 0
     skipped: int = 0
+    deduped: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
     reports: List[CounterexampleReport] = field(default_factory=list)
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    fresh_schedules: List[str] = field(default_factory=list)
     stats: Stats = None
     coverage: Coverage = None
 
@@ -143,8 +153,11 @@ class FuzzReport:
         self.crashed += other.crashed
         self.unknown += other.unknown
         self.skipped += other.skipped
+        self.deduped += other.deduped
         self.failures.extend(other.failures)
         self.reports.extend(other.reports)
+        self.quarantined.extend(other.quarantined)
+        self.fresh_schedules.extend(other.fresh_schedules)
         self.stats = _merge_stats(self.stats, other.stats)
         self.coverage = _merge_coverage(self.coverage, other.coverage)
 
@@ -153,6 +166,10 @@ class FuzzReport:
         extra = f", crashed={self.crashed}" if self.crashed else ""
         extra += f", unknown={self.unknown}" if self.unknown else ""
         extra += f", skipped={self.skipped}" if self.skipped else ""
+        extra += f", deduped={self.deduped}" if self.deduped else ""
+        extra += (
+            f", quarantined={len(self.quarantined)}" if self.quarantined else ""
+        )
         return (
             f"FuzzReport({verdict}, runs={self.runs}, "
             f"cut={self.incomplete}{extra})"
@@ -300,6 +317,7 @@ def fuzz_cal(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    dedup=None,
 ) -> FuzzReport:
     """Sample random schedules and check CAL on each run.
 
@@ -325,6 +343,16 @@ def fuzz_cal(
     pure function of the seed range.  With ``progress_every > 0`` and a
     trace sink, a ``campaign_progress`` event is emitted every that many
     attempted seeds.
+
+    ``dedup`` (:class:`~repro.store.dedup.ScheduleDedup`-shaped: a
+    ``digest(schedule)``/``seen(digest)`` pair) skips the *check* for
+    fault-free runs whose full schedule digest a prior campaign already
+    verified — the run is a pure function of its schedule, so the old
+    verdict stands.  Deduped runs count in ``report.deduped``; digests
+    of newly-passing schedules accumulate in ``report.fresh_schedules``.
+    Dedup consults only the pre-campaign ``known`` set (never digests
+    minted during this campaign), so tallies stay partition-transparent
+    across the parallel runner's chunking.
     """
     checker = CALChecker(spec)
     report = FuzzReport()
@@ -401,6 +429,16 @@ def fuzz_cal(
         report.runs += 1
         if run.crashed:
             report.crashed += 1
+        digest = None
+        if dedup is not None and plan is None:
+            # Fault-free runs only: a fault plan changes the verdict, so
+            # schedules are only comparable across campaigns without one.
+            digest = dedup.digest(run.schedule)
+            if dedup.seen(digest):
+                report.deduped += 1
+                if campaign is not None:
+                    campaign.count("fuzz.deduped")
+                continue
         reason, unknown_reason = diagnose(run, campaign, trace)
         if unknown_reason is not None:
             report.unknown += 1
@@ -436,6 +474,8 @@ def fuzz_cal(
             report.reports.append(failure.report)
             if campaign is not None:
                 campaign.count("fuzz.failures")
+        elif unknown_reason is None and digest is not None:
+            report.fresh_schedules.append(digest)
     if campaign is not None:
         report.stats = campaign.snapshot()
         metrics.merge(campaign)
@@ -469,11 +509,12 @@ def fuzz_linearizability(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    dedup=None,
 ) -> FuzzReport:
     """Sample random schedules and check linearizability on each run.
 
-    ``deadline_at``, ``metrics``/``trace``, ``coverage`` and
-    ``progress_every`` behave as in :func:`fuzz_cal`.
+    ``deadline_at``, ``metrics``/``trace``, ``coverage``,
+    ``progress_every`` and ``dedup`` behave as in :func:`fuzz_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
@@ -549,6 +590,14 @@ def fuzz_linearizability(
         report.runs += 1
         if run.crashed:
             report.crashed += 1
+        digest = None
+        if dedup is not None and plan is None:
+            digest = dedup.digest(run.schedule)
+            if dedup.seen(digest):
+                report.deduped += 1
+                if campaign is not None:
+                    campaign.count("fuzz.deduped")
+                continue
         reason, unknown_reason = diagnose(run, campaign, trace)
         if unknown_reason is not None:
             report.unknown += 1
@@ -584,6 +633,8 @@ def fuzz_linearizability(
             report.reports.append(failure.report)
             if campaign is not None:
                 campaign.count("fuzz.failures")
+        elif unknown_reason is None and digest is not None:
+            report.fresh_schedules.append(digest)
     if campaign is not None:
         report.stats = campaign.snapshot()
         metrics.merge(campaign)

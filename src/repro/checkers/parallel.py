@@ -30,6 +30,28 @@ passes (fuzz seeds not run are counted ``skipped``; explore shards trip
 their :class:`~repro.substrate.explore.ExploreBudget`).  Run/step budgets
 apply per shard — a shared counter would serialize the workers.
 
+**Fault tolerance.**  :func:`_map_forked` is a supervisor loop, not a
+fire-and-collect pool: a worker that *dies* without delivering a result
+(SIGKILL, OOM, segfault) is retried with exponential backoff up to
+``max_retries`` times, and a task whose workers keep dying is
+**quarantined** — it yields a :class:`WorkerFailure` sentinel instead of
+aborting the campaign, and the fuzz runners convert the lost chunk into
+explicit ``skipped`` seeds (plus a ``report.quarantined`` entry) so the
+loss is never silent.  A Python exception *inside* a task is different:
+it is deterministic, so it still aborts — now with the worker's full
+traceback.  ``task_timeout`` bounds any single attempt; after the
+campaign deadline (plus a grace period) hung workers are killed and
+their tasks quarantined, salvaging every completed partial.
+
+**Checkpointing.**  The fuzz runners accept a ``checkpoint`` writer
+(see :class:`repro.store.checkpoint.CheckpointWriter`): with
+``checkpoint_every`` the seed sequence is chunked by that count instead
+of per worker, each finished chunk's partial report is persisted as it
+completes, and ``completed`` (chunk index → restored partial) lets a
+resumed campaign skip work already in the store.  Because the merge is
+associative and order-restoring, a resumed campaign's merged report
+equals an uninterrupted run's exactly.
+
 **Fallback.**  Without the ``fork`` start method (or with one worker, or
 fewer work items than workers would help with), campaigns run inline in
 the parent — same results, no processes.  ``fork`` is required because
@@ -42,7 +64,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+import traceback
+from multiprocessing.connection import wait as _wait_ready
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.checkers.caspec import CASpec
 from repro.checkers.fuzz import (
@@ -77,9 +101,52 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
 def _child_main(conn, task: Callable[[], Any]) -> None:
     try:
         conn.send(("ok", task()))
-    except BaseException as exc:  # noqa: BLE001 — reported to the parent
-        conn.send(("error", repr(exc)))
+    except BaseException:  # noqa: BLE001 — reported to the parent
+        # The full traceback, not just repr(exc): worker failures must
+        # be diagnosable from the parent's exception alone.
+        conn.send(("error", traceback.format_exc()))
     finally:
+        conn.close()
+
+
+class WorkerFailure:
+    """Sentinel result for a task quarantined by the supervisor.
+
+    Carries enough to report the loss explicitly: the task index, the
+    last error (why the worker died or was killed), and how many
+    attempts were made.  Campaign runners convert these into ``skipped``
+    tallies plus ``quarantined`` report entries — never silent loss.
+    """
+
+    __slots__ = ("index", "error", "attempts")
+
+    def __init__(self, index: int, error: str, attempts: int) -> None:
+        self.index = index
+        self.error = error
+        self.attempts = attempts
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerFailure(task={self.index}, attempts={self.attempts}, "
+            f"error={self.error!r})"
+        )
+
+
+#: Default bounded-retry policy for tasks whose worker died.
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_RETRY_BACKOFF = 0.05  # seconds; doubles per attempt
+#: Wall-clock slack granted past ``deadline_at`` before hung workers are
+#: killed and their tasks quarantined (workers normally notice the
+#: deadline themselves and return partial reports well within this).
+DEFAULT_DEADLINE_GRACE = 5.0
+#: Supervisor poll tick: upper bound on reaction latency to timeouts.
+_SUPERVISE_TICK = 0.2
+
+
+def _terminate_all(active: Mapping[Any, Tuple[int, Any, int, float]]) -> None:
+    for conn, (_, process, _, _) in list(active.items()):
+        process.terminate()
+        process.join()
         conn.close()
 
 
@@ -88,6 +155,11 @@ def _map_forked(
     workers: int,
     trace=None,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    deadline_at: Optional[float] = None,
+    deadline_grace: float = DEFAULT_DEADLINE_GRACE,
 ) -> List[_T]:
     """Run ``tasks`` across at most ``workers`` forked processes.
 
@@ -96,11 +168,27 @@ def _map_forked(
     picklable.  Falls back to inline execution when forking is
     unavailable or pointless.
 
+    This is a *supervisor loop*:
+
+    * a worker that dies without a result (SIGKILL, OOM) is retried
+      with exponential backoff (``retry_backoff * 2**attempt``) up to
+      ``max_retries`` times, then the task is quarantined — its result
+      slot holds a :class:`WorkerFailure` instead of aborting the run;
+    * a task exceeding ``task_timeout`` seconds on one attempt has its
+      worker killed and counts as a death (retry, then quarantine);
+    * once ``deadline_at`` (+ ``deadline_grace``) passes, still-running
+      workers are killed and unstarted tasks quarantined, salvaging
+      every already-completed partial;
+    * a Python exception *inside* a task is deterministic — it aborts
+      with the worker's full traceback (no retry).
+
     ``trace`` (parent-owned, never shared with children — forked writers
-    would interleave lines) gets ``worker_spawn``/``worker_done`` events.
+    would interleave lines) gets ``worker_spawn``/``worker_done`` plus
+    ``worker_retry``/``worker_quarantine`` lifecycle events.
     ``on_result`` is called in the parent with ``(index, result)`` as
-    each task finishes (both forked and inline paths) — the live-progress
-    hook used by the campaign runners.
+    each task finishes (both forked and inline paths; quarantined tasks
+    deliver their :class:`WorkerFailure`) — the live-progress and
+    checkpoint hook used by the campaign runners.
     """
     context = _fork_context()
     if context is None or workers <= 1 or len(tasks) <= 1:
@@ -114,39 +202,128 @@ def _map_forked(
             results.append(result)
         return results
     results: List[Any] = [None] * len(tasks)
-    pending = list(enumerate(tasks))
-    active: List[Tuple[int, Any, Any]] = []
-    while pending or active:
-        while pending and len(active) < workers:
-            index, task = pending.pop(0)
-            parent_conn, child_conn = context.Pipe(duplex=False)
-            process = context.Process(
-                target=_child_main, args=(child_conn, task)
-            )
-            process.start()
-            child_conn.close()
-            if trace is not None:
-                trace.emit("worker_spawn", task=index, pid=process.pid)
-            active.append((index, process, parent_conn))
-        index, process, conn = active.pop(0)
-        try:
-            status, payload = conn.recv()
-        except EOFError:
-            status, payload = "error", f"worker {index} died without a result"
-        finally:
-            conn.close()
-        process.join()
-        if trace is not None:
-            trace.emit("worker_done", task=index, status=status)
-        if status != "ok":
-            for _, other, other_conn in active:
-                other.terminate()
-                other.join()
-                other_conn.close()
-            raise RuntimeError(f"parallel worker failed: {payload}")
-        results[index] = payload
+    pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(tasks))]
+    not_before: Dict[int, float] = {}  # task index -> earliest retry instant
+    # conn -> (task index, process, attempt, started_at)
+    active: Dict[Any, Tuple[int, Any, int, float]] = {}
+
+    def settle(index: int, result: Any) -> None:
+        results[index] = result
         if on_result is not None:
-            on_result(index, payload)
+            on_result(index, result)
+
+    def worker_died(index: int, attempt: int, error: str, retryable: bool) -> None:
+        if retryable and attempt < max_retries:
+            not_before[index] = time.monotonic() + retry_backoff * (2 ** attempt)
+            pending.append((index, attempt + 1))
+            if trace is not None:
+                trace.emit(
+                    "worker_retry", task=index, attempt=attempt + 1, error=error
+                )
+            return
+        if trace is not None:
+            trace.emit(
+                "worker_quarantine", task=index, attempts=attempt + 1, error=error
+            )
+        settle(index, WorkerFailure(index, error, attempt + 1))
+
+    try:
+        while pending or active:
+            now = time.monotonic()
+            expired = (
+                deadline_at is not None and now >= deadline_at + deadline_grace
+            )
+            if expired and pending:
+                # Salvage mode: nothing new starts; what finished, stays.
+                for index, attempt in pending:
+                    worker_died(
+                        index,
+                        attempt,
+                        "campaign deadline expired before the task ran",
+                        retryable=False,
+                    )
+                pending.clear()
+            cursor = 0
+            while cursor < len(pending) and len(active) < workers:
+                index, attempt = pending[cursor]
+                if not_before.get(index, 0.0) > now:
+                    cursor += 1
+                    continue
+                pending.pop(cursor)
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_child_main, args=(child_conn, tasks[index])
+                )
+                process.start()
+                child_conn.close()
+                if trace is not None:
+                    trace.emit(
+                        "worker_spawn",
+                        task=index,
+                        pid=process.pid,
+                        attempt=attempt,
+                    )
+                active[parent_conn] = (index, process, attempt, time.monotonic())
+            if not active:
+                if pending:  # every runnable task is backing off
+                    soonest = min(
+                        not_before.get(index, 0.0) for index, _ in pending
+                    )
+                    time.sleep(
+                        min(max(soonest - time.monotonic(), 0.0), _SUPERVISE_TICK)
+                        or 0.001
+                    )
+                continue
+            for conn in _wait_ready(list(active), timeout=_SUPERVISE_TICK):
+                index, process, attempt, _ = active.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status = "died"
+                    payload = (
+                        f"worker for task {index} died without a result "
+                        f"(pid {process.pid}, exitcode {process.exitcode})"
+                    )
+                finally:
+                    conn.close()
+                process.join()
+                if trace is not None:
+                    trace.emit("worker_done", task=index, status=status)
+                if status == "ok":
+                    settle(index, payload)
+                elif status == "error":
+                    # Deterministic failure inside the task: abort loudly
+                    # with the child's full traceback.
+                    _terminate_all(active)
+                    raise RuntimeError(f"parallel worker failed:\n{payload}")
+                else:
+                    worker_died(index, attempt, payload, retryable=True)
+            now = time.monotonic()
+            expired = (
+                deadline_at is not None and now >= deadline_at + deadline_grace
+            )
+            for conn, (index, process, attempt, started) in list(active.items()):
+                timed_out = (
+                    task_timeout is not None and now - started >= task_timeout
+                )
+                if not timed_out and not expired:
+                    continue
+                del active[conn]
+                process.terminate()
+                process.join()
+                conn.close()
+                reason = (
+                    f"task timeout ({task_timeout}s) exceeded"
+                    if timed_out
+                    else "killed at campaign deadline (grace expired)"
+                )
+                if trace is not None:
+                    trace.emit("worker_done", task=index, status="killed")
+                worker_died(index, attempt, reason, retryable=not expired)
+    except BaseException:
+        # SIGINT (or any other escape) must not leak forked children.
+        _terminate_all(active)
+        raise
     return results
 
 
@@ -167,6 +344,39 @@ def _chunk(seeds: Sequence[int], chunks: int) -> List[List[int]]:
     return out
 
 
+def _chunk_every(seeds: Sequence[int], every: int) -> List[List[int]]:
+    """Fixed-size contiguous chunks of ``every`` seeds (checkpoint units).
+
+    Unlike :func:`_chunk`, the partition depends only on ``every`` and
+    the seed sequence — never on the worker count — so a resumed
+    campaign reconstructs the identical chunk list regardless of how
+    many workers either invocation used.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return [[]]
+    every = max(1, every)
+    return [seeds[i : i + every] for i in range(0, len(seeds), every)]
+
+
+def _quarantine_report(
+    index: int, chunk: List[int], offset: int, failure: WorkerFailure
+) -> FuzzReport:
+    """The explicit ``skipped`` stand-in for a quarantined fuzz chunk."""
+    report = FuzzReport()
+    report.skipped = len(chunk)
+    report.quarantined = [
+        {
+            "chunk": index,
+            "seed_start": offset,
+            "seed_count": len(chunk),
+            "error": failure.error,
+            "attempts": failure.attempts,
+        }
+    ]
+    return report
+
+
 def _fuzz_parallel(
     driver: Callable[..., FuzzReport],
     setup: SetupFn,
@@ -180,11 +390,24 @@ def _fuzz_parallel(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    completed: Optional[Mapping[int, FuzzReport]] = None,
+    dedup=None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> FuzzReport:
     seeds = list(seeds)
     workers = default_workers() if workers is None else workers
     deadline_at = None if deadline is None else time.monotonic() + deadline
-    chunks = _chunk(seeds, workers)
+    # Checkpointed campaigns chunk by the checkpoint cadence — a pure
+    # function of the seed range, never of the worker count — so an
+    # interrupted campaign and its resumption agree on chunk boundaries.
+    if checkpoint_every and checkpoint_every > 0:
+        chunks = _chunk_every(seeds, checkpoint_every)
+    else:
+        chunks = _chunk(seeds, workers)
+    completed = dict(completed or {})
     started = time.monotonic()
     # Global position of each chunk's first seed: worker coverage
     # trackers sample at offset + local position, so merged saturation
@@ -216,19 +439,22 @@ def _fuzz_parallel(
                 deadline_at=deadline_at,
                 metrics=type(metrics)() if metrics is not None else None,
                 coverage=chunk_coverage,
+                dedup=dedup,
                 **kwargs,
             )
         return run_chunk
 
+    remaining = [index for index in range(len(chunks)) if index not in completed]
     finished = {"chunks": 0, "attempted": 0}
     progress = FuzzReport()
     seen_histories: set = set()
-
-    def chunk_done(index: int, partial: FuzzReport) -> None:
-        if trace is None or not progress_every:
-            return
+    for index in sorted(completed):
         finished["chunks"] += 1
         finished["attempted"] += len(chunks[index])
+
+    def emit_progress(partial: FuzzReport) -> None:
+        if trace is None or not progress_every:
+            return
         progress.runs += partial.runs
         progress.unknown += partial.unknown
         progress.skipped += partial.skipped
@@ -252,15 +478,42 @@ def _fuzz_parallel(
             **live,
         )
 
+    def chunk_done(local_index: int, partial) -> None:
+        index = remaining[local_index]
+        chunk = chunks[index]
+        finished["chunks"] += 1
+        finished["attempted"] += len(chunk)
+        if isinstance(partial, WorkerFailure):
+            if checkpoint is not None:
+                checkpoint.chunk_quarantined(
+                    index, offsets[index], len(chunk), partial.error
+                )
+            emit_progress(_quarantine_report(index, chunk, offsets[index], partial))
+            return
+        if checkpoint is not None:
+            checkpoint.chunk_done(index, offsets[index], len(chunk), partial)
+        emit_progress(partial)
+
     partials = _map_forked(
-        [task_for(c, o) for c, o in zip(chunks, offsets)],
+        [task_for(chunks[i], offsets[i]) for i in remaining],
         workers,
         trace=trace,
         on_result=chunk_done,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        deadline_at=deadline_at,
     )
+    by_index: Dict[int, FuzzReport] = dict(completed)
+    for local_index, partial in enumerate(partials):
+        index = remaining[local_index]
+        if isinstance(partial, WorkerFailure):
+            partial = _quarantine_report(
+                index, chunks[index], offsets[index], partial
+            )
+        by_index[index] = partial
     merged = FuzzReport()
-    for partial in partials:
-        merged.merge(partial)
+    for index in range(len(chunks)):
+        merged.merge(by_index[index])
     # Contiguous chunks merged in order ⇒ merged.failures is already in
     # original seed order; the first entry is the sequential winner.
     if merged.failures and shrink:
@@ -306,6 +559,12 @@ def fuzz_cal_parallel(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    completed: Optional[Mapping[int, FuzzReport]] = None,
+    dedup=None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_cal` fanned across workers.
 
@@ -322,6 +581,18 @@ def fuzz_cal_parallel(
     (:meth:`~repro.obs.coverage.CoverageTracker.snapshot` byte-identical).
     ``progress_every > 0`` with a trace sink emits one cumulative
     ``campaign_progress`` event per finished chunk.
+
+    Durability hooks: ``checkpoint`` (a
+    :class:`~repro.store.checkpoint.CheckpointWriter`-shaped object)
+    persists each finished chunk; ``checkpoint_every`` chunks the seeds
+    by that cadence instead of per worker; ``completed`` (chunk index →
+    restored partial report) skips chunks a prior interrupted run
+    already checkpointed — the merged result equals an uninterrupted
+    campaign's.  ``dedup`` (:class:`~repro.store.dedup.ScheduleDedup`)
+    skips re-checking schedules a prior campaign already verified.
+    ``task_timeout``/``max_retries`` tune the worker supervisor; a chunk
+    whose workers keep dying is quarantined into explicit ``skipped``
+    seeds plus a ``report.quarantined`` entry instead of aborting.
     """
     return _fuzz_parallel(
         fuzz_cal,
@@ -344,6 +615,12 @@ def fuzz_cal_parallel(
         trace=trace,
         coverage=coverage,
         progress_every=progress_every,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        completed=completed,
+        dedup=dedup,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
     )
 
 
@@ -364,10 +641,17 @@ def fuzz_linearizability_parallel(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    completed: Optional[Mapping[int, FuzzReport]] = None,
+    dedup=None,
+    task_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_linearizability` fanned across
     workers, with the same determinism guarantees (first failure, merged
-    stats and merged coverage) as :func:`fuzz_cal_parallel`."""
+    stats and merged coverage) and durability hooks (checkpoint, resume,
+    dedup, supervised retry/quarantine) as :func:`fuzz_cal_parallel`."""
     return _fuzz_parallel(
         fuzz_linearizability,
         setup,
@@ -388,6 +672,12 @@ def fuzz_linearizability_parallel(
         trace=trace,
         coverage=coverage,
         progress_every=progress_every,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        completed=completed,
+        dedup=dedup,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
     )
 
 
@@ -481,9 +771,31 @@ def explore_parallel(
             return results, (shard_budget or ExploreBudget())
         return run_shard
 
-    shards = _map_forked([shard_task(k) for k in range(arity)], workers, trace=trace)
+    shards = _map_forked(
+        [shard_task(k) for k in range(arity)],
+        workers,
+        trace=trace,
+        deadline_at=None if remaining is None else time.monotonic() + remaining,
+    )
     merged: List[RunResult] = []
-    for results, shard_budget in shards:
+    for pin, shard in enumerate(shards):
+        if isinstance(shard, WorkerFailure):
+            # A lost shard means the sweep is no longer exhaustive.  With
+            # a budget, degrade gracefully (tripped → UNKNOWN downstream);
+            # without one the caller has no degradation channel, so the
+            # loss must abort rather than pass silently.
+            if budget is None:
+                raise RuntimeError(
+                    f"explore shard {pin} quarantined after "
+                    f"{shard.attempts} attempt(s): {shard.error}"
+                )
+            if not budget.tripped:
+                budget.tripped = True
+                budget.reason = (
+                    f"shard {pin} quarantined ({shard.error})"
+                )
+            continue
+        results, shard_budget = shard
         merged.extend(results)
         if budget is not None:
             budget.runs += shard_budget.runs

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.checkers.cal import CALChecker, complete_from_witness
 from repro.checkers.caspec import CASpec
@@ -88,6 +88,26 @@ class VerificationReport:
     def ok(self) -> bool:
         return self.verdict is Verdict.OK
 
+    def merge(self, other: "VerificationReport") -> None:
+        """Fold another report's tallies, failures and stats into this one.
+
+        Like :meth:`~repro.checkers.fuzz.FuzzReport.merge`, the fold is
+        associative and order-restoring: a verification campaign sharded
+        by ``pin_prefix`` (the durable-campaign checkpoint unit) merges,
+        shard by shard in pin order, to exactly the report a single
+        unsharded sweep produces.  ``budget`` objects are not merged —
+        sharded durable campaigns run each shard to completion instead.
+        """
+        from repro.checkers.fuzz import _merge_coverage, _merge_stats
+
+        self.runs += other.runs
+        self.incomplete += other.incomplete
+        self.nodes += other.nodes
+        self.unknown += other.unknown
+        self.failures.extend(other.failures)
+        self.stats = _merge_stats(self.stats, other.stats)
+        self.coverage = _merge_coverage(self.coverage, other.coverage)
+
     def __repr__(self) -> str:
         if self.ok:
             verdict = "OK"
@@ -141,6 +161,7 @@ def verify_cal(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    pin_prefix: Sequence[int] = (),
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -161,6 +182,11 @@ def verify_cal(
     explored run; its snapshot lands in ``report.coverage``.  With
     ``progress_every > 0`` and a trace sink, a ``campaign_progress``
     event is emitted every that many explored runs.
+
+    ``pin_prefix`` confines exploration to one decision subtree (see
+    :func:`~repro.substrate.explore.explore_all`) — the sharding hook
+    durable campaigns checkpoint on: per-shard reports merged in pin
+    order (:meth:`VerificationReport.merge`) equal an unsharded sweep.
     """
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
@@ -177,6 +203,7 @@ def verify_cal(
         limit=limit,
         preemption_bound=preemption_bound,
         budget=budget,
+        pin_prefix=pin_prefix,
     ):
         if campaign is not None:
             observe_run(campaign, run)
@@ -280,6 +307,7 @@ def verify_linearizability(
     trace=None,
     coverage=None,
     progress_every: int = 0,
+    pin_prefix: Sequence[int] = (),
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -291,7 +319,7 @@ def verify_linearizability(
     Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
     falls back to witness validation (when a view is available) and the
     run counts as ``unknown``.  ``metrics``/``trace``/``coverage``/
-    ``progress_every`` behave as in :func:`verify_cal`.
+    ``progress_every``/``pin_prefix`` behave as in :func:`verify_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
@@ -308,6 +336,7 @@ def verify_linearizability(
         limit=limit,
         preemption_bound=preemption_bound,
         budget=budget,
+        pin_prefix=pin_prefix,
     ):
         if campaign is not None:
             observe_run(campaign, run)

@@ -1,0 +1,51 @@
+"""``repro.store`` — the durable campaign store (checkpoint/resume).
+
+See :mod:`repro.store.schema` for the SQLite layout,
+:mod:`repro.store.checkpoint` for the chunk writer,
+:mod:`repro.store.resume` for the resume planner,
+:mod:`repro.store.dedup` for cross-run schedule dedup, and
+:mod:`repro.store.campaigns` for the durable fuzz/explore/verify entry
+points the CLI drives.  ``docs/robustness.md`` documents the
+fault-tolerance model end to end.
+"""
+
+from repro.store.campaigns import (
+    default_campaign_id,
+    durable_explore,
+    durable_fuzz,
+    durable_verify,
+)
+from repro.store.checkpoint import CheckpointWriter, restore_completed
+from repro.store.dedup import ScheduleDedup, dedup_scope, load_dedup, probe_width
+from repro.store.resume import ResumePlan, plan_resume
+from repro.store.schema import (
+    CHUNK_DONE,
+    CHUNK_QUARANTINED,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    CampaignStore,
+    StoreError,
+)
+
+__all__ = [
+    "CampaignStore",
+    "CheckpointWriter",
+    "ResumePlan",
+    "ScheduleDedup",
+    "StoreError",
+    "CHUNK_DONE",
+    "CHUNK_QUARANTINED",
+    "STATUS_COMPLETE",
+    "STATUS_INTERRUPTED",
+    "STATUS_RUNNING",
+    "dedup_scope",
+    "default_campaign_id",
+    "durable_explore",
+    "durable_fuzz",
+    "durable_verify",
+    "load_dedup",
+    "plan_resume",
+    "probe_width",
+    "restore_completed",
+]

@@ -1,0 +1,340 @@
+"""Durable campaign entry points: store-backed fuzz / explore / verify.
+
+These wrap the campaign runners in the store lifecycle that turns a
+foreground process into an interruption-safe job:
+
+1. **create-or-resume** — the campaign row is created on first run;
+   re-entering the same id (``python -m repro resume``) loads every
+   checkpointed chunk and a ``campaign_resume`` trace event records how
+   much work is skipped.  Quarantined chunks are *retried* on resume —
+   only committed successes are skipped.
+2. **run under a checkpoint writer** — each finished chunk (fuzz seed
+   block, explore/verify ``pin_prefix`` shard) commits before the next
+   begins to matter; ``KeyboardInterrupt`` marks the campaign
+   ``interrupted`` and re-raises (the CLI exits 130 with a resume hint).
+3. **persist cross-run knowledge** — on completion the campaign's fresh
+   schedule digests and coverage fingerprints are folded into the
+   store's fingerprint sets, keyed by ``(workload, checker, width)``, so
+   later campaigns can skip already-verified schedules (``--dedup``).
+
+Determinism: chunk boundaries are pure functions of the stored config
+(``checkpoint_every`` over the seed range; first-decision arity for
+shards), restored chunk payloads are the exact partial reports an
+uninterrupted run would have produced, and the merges are associative
+and order-restoring — so a resumed campaign's artifact equals an
+uninterrupted one's (timers aside).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.store.checkpoint import CheckpointWriter, restore_completed
+from repro.store.dedup import (
+    ScheduleDedup,
+    dedup_scope,
+    load_dedup,
+    persist_fresh,
+    probe_width,
+)
+from repro.store.schema import (
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    CampaignStore,
+)
+
+#: Fingerprint kinds persisted from a completed campaign's coverage.
+COVERAGE_KINDS = ("schedule_prefixes", "histories", "history_shapes")
+
+
+def default_campaign_id(kind: str, workload: str, config: Dict[str, Any]) -> str:
+    """Deterministic id: same command + same config ⇒ same campaign.
+
+    Re-running an identical invocation against the same store therefore
+    *continues* it (or, if complete, cheaply reproduces its artifact
+    from the checkpoints) instead of starting a sibling.
+    """
+    digest = hashlib.sha1(
+        json.dumps([kind, workload, config], sort_keys=True).encode("utf-8")
+    ).hexdigest()[:10]
+    return f"{kind}-{workload}-{digest}"
+
+
+def _begin(
+    store: CampaignStore,
+    campaign_id: str,
+    kind: str,
+    workload: str,
+    checker: str,
+    config: Dict[str, Any],
+    trace=None,
+) -> Dict[int, Any]:
+    """Create or re-open the campaign; returns restored completed chunks."""
+    resumed = store.get_campaign(campaign_id) is not None
+    store.create_campaign(campaign_id, kind, workload, checker, config)
+    completed = restore_completed(store, campaign_id) if resumed else {}
+    if resumed and trace is not None:
+        trace.emit(
+            "campaign_resume",
+            campaign=campaign_id,
+            kind=kind,
+            chunks_done=len(completed),
+            quarantined=len(store.quarantined_chunks(campaign_id)),
+        )
+    store.set_status(campaign_id, STATUS_RUNNING)
+    return completed
+
+
+def _persist_knowledge(
+    store: CampaignStore,
+    workload: str,
+    checker: str,
+    width: int,
+    dedup: Optional[ScheduleDedup],
+    fresh_schedules: Optional[List[str]],
+    coverage,
+) -> None:
+    """Fold a completed campaign's reusable facts into the store."""
+    scope = dedup_scope(workload, checker, width)
+    if dedup is not None and fresh_schedules:
+        persist_fresh(store, dedup, fresh_schedules)
+    if coverage is not None:
+        snapshot = coverage.snapshot()
+        for kind in COVERAGE_KINDS:
+            store.add_fingerprints(
+                scope, f"coverage:{kind}", snapshot.get(kind, ())
+            )
+
+
+def durable_fuzz(
+    store: CampaignStore,
+    campaign_id: str,
+    workload: str,
+    checker: str,
+    setup,
+    spec,
+    config: Dict[str, Any],
+    workers: int = 1,
+    metrics=None,
+    trace=None,
+    coverage=None,
+    progress_every: int = 0,
+    abort_after: int = 0,
+    use_dedup: bool = False,
+    driver_kwargs: Optional[Dict[str, Any]] = None,
+):
+    """Run (or resume) a checkpointed fuzz campaign.
+
+    ``config`` must pin everything that shapes the chunking and the
+    per-seed work: at least ``seeds``, ``checkpoint_every`` and
+    ``max_steps``.  ``driver_kwargs`` carries checker-family extras
+    (``search``, ``check_witness``, …) that the CLI re-derives from the
+    workload registry on resume.
+    """
+    from repro.checkers.parallel import (
+        fuzz_cal_parallel,
+        fuzz_linearizability_parallel,
+    )
+
+    completed = _begin(
+        store, campaign_id, "fuzz", workload, checker, config, trace=trace
+    )
+    width = probe_width(setup)
+    dedup = load_dedup(store, workload, checker, width) if use_dedup else None
+    writer = CheckpointWriter(
+        store, campaign_id, trace=trace, abort_after=abort_after
+    )
+    driver = fuzz_cal_parallel if checker == "cal" else fuzz_linearizability_parallel
+    try:
+        report = driver(
+            setup,
+            spec,
+            seeds=range(config["seeds"]),
+            workers=max(1, workers),
+            max_steps=config["max_steps"],
+            metrics=metrics,
+            trace=trace,
+            coverage=coverage,
+            progress_every=progress_every,
+            checkpoint=writer,
+            checkpoint_every=config["checkpoint_every"],
+            completed=completed,
+            dedup=dedup,
+            **(driver_kwargs or {}),
+        )
+    except KeyboardInterrupt:
+        store.set_status(campaign_id, STATUS_INTERRUPTED)
+        raise
+    store.set_status(campaign_id, STATUS_COMPLETE)
+    _persist_knowledge(
+        store, workload, checker, width, dedup, report.fresh_schedules, coverage
+    )
+    return report
+
+
+def durable_explore(
+    store: CampaignStore,
+    campaign_id: str,
+    workload: str,
+    checker: str,
+    setup,
+    config: Dict[str, Any],
+    metrics=None,
+    trace=None,
+    coverage=None,
+    abort_after: int = 0,
+):
+    """Run (or resume) a checkpointed exhaustive enumeration.
+
+    Shards by the first decision point (the same partition
+    :func:`~repro.checkers.parallel.explore_parallel` uses) and commits
+    each shard's sanitised results as a chunk.  Shards run sequentially
+    in pin order — durable explore trades worker fan-out for
+    checkpointability; budgets are unsupported here because a cut shard
+    has no stable boundary to resume from.
+    """
+    from repro.checkers.parallel import (
+        _first_arity,
+        _observe_explore,
+        _sanitize,
+    )
+    from repro.substrate.explore import explore_all
+
+    completed = _begin(
+        store, campaign_id, "explore", workload, checker, config, trace=trace
+    )
+    max_steps = config["max_steps"]
+    arity = _first_arity(setup, max_steps)
+    pins: List[Any] = [[k] for k in range(arity)] if arity > 1 else [[]]
+    writer = CheckpointWriter(
+        store, campaign_id, trace=trace, abort_after=abort_after
+    )
+    shards: Dict[int, List[Any]] = dict(completed)
+    try:
+        for index, pin in enumerate(pins):
+            if index in shards:
+                continue
+            results = [
+                _sanitize(result)
+                for result in explore_all(
+                    setup, max_steps=max_steps, pin_prefix=pin
+                )
+            ]
+            writer.chunk_done(index, index, 1, results)
+            shards[index] = results
+    except KeyboardInterrupt:
+        store.set_status(campaign_id, STATUS_INTERRUPTED)
+        raise
+    merged: List[Any] = []
+    for index in range(len(pins)):
+        merged.extend(shards[index])
+    _observe_explore(metrics, trace, merged, None, coverage)
+    store.set_status(campaign_id, STATUS_COMPLETE)
+    _persist_knowledge(
+        store, workload, checker, probe_width(setup), None, None, coverage
+    )
+    return merged
+
+
+def durable_verify(
+    store: CampaignStore,
+    campaign_id: str,
+    workload: str,
+    checker: str,
+    setup,
+    spec,
+    config: Dict[str, Any],
+    metrics=None,
+    trace=None,
+    coverage=None,
+    progress_every: int = 0,
+    abort_after: int = 0,
+    driver_kwargs: Optional[Dict[str, Any]] = None,
+):
+    """Run (or resume) a checkpointed exhaustive verification.
+
+    One chunk per first-decision shard, each verified with
+    ``pin_prefix=[k]`` and committed as it finishes; per-shard reports
+    merge in pin order to exactly an unsharded sweep's report
+    (:meth:`~repro.checkers.verify.VerificationReport.merge`).  Shards
+    run sequentially because each shard's coverage tracker is seeded
+    with the cumulative attempted-run count of the shards before it —
+    the offset that keeps merged saturation curves identical to a
+    sequential campaign's.
+    """
+    from repro.checkers.parallel import _first_arity
+    from repro.checkers.verify import (
+        VerificationReport,
+        verify_cal,
+        verify_linearizability,
+    )
+    from repro.obs.metrics import Metrics
+
+    completed = _begin(
+        store, campaign_id, "verify", workload, checker, config, trace=trace
+    )
+    max_steps = config["max_steps"]
+    arity = _first_arity(setup, max_steps)
+    pins: List[Any] = [[k] for k in range(arity)] if arity > 1 else [[]]
+    writer = CheckpointWriter(
+        store, campaign_id, trace=trace, abort_after=abort_after
+    )
+    driver: Callable[..., Any] = (
+        verify_cal if checker == "cal" else verify_linearizability
+    )
+    shards: Dict[int, Any] = dict(completed)
+    attempted = 0
+    try:
+        for index, pin in enumerate(pins):
+            if index in shards:
+                attempted += shards[index].runs + shards[index].incomplete
+                continue
+            shard_coverage = None
+            if coverage is not None:
+                shard_coverage = type(coverage)(
+                    prefix_depth=coverage.prefix_depth, offset=attempted
+                )
+            shard = driver(
+                setup,
+                spec,
+                max_steps=max_steps,
+                metrics=type(metrics)() if metrics is not None else None,
+                trace=trace,
+                coverage=shard_coverage,
+                progress_every=progress_every,
+                pin_prefix=pin,
+                **(driver_kwargs or {}),
+            )
+            writer.chunk_done(index, index, 1, shard)
+            shards[index] = shard
+            attempted += shard.runs + shard.incomplete
+    except KeyboardInterrupt:
+        store.set_status(campaign_id, STATUS_INTERRUPTED)
+        raise
+    merged = VerificationReport()
+    for index in range(len(pins)):
+        merged.merge(shards[index])
+    if metrics is not None and merged.stats is not None:
+        metrics.merge(Metrics.from_snapshot(merged.stats))
+    if coverage is not None and merged.coverage is not None:
+        from repro.obs.coverage import CoverageTracker
+
+        coverage.merge(CoverageTracker.from_snapshot(merged.coverage))
+        merged.coverage = coverage.snapshot()
+    store.set_status(campaign_id, STATUS_COMPLETE)
+    _persist_knowledge(
+        store, workload, checker, probe_width(setup), None, None, coverage
+    )
+    return merged
+
+
+__all__ = [
+    "COVERAGE_KINDS",
+    "default_campaign_id",
+    "durable_explore",
+    "durable_fuzz",
+    "durable_verify",
+]

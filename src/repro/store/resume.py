@@ -1,0 +1,84 @@
+"""Resume planner: reconstruct the remaining work of a stored campaign.
+
+``python -m repro resume <campaign-id>`` calls :func:`plan_resume` to
+load what an interrupted campaign already committed — the restored
+partial reports of every ``done`` chunk plus the list of quarantined
+chunks (which a resume retries; only committed successes are skipped) —
+and the original config, from which the CLI rebuilds the workload and
+re-enters the same campaign entry point.  Because chunk boundaries are a
+pure function of the stored config (``checkpoint_every`` over the seed
+range, or ``pin_prefix`` arity), the resumed invocation reconstructs the
+identical chunk list and the deterministic merge yields an artifact
+equal to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.store.checkpoint import restore_completed
+from repro.store.schema import (
+    STATUS_COMPLETE,
+    CampaignStore,
+    StoreError,
+)
+
+
+@dataclass
+class ResumePlan:
+    """Everything a resumed invocation needs from the store."""
+
+    campaign: Dict[str, Any]
+    #: Chunk index → restored partial report (skipped by the runner).
+    completed: Dict[int, Any] = field(default_factory=dict)
+    #: Chunk rows previously quarantined (retried by the resume).
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def campaign_id(self) -> str:
+        return self.campaign["id"]
+
+    @property
+    def kind(self) -> str:
+        return self.campaign["kind"]
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return self.campaign["config"]
+
+    def describe(self) -> str:
+        return (
+            f"campaign {self.campaign_id} ({self.kind}, "
+            f"{self.campaign['workload']}): {len(self.completed)} chunk(s) "
+            f"checkpointed, {len(self.quarantined)} quarantined, "
+            f"status {self.campaign['status']}"
+        )
+
+
+def plan_resume(store: CampaignStore, campaign_id: str) -> ResumePlan:
+    """Load the resume state of ``campaign_id`` from ``store``.
+
+    Raises :class:`~repro.store.schema.StoreError` for an unknown id.
+    Resuming a ``complete`` campaign is legal — every chunk is already
+    ``done``, so the runner skips straight to the merge and reproduces
+    the original artifact (a cheap way to regenerate lost output files).
+    """
+    campaign = store.get_campaign(campaign_id)
+    if campaign is None:
+        known = ", ".join(c["id"] for c in store.list_campaigns()) or "<none>"
+        raise StoreError(
+            f"no campaign {campaign_id!r} in {store.path!r} (known: {known})"
+        )
+    return ResumePlan(
+        campaign=campaign,
+        completed=restore_completed(store, campaign_id),
+        quarantined=store.quarantined_chunks(campaign_id),
+    )
+
+
+def is_complete(plan: ResumePlan) -> bool:
+    return plan.campaign["status"] == STATUS_COMPLETE
+
+
+__all__ = ["ResumePlan", "plan_resume", "is_complete"]
