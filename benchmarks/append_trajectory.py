@@ -45,8 +45,9 @@ def _commit() -> str:
 def trajectory_entry(summary: dict) -> dict:
     """The compact trajectory record for one bench summary dict.
 
-    Handles both bench_e17 summaries (aggregate speedup + disabled-
-    observability overhead) and bench_e19 summaries (checkpoint
+    Handles bench_e17 summaries (aggregate speedup + disabled-
+    observability overhead), bench_e19 summaries (checkpoint overhead)
+    and bench_e20 summaries (per-policy reclamation overhead + TSO
     overhead); fields absent from a summary are simply omitted.
     """
     overhead = summary.get("overhead") or {}
@@ -61,12 +62,13 @@ def trajectory_entry(summary: dict) -> dict:
         "aggregate_speedup": summary.get("aggregate_speedup"),
         "overhead": overhead,
     }
-    if "checkpoint_overhead" in summary:
-        entry["checkpoint_overhead"] = summary["checkpoint_overhead"]
+    for extra in ("checkpoint_overhead", "reclamation_overhead", "tso_overhead"):
+        if extra in summary:
+            entry[extra] = summary[extra]
     return entry
 
 
-def append(summary_path: str, results_path: str) -> dict:
+def append(summary_path: str, results_path: str, store_path: str = "") -> dict:
     with open(summary_path, "r", encoding="utf-8") as handle:
         summary = json.load(handle)
     try:
@@ -79,6 +81,14 @@ def append(summary_path: str, results_path: str) -> dict:
     with open(results_path, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
+    if store_path:
+        # Mirror the entry into the campaign store so `python -m repro
+        # report --trend --store ...` can render it next to campaigns.
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+        from repro.store import CampaignStore
+
+        with CampaignStore(store_path) as store:
+            store.append_trajectory(entry)
     return entry
 
 
@@ -91,12 +101,23 @@ def main(argv=None) -> int:
         default="bench_results.json",
         help="pytest-benchmark dump to append to (default: %(default)s)",
     )
+    parser.add_argument(
+        "--store",
+        default="",
+        help="also mirror the entry into this SQLite campaign store",
+    )
     args = parser.parse_args(argv)
-    entry = append(args.summary, args.results)
+    entry = append(args.summary, args.results, args.store)
     trajectory = json.load(open(args.results, encoding="utf-8"))["trajectory"]
     numbers = ", ".join(
         f"{key} {entry[key]}"
-        for key in ("aggregate_speedup", "overhead", "checkpoint_overhead")
+        for key in (
+            "aggregate_speedup",
+            "overhead",
+            "checkpoint_overhead",
+            "reclamation_overhead",
+            "tso_overhead",
+        )
         if entry.get(key) is not None
     )
     print(

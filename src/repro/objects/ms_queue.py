@@ -15,7 +15,7 @@ atomically via a confirming CAS, as in the retrying stack).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.core.actions import Operation
 from repro.core.catrace import CAElement
@@ -141,4 +141,147 @@ class MSQueue(ConcurrentObject):
             )
             if swung:
                 return (True, nxt.value)
+        raise AttemptsExhausted(f"dequeue() by {tid}")
+
+
+class ManualMSQueue(ConcurrentObject):
+    """A Michael–Scott queue with manual memory reclamation.
+
+    Nodes are heap-managed (``value``/``next`` are atomic fields);
+    ``dequeue`` *frees* the node it retires (the old dummy).  Both
+    operations follow the hazard-pointer protocol — publish the pointer,
+    re-validate it is still reachable, only then dereference — using
+    slot 0 for the anchor (head/tail) and slot 1 for its successor.
+    Under ``hazard``/``epoch``/``gc`` reclamation this keeps the queue
+    linearizable; under ``free-list`` the window between reading
+    ``head.next`` and the head-swing CAS admits recycled-node ABA.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "Q",
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        self.tag = f"{oid}.node"
+        dummy, _ = world.heap.alloc_node(self.tag, {"value": None, "next": None})
+        self.head: Ref = world.heap.ref(f"{oid}.head", dummy)
+        self.tail: Ref = world.heap.ref(f"{oid}.tail", dummy)
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            yield from itertools.count()
+        else:
+            yield from range(self.max_attempts)
+
+    def _singleton(self, tid: str, method: str, args: Any, value: Any):
+        op = Operation.of(tid, self.oid, method, args, value)
+        return CAElement(self.oid, [op])
+
+    def seed(self, values: Iterable[Any]) -> None:
+        """Prepopulate front-first without emitting history or
+        scheduling points — pair with ``QueueSpec(initial=values)``."""
+        heap = self.world.heap
+        tail = self.head.peek()
+        for value in values:
+            node, _ = heap.alloc_node(self.tag, {"value": value, "next": None})
+            tail.ref("next").poke(node)
+            tail = node
+        self.tail.poke(tail)
+
+    @operation
+    def enqueue(self, ctx: Ctx, value: Any):
+        """Append ``value``; retries the link-in CAS until it lands."""
+        tid = ctx.tid
+        node = yield from ctx.alloc(self.tag, value=value, next=None)
+        for _ in self._attempts():
+            yield from ctx.guard()
+            tail = yield from ctx.read(self.tail)
+            yield from ctx.protect(tail)
+            current = yield from ctx.read(self.tail)
+            if current is not tail:
+                yield from ctx.unguard()
+                continue
+            nxt = yield from ctx.read(tail.ref("next"))
+            if nxt is not None:
+                # Help swing the lagging tail, then retry.
+                yield from ctx.cas(self.tail, tail, nxt)
+                yield from ctx.unguard()
+                continue
+
+            def log_enqueue(world: World) -> None:
+                world.append_trace(
+                    [self._singleton(tid, "enqueue", (value,), (True,))]
+                )
+
+            linked = yield from ctx.cas(
+                tail.ref("next"), None, node, on_success=log_enqueue
+            )
+            if linked:
+                yield from ctx.cas(self.tail, tail, node)
+                yield from ctx.unguard()
+                return True
+            yield from ctx.unguard()
+        raise AttemptsExhausted(f"enqueue({value!r}) by {tid}")
+
+    @operation
+    def dequeue(self, ctx: Ctx):
+        """Swing ``head`` past the dummy, free the old dummy, return the
+        front value (read atomically with the linearizing CAS)."""
+        tid = ctx.tid
+        for _ in self._attempts():
+            yield from ctx.guard()
+            head = yield from ctx.read(self.head)
+            yield from ctx.protect(head)
+            current = yield from ctx.read(self.head)
+            if current is not head:
+                yield from ctx.unguard()
+                continue
+            tail = yield from ctx.read(self.tail)
+            nxt = yield from ctx.read(head.ref("next"))
+            if nxt is None:
+                if head is tail:
+
+                    def log_empty(world: World) -> None:
+                        world.append_trace(
+                            [self._singleton(tid, "dequeue", (), (False, 0))]
+                        )
+
+                    # Confirm emptiness atomically with the log.
+                    confirmed = yield from ctx.cas(
+                        head.ref("next"), None, None, on_success=log_empty
+                    )
+                    if confirmed:
+                        still = yield from ctx.read(self.head)
+                        if still is head:
+                            yield from ctx.unguard()
+                            return (False, 0)
+                yield from ctx.unguard()
+                continue
+            if head is tail:
+                # Tail is lagging: help and retry.
+                yield from ctx.cas(self.tail, tail, nxt)
+                yield from ctx.unguard()
+                continue
+            yield from ctx.protect(nxt, 1)
+            taken = {}
+
+            def log_dequeue(world: World, nxt=nxt) -> None:
+                # Linearization point: the value travels with the CAS,
+                # so a recycled successor yields its *recycled* value.
+                taken["value"] = nxt.peek("value")
+                world.append_trace(
+                    [self._singleton(tid, "dequeue", (), (True, taken["value"]))]
+                )
+
+            swung = yield from ctx.cas(
+                self.head, head, nxt, on_success=log_dequeue
+            )
+            if swung:
+                yield from ctx.free(head)
+                yield from ctx.unguard()
+                return (True, taken["value"])
+            yield from ctx.unguard()
         raise AttemptsExhausted(f"dequeue() by {tid}")

@@ -11,18 +11,33 @@ effectful operations (atomically, via ``on_success``), or immediately
 after the failing CAS / empty check for read-only outcomes (any point
 inside the operation's interval is a valid linearization point for an
 operation without effect).
+
+:class:`ManualTreiberStack` is the manual-reclamation port: retrying
+push/pop over heap-managed :class:`~repro.substrate.memory.Node` cells,
+with pop *freeing* the unlinked cell.  The same code is safe or unsafe
+depending solely on the heap's reclamation policy — under ``free-list``
+it exhibits the classic ABA loss/duplication of elements (the Treiber
+counterexample of the rely/guarantee-vs-ABA literature), while under
+``hazard``/``epoch``/``gc`` its protect-validate protocol keeps it
+linearizable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+import itertools
+from typing import Any, Iterable, Optional, Tuple
 
 from repro.core.actions import Operation
 from repro.core.catrace import CAElement
 from repro.objects.base import ConcurrentObject, operation
 from repro.substrate.context import Ctx
+from repro.substrate.errors import ExplorationCut
 from repro.substrate.memory import Ref
 from repro.substrate.runtime import World
+
+
+class AttemptsExhausted(ExplorationCut):
+    """A bounded retrying stack operation ran out of attempts."""
 
 
 class Cell:
@@ -94,3 +109,112 @@ class TreiberStack(ConcurrentObject):
             self._singleton(tid, "pop", (), (False, 0))
         )
         return (False, 0)  # line 23
+
+
+class ManualTreiberStack(ConcurrentObject):
+    """A retrying Treiber stack with manual memory reclamation.
+
+    Cells are heap-managed nodes (``data``/``next`` are atomic fields,
+    each read its own scheduling point); ``pop`` frees the cell it
+    unlinks.  ``pop`` follows the hazard-pointer protocol — publish,
+    then *validate* the top is unchanged before dereferencing — which is
+    exactly what makes it safe under ``hazard`` reclamation and a no-op
+    under ``free-list``, where the window between reading ``head.next``
+    and the CAS admits the ABA: the head cell is popped, freed, recycled
+    by a concurrent push and republished, the stale CAS succeeds, and an
+    element is lost or duplicated.
+
+    The popped value is read *atomically with the successful CAS* (the
+    operation's linearization point), so a recycled cell yields the
+    recycled data — the observable corruption the checkers flag.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        oid: str = "S",
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(world, oid)
+        self.top: Ref = world.heap.ref(f"{oid}.top", None)
+        self.tag = f"{oid}.cell"
+        self.max_attempts = max_attempts
+
+    def _attempts(self):
+        if self.max_attempts is None:
+            yield from itertools.count()
+        else:
+            yield from range(self.max_attempts)
+
+    def _singleton(self, tid: str, method: str, args: Any, value: Any):
+        op = Operation.of(tid, self.oid, method, args, value)
+        return CAElement(self.oid, [op])
+
+    def seed(self, values: Iterable[Any]) -> None:
+        """Prepopulate the stack bottom-first (the last value is the
+        top) without emitting history or scheduling points — pair with
+        ``StackSpec(initial=values)``."""
+        heap = self.world.heap
+        below = None
+        for value in values:
+            node, _ = heap.alloc_node(self.tag, {"data": value, "next": below})
+            below = node
+        self.top.poke(below)
+
+    @operation
+    def push(self, ctx: Ctx, data: Any):
+        """Allocate a cell (possibly recycling a retired one) and link it."""
+        tid = ctx.tid
+        node = yield from ctx.alloc(self.tag, data=data, next=None)
+        for _ in self._attempts():
+            head = yield from ctx.read(self.top)
+            yield from ctx.write(node.ref("next"), head)
+
+            def log_push(world: World) -> None:
+                world.append_trace(
+                    [self._singleton(tid, "push", (data,), (True,))]
+                )
+
+            ok = yield from ctx.cas(self.top, head, node, on_success=log_push)
+            if ok:
+                return True
+        raise AttemptsExhausted(f"push({data!r}) by {tid}")
+
+    @operation
+    def pop(self, ctx: Ctx):
+        """Unlink the top cell, free it, and return its data."""
+        tid = ctx.tid
+        for _ in self._attempts():
+            yield from ctx.guard()
+            head = yield from ctx.read(self.top)
+            if head is None:
+                yield from ctx.unguard()
+                yield from ctx.log_trace(
+                    self._singleton(tid, "pop", (), (False, 0))
+                )
+                return (False, 0)
+            yield from ctx.protect(head)
+            check = yield from ctx.read(self.top)
+            if check is not head:
+                # Hazard validation failed: the published pointer is no
+                # longer the top, so it may already be retired.
+                yield from ctx.unguard()
+                continue
+            rest = yield from ctx.read(head.ref("next"))  # the ABA window
+            popped = {}
+
+            def log_pop(world: World, head=head) -> None:
+                # Linearization point: the data travels with the CAS, so
+                # a recycled head yields its *recycled* data.
+                popped["data"] = head.peek("data")
+                world.append_trace(
+                    [self._singleton(tid, "pop", (), (True, popped["data"]))]
+                )
+
+            ok = yield from ctx.cas(self.top, head, rest, on_success=log_pop)
+            if ok:
+                yield from ctx.free(head)
+                yield from ctx.unguard()
+                return (True, popped["data"])
+            yield from ctx.unguard()
+        raise AttemptsExhausted(f"pop() by {tid}")

@@ -10,13 +10,18 @@ from repro.core.actions import Invocation, Operation
 
 
 class QueueSpec(SequentialSpec):
-    """Strict FIFO queue: state is the tuple of values, front first."""
+    """Strict FIFO queue: state is the tuple of values, front first.
 
-    def __init__(self, oid: str = "Q") -> None:
+    ``initial`` is the preseeded content, front-first — pair with
+    ``ManualMSQueue.seed``.
+    """
+
+    def __init__(self, oid: str = "Q", initial: Iterable[Any] = ()) -> None:
         super().__init__(oid)
+        self._initial = tuple(initial)
 
     def initial(self) -> Hashable:
-        return ()
+        return self._initial
 
     def apply(
         self, state: Tuple[Any, ...], op: Operation

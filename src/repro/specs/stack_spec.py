@@ -23,13 +23,18 @@ from repro.core.actions import Invocation, Operation
 
 
 class StackSpec(SequentialSpec):
-    """Strict LIFO stack: state is the tuple of values, top last."""
+    """Strict LIFO stack: state is the tuple of values, top last.
 
-    def __init__(self, oid: str = "S") -> None:
+    ``initial`` is the preseeded content, bottom-first (top last) —
+    pair with ``ManualTreiberStack.seed``.
+    """
+
+    def __init__(self, oid: str = "S", initial: Iterable[Any] = ()) -> None:
         super().__init__(oid)
+        self._initial = tuple(initial)
 
     def initial(self) -> Hashable:
-        return ()
+        return self._initial
 
     def apply(
         self, state: Tuple[Any, ...], op: Operation

@@ -67,6 +67,13 @@ CREATE TABLE IF NOT EXISTS fingerprints (
     fingerprint TEXT NOT NULL,
     PRIMARY KEY (scope, kind, fingerprint)
 );
+CREATE TABLE IF NOT EXISTS trajectory (
+    sequence    INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment  TEXT NOT NULL,
+    commit_sha  TEXT NOT NULL,
+    recorded_at TEXT NOT NULL,
+    entry       TEXT NOT NULL
+);
 """
 
 #: Campaign lifecycle states.
@@ -276,6 +283,40 @@ class CampaignStore:
             (scope, kind),
         ).fetchall()
         return {row["fingerprint"] for row in rows}
+
+    # -- bench trajectory ----------------------------------------------
+    def append_trajectory(self, entry: Dict[str, Any]) -> None:
+        """Append one bench-trajectory entry (see
+        ``benchmarks/append_trajectory.py``).  The entry dict is stored
+        verbatim as JSON; ``experiment``/``commit``/``recorded_at`` are
+        additionally lifted into columns for filtering."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO trajectory "
+                "(experiment, commit_sha, recorded_at, entry) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    str(entry.get("experiment", "")),
+                    str(entry.get("commit", "")),
+                    str(entry.get("recorded_at", "")),
+                    json.dumps(entry, sort_keys=True),
+                ),
+            )
+
+    def trajectory(self, experiment: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Stored trajectory entries in append order, optionally filtered
+        by experiment name."""
+        if experiment is None:
+            rows = self._conn.execute(
+                "SELECT entry FROM trajectory ORDER BY sequence"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT entry FROM trajectory WHERE experiment = ? "
+                "ORDER BY sequence",
+                (experiment,),
+            ).fetchall()
+        return [json.loads(row["entry"]) for row in rows]
 
     def _count_fingerprints(self, scope: str, kind: str) -> int:
         row = self._conn.execute(

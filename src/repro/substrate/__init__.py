@@ -20,28 +20,52 @@ operation invocation/response is a yield point, so the scheduler owns all
 nondeterminism and runs are exactly reproducible.
 """
 
-from repro.substrate.memory import Heap, Ref
+from repro.substrate.memory import (
+    RECLAIM_EPOCH,
+    RECLAIM_FREE_LIST,
+    RECLAIM_GC,
+    RECLAIM_HAZARD,
+    RECLAIM_POLICIES,
+    Heap,
+    Node,
+    Ref,
+)
 from repro.substrate.effects import (
     CAS,
+    Alloc,
+    Free,
+    Guard,
     Invoke,
     LogTrace,
     Pause,
+    Protect,
     Read,
     Respond,
+    Unguard,
     Write,
 )
 from repro.substrate.context import Ctx
 from repro.substrate.errors import BudgetExceeded, ExplorationCut
 from repro.substrate.faults import (
     CrashThread,
+    DelayedFree,
     DelayThread,
     FailCAS,
     FaultCampaign,
     FaultInjector,
     FaultPlan,
+    RepublishStale,
+    ReuseCell,
     StallThread,
 )
-from repro.substrate.runtime import Runtime, RunResult, World
+from repro.substrate.runtime import (
+    MEMORY_MODELS,
+    MEMORY_SC,
+    MEMORY_TSO,
+    Runtime,
+    RunResult,
+    World,
+)
 from repro.substrate.schedulers import (
     RandomScheduler,
     ReplayScheduler,
@@ -58,32 +82,49 @@ from repro.substrate.explore import (
 from repro.substrate.program import Program, spawn
 
 __all__ = [
+    "Alloc",
     "BudgetExceeded",
     "CAS",
     "CrashThread",
     "Ctx",
     "DelayThread",
+    "DelayedFree",
     "ExplorationCut",
     "ExploreBudget",
     "FailCAS",
     "FaultCampaign",
     "FaultInjector",
     "FaultPlan",
+    "Free",
+    "Guard",
     "Heap",
     "Invoke",
     "LogTrace",
+    "MEMORY_MODELS",
+    "MEMORY_SC",
+    "MEMORY_TSO",
+    "Node",
     "Pause",
     "Program",
+    "Protect",
+    "RECLAIM_EPOCH",
+    "RECLAIM_FREE_LIST",
+    "RECLAIM_GC",
+    "RECLAIM_HAZARD",
+    "RECLAIM_POLICIES",
     "RandomScheduler",
     "Read",
     "Ref",
     "ReplayScheduler",
+    "RepublishStale",
     "Respond",
+    "ReuseCell",
     "RoundRobinScheduler",
     "RunResult",
     "Runtime",
     "Scheduler",
     "StallThread",
+    "Unguard",
     "World",
     "Write",
     "explore_all",

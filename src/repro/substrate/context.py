@@ -20,19 +20,24 @@ from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.substrate.effects import (
     CAS,
+    Alloc,
     AssertNow,
     AssertStable,
     Choose,
+    Free,
+    Guard,
     Invoke,
     LogTrace,
     Pause,
+    Protect,
     Query,
     Read,
     Respond,
     Retract,
+    Unguard,
     Write,
 )
-from repro.substrate.memory import Ref
+from repro.substrate.memory import Node, Ref
 
 
 class Ctx:
@@ -74,6 +79,41 @@ class Ctx:
         """Atomic compare-and-swap; ``on_success(world)`` runs in-step."""
         ok = yield CAS(ref, expected, new, on_success)
         return ok
+
+    # ------------------------------------------------------------------
+    # Heap nodes and reclamation
+    # ------------------------------------------------------------------
+    def alloc(self, tag: str, **fields: Any):
+        """Allocate (or recycle, under a reclaiming policy) a heap node.
+
+        Each keyword becomes an atomic field of the returned
+        :class:`~repro.substrate.memory.Node`; access them with the
+        ordinary ``ctx.read``/``ctx.write``/``ctx.cas`` on
+        ``node.ref(name)``.
+        """
+        node = yield Alloc(tag, tuple(fields.items()))
+        return node
+
+    def free(self, node: Node):
+        """Retire a node — its identity may be recycled by later allocs."""
+        yield Free(node)
+
+    def guard(self):
+        """Enter a reclamation-guarded region (epoch pin)."""
+        yield Guard()
+
+    def unguard(self):
+        """Leave the guarded region (epoch unpin + clear hazard slots)."""
+        yield Unguard()
+
+    def protect(self, node: Optional[Node], slot: int = 0):
+        """Publish (or with ``None`` clear) a hazard-pointer slot.
+
+        The caller must re-validate the protected pointer is still
+        reachable after publishing — the standard hazard-pointer
+        protocol; see ``ManualTreiberStack.pop``.
+        """
+        yield Protect(node, slot)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -20,13 +20,62 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, Tuple
 
-from repro.substrate.memory import Ref
+from repro.substrate.memory import Node, Ref
 
 
 class Effect:
     """Base class for all atomic actions (used only for isinstance checks)."""
 
     __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Alloc(Effect):
+    """Allocate (or, under a reclaiming policy, recycle) a heap node.
+
+    The step's result is the :class:`~repro.substrate.memory.Node`.
+    ``fields`` is an ordered tuple of ``(name, initial value)`` pairs;
+    each field becomes an atomic :class:`~repro.substrate.memory.Ref`.
+    Making allocation a scheduling point is what lets the fault injector
+    pin premature-reuse faults to deterministic positions (the thread's
+    *n*-th allocation) and lets exploration cover reuse races.
+    """
+
+    tag: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class Free(Effect):
+    """Retire a heap node: under the heap's policy its identity may be
+    recycled by a later :class:`Alloc` — the ABA hazard.  Result ``None``."""
+
+    node: Node
+
+
+@dataclass(frozen=True)
+class Guard(Effect):
+    """Enter a reclamation-guarded region (pins the epoch under
+    epoch-based reclamation; a plain scheduling point otherwise)."""
+
+
+@dataclass(frozen=True)
+class Unguard(Effect):
+    """Leave a guarded region: unpin the epoch and clear every hazard
+    slot the thread holds."""
+
+
+@dataclass(frozen=True)
+class Protect(Effect):
+    """Publish (``node``) or clear (``None``) a hazard-pointer slot.
+
+    Under hazard-pointer reclamation a protected node is never recycled;
+    under the other policies this is a plain scheduling point — object
+    code is written once, the *policy* decides whether it is safe.
+    """
+
+    node: Optional[Node]
+    slot: int = 0
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,32 @@ Fault vocabulary:
   must tolerate this; algorithms written for strong CAS (the exchanger's
   ``pass``) generally do not — which is itself a robustness finding.
 
+ABA-class faults (reclamation hazards, positioned by per-thread
+allocation/free indices):
+
+* :class:`ReuseCell` — the thread's ``at_alloc``-th allocation recycles
+  the most recently retired same-tag node *immediately*, bypassing the
+  reclamation policy's safety protocol (epoch pins, hazard pointers).
+  Premature reuse: makes the ABA failure expressible even under a safe
+  — or gc'd — policy, modelling an unsafe-reclamation bug.
+* :class:`RepublishStale` — like :class:`ReuseCell`, but the recycled
+  node keeps its *stale* field values (the allocation's initializers
+  are discarded): dangling-pointer republication.
+* :class:`DelayedFree` — the thread's ``at_free``-th free is deferred
+  past the end of the run (the node leaks instead of becoming
+  reusable), modelling lazy reclamation.  Delaying a free is always
+  *safe* — a verdict that flips under ``DelayedFree`` alone is a
+  checker bug, which makes it a useful differential probe.
+
+**Canonical ordering.**  A :class:`FaultPlan` normalizes its faults into
+a documented deterministic order — by fault class (crash, stall, delay,
+weak-CAS, reuse, stale-republish, delayed-free), then thread id, then
+position, then the remaining fields — so two plans built from the same
+faults in any construction order are equal, apply identically, ``repr``
+identically, and shrink along the same trajectory.  The injector's
+tie-break for a crash and a stall pinned to the same thread and step is
+therefore also documented: the crash wins (it sorts first).
+
 :class:`FaultCampaign` derives a seed-indexed family of plans for fuzz
 drivers (:func:`repro.checkers.fuzz.fuzz_cal`): same seed, same plan.
 """
@@ -37,7 +63,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.substrate.memory import REUSE_FORCED, REUSE_STALE
 
 
 @dataclass(frozen=True)
@@ -76,14 +104,86 @@ class FailCAS:
     count: int = 1
 
 
-Fault = Union[CrashThread, StallThread, DelayThread, FailCAS]
+@dataclass(frozen=True)
+class ReuseCell:
+    """Force ``tid``'s ``at_alloc``-th allocation (0-based) to recycle
+    the most recently retired same-tag node, bypassing the reclamation
+    policy's safety protocol — premature reuse, the ABA fault."""
+
+    tid: str
+    at_alloc: int
+
+
+@dataclass(frozen=True)
+class RepublishStale:
+    """Like :class:`ReuseCell`, but the recycled node keeps its stale
+    field values (dangling-pointer republication)."""
+
+    tid: str
+    at_alloc: int
+
+
+@dataclass(frozen=True)
+class DelayedFree:
+    """Defer ``tid``'s ``at_free``-th free (0-based) past the end of the
+    run: the node leaks instead of becoming reusable (lazy reclamation —
+    always safe, never unsafe)."""
+
+    tid: str
+    at_free: int
+
+
+Fault = Union[
+    CrashThread,
+    StallThread,
+    DelayThread,
+    FailCAS,
+    ReuseCell,
+    RepublishStale,
+    DelayedFree,
+]
+
+#: The documented canonical order of fault classes within a plan.
+_CLASS_ORDER = (
+    CrashThread,
+    StallThread,
+    DelayThread,
+    FailCAS,
+    ReuseCell,
+    RepublishStale,
+    DelayedFree,
+)
+
+
+def _sort_key(fault: Fault) -> Tuple[Any, ...]:
+    """Canonical sort key: (class rank, tid, position, remaining fields)."""
+    rank = _CLASS_ORDER.index(type(fault))
+    if isinstance(fault, (CrashThread, StallThread)):
+        return (rank, fault.tid, fault.at_step)
+    if isinstance(fault, DelayThread):
+        return (rank, fault.tid, fault.at_step, fault.rounds)
+    if isinstance(fault, FailCAS):
+        return (rank, fault.tid, fault.at_cas, fault.count)
+    if isinstance(fault, (ReuseCell, RepublishStale)):
+        return (rank, fault.tid, fault.at_alloc)
+    return (rank, fault.tid, fault.at_free)
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """An immutable set of faults applied deterministically to one run."""
+    """An immutable set of faults applied deterministically to one run.
+
+    The ``faults`` tuple is normalized into the canonical order (see the
+    module docstring) on construction, so plan identity, application and
+    shrinking are independent of construction order.
+    """
 
     faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.faults, key=_sort_key))
+        if ordered != self.faults:
+            object.__setattr__(self, "faults", ordered)
 
     @staticmethod
     def of(*faults: Fault) -> "FaultPlan":
@@ -129,11 +229,20 @@ class FaultInjector:
         self._halts: Dict[str, Tuple[int, str]] = {}
         self._delays: Dict[Tuple[str, int], int] = {}
         self._cas_targets: Dict[str, Set[int]] = {}
+        self._alloc_targets: Dict[str, Dict[int, str]] = {}
+        self._free_targets: Dict[str, Set[int]] = {}
         for fault in plan:
             if isinstance(fault, (CrashThread, StallThread)):
                 kind = CRASH if isinstance(fault, CrashThread) else STALL
                 current = self._halts.get(fault.tid)
-                if current is None or fault.at_step < current[0]:
+                # Earliest at_step wins; at the same step the crash wins
+                # over the stall — the documented tie-break (crash sorts
+                # first in the canonical plan order).
+                if (
+                    current is None
+                    or fault.at_step < current[0]
+                    or (fault.at_step == current[0] and kind == CRASH)
+                ):
                     self._halts[fault.tid] = (fault.at_step, kind)
             elif isinstance(fault, DelayThread):
                 key = (fault.tid, fault.at_step)
@@ -141,11 +250,28 @@ class FaultInjector:
             elif isinstance(fault, FailCAS):
                 targets = self._cas_targets.setdefault(fault.tid, set())
                 targets.update(range(fault.at_cas, fault.at_cas + fault.count))
+            elif isinstance(fault, (ReuseCell, RepublishStale)):
+                # A RepublishStale at the same (tid, at_alloc) as a
+                # ReuseCell wins: it is the stronger fault, and it sorts
+                # later in the canonical order, so "last writer wins"
+                # over the sorted plan gives a deterministic outcome.
+                modes = self._alloc_targets.setdefault(fault.tid, {})
+                mode = (
+                    REUSE_STALE
+                    if isinstance(fault, RepublishStale)
+                    else REUSE_FORCED
+                )
+                modes[fault.at_alloc] = mode
+            elif isinstance(fault, DelayedFree):
+                frees = self._free_targets.setdefault(fault.tid, set())
+                frees.add(fault.at_free)
             else:  # pragma: no cover — defensive
                 raise TypeError(f"unknown fault: {fault!r}")
         self._steps: Dict[str, int] = {}
         self._delay_left: Dict[str, int] = {}
         self._cas_seen: Dict[str, int] = {}
+        self._alloc_seen: Dict[str, int] = {}
+        self._free_seen: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def before_step(self, tid: str) -> Optional[str]:
@@ -176,6 +302,24 @@ class FaultInjector:
         self._cas_seen[tid] = index + 1
         return index in self._cas_targets.get(tid, ())
 
+    def on_alloc(self, tid: str) -> Optional[str]:
+        """Forced-reuse mode for ``tid``'s next allocation, if any.
+
+        Returns ``repro.substrate.memory.REUSE_FORCED`` (recycle the most
+        recently retired same-tag node, fresh field values),
+        ``REUSE_STALE`` (recycle keeping stale field values) or ``None``
+        (allocate per the heap's policy).
+        """
+        index = self._alloc_seen.get(tid, 0)
+        self._alloc_seen[tid] = index + 1
+        return self._alloc_targets.get(tid, {}).get(index)
+
+    def on_free(self, tid: str) -> bool:
+        """Whether ``tid``'s next free must be deferred past run end."""
+        index = self._free_seen.get(tid, 0)
+        self._free_seen[tid] = index + 1
+        return index in self._free_targets.get(tid, ())
+
     def halted_step(self, tid: str) -> int:
         """The thread-local step count at which ``tid`` was halted."""
         return self._steps.get(tid, 0)
@@ -198,6 +342,10 @@ class FaultCampaign:
     cas_failures: int = 0
     window: int = 16
     delay_rounds: int = 3
+    reuses: int = 0
+    stale_republishes: int = 0
+    delayed_frees: int = 0
+    alloc_window: int = 4
 
     def plan(self, seed: int, tids: Sequence[str]) -> FaultPlan:
         rng = random.Random(f"fault-campaign:{seed}")
@@ -219,4 +367,18 @@ class FaultCampaign:
             )
         for _ in range(self.cas_failures):
             faults.append(FailCAS(rng.choice(pool), rng.randrange(self.window)))
+        # ABA-class draws come last and only when requested, so seeded
+        # plans from campaigns predating these fields are unchanged.
+        for _ in range(self.reuses):
+            faults.append(
+                ReuseCell(rng.choice(pool), rng.randrange(self.alloc_window))
+            )
+        for _ in range(self.stale_republishes):
+            faults.append(
+                RepublishStale(rng.choice(pool), rng.randrange(self.alloc_window))
+            )
+        for _ in range(self.delayed_frees):
+            faults.append(
+                DelayedFree(rng.choice(pool), rng.randrange(self.alloc_window))
+            )
         return FaultPlan(tuple(faults))

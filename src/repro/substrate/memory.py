@@ -1,4 +1,4 @@
-"""Shared memory: atomic cells and the heap that tracks them.
+"""Shared memory: atomic cells, heap-managed nodes, and reclamation.
 
 The paper's programming language (§2) has object-local variables and
 dynamically allocated memory shared between threads.  Every *contended*
@@ -10,11 +10,55 @@ in plain Python attributes.
 The :class:`Heap` registers every allocated cell so that monitors (the
 rely/guarantee checker) can snapshot the entire shared state before and
 after each atomic action.
+
+Reclamation
+-----------
+
+Everything above assumes a garbage-collected heap, under which the
+classic ABA failures of lock-free code are *inexpressible*: a node's
+identity can never be recycled while another thread still holds a stale
+pointer to it.  :class:`Node` and the heap's allocation-policy hook make
+memory reuse a first-class, deterministic part of the model:
+
+* a **Node** is a heap-managed record of named atomic fields (each a
+  :class:`Ref`) — the unit of allocation, retirement and *reuse*.  CAS
+  compares nodes by identity, so a recycled node is indistinguishable
+  from its previous life — exactly the ABA hazard;
+* the heap's ``policy`` decides when a retired node becomes reusable:
+
+  =============  =====================================================
+  ``gc``         never reused (the default; the pre-reclamation model)
+  ``free-list``  immediately reusable, FIFO — deterministic, *unsafe*
+  ``epoch``      reusable two global epochs after retirement, with
+                 threads pinning the epoch inside guarded regions
+  ``hazard``     reusable once no thread's hazard pointer covers it
+  =============  =====================================================
+
+Object code allocates/retires through the runtime (``ctx.alloc`` /
+``ctx.free`` / ``ctx.guard`` / ``ctx.protect``), so every reclamation
+action is a scheduling point positioned solely by the schedule — runs
+replay exactly, and the fault injector can force premature reuse
+(:class:`~repro.substrate.faults.ReuseCell`) at deterministic points.
+
+A double retire is *recorded*, not raised (``double_free`` stat): a
+run that pops a recycled node and frees it again is a verdict for the
+checkers to deliver from the history, not a harness crash.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Allocation-policy names accepted by :class:`Heap`.
+RECLAIM_GC = "gc"
+RECLAIM_FREE_LIST = "free-list"
+RECLAIM_EPOCH = "epoch"
+RECLAIM_HAZARD = "hazard"
+RECLAIM_POLICIES = (RECLAIM_GC, RECLAIM_FREE_LIST, RECLAIM_EPOCH, RECLAIM_HAZARD)
+
+#: Forced-reuse modes the fault injector can hand :meth:`Heap.alloc_node`.
+REUSE_FORCED = "reuse"  # recycle the most recently retired node now
+REUSE_STALE = "stale"  # same, but keep its stale field values
 
 
 class Ref:
@@ -49,17 +93,80 @@ class Ref:
         return f"Ref({self.name}={self._value!r})"
 
 
+class Node:
+    """A heap-managed record of named atomic fields — the unit of reuse.
+
+    Fields are :class:`Ref` cells (reads/writes/CAS on them go through
+    the usual effects, so they are scheduling points — under reclamation
+    a node's fields are racy shared state).  ``generation`` counts how
+    many times this node's identity has been recycled; ``freed`` is true
+    between a retire and the reuse that resurrects it.  CAS on a cell
+    holding a node compares by identity (:func:`~repro.substrate.effects
+    .same_value`), so a recycled node *is* its previous life — ABA.
+    """
+
+    __slots__ = ("tag", "index", "generation", "freed", "_fields")
+
+    def __init__(self, tag: str, index: int, fields: Dict[str, Ref]) -> None:
+        self.tag = tag
+        self.index = index
+        self.generation = 0
+        self.freed = False
+        self._fields = fields
+
+    def ref(self, name: str) -> Ref:
+        """The atomic cell backing field ``name``."""
+        return self._fields[name]
+
+    def peek(self, name: str) -> Any:
+        """Read a field without a scheduling point (monitors/tests only)."""
+        return self._fields[name].peek()
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(self._fields)
+
+    def __repr__(self) -> str:
+        state = "freed " if self.freed else ""
+        return f"Node({state}{self.tag}#{self.index}@g{self.generation})"
+
+
 class Heap:
     """Registry of all shared cells allocated during a run.
 
     A fresh :class:`Heap` is created per run (exploration replays rebuild
     the entire world), so cell names only need to be unique within a run;
     :meth:`ref` disambiguates duplicates automatically.
+
+    ``policy`` selects the reclamation model for heap-managed nodes (see
+    the module docstring); the default ``gc`` reproduces the original
+    no-reuse semantics exactly.  All reclamation state lives in plain
+    insertion-ordered containers, so given the same sequence of calls
+    (which the schedule determines) every decision is deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, policy: str = RECLAIM_GC) -> None:
+        if policy not in RECLAIM_POLICIES:
+            raise ValueError(
+                f"unknown reclamation policy {policy!r}; "
+                f"known: {', '.join(RECLAIM_POLICIES)}"
+            )
+        self.policy = policy
         self._cells: Dict[str, Ref] = {}
         self._counter = 0
+        # -- reclamation state ------------------------------------------
+        self._node_counter = 0
+        #: Retired-but-not-yet-reused nodes, oldest first, with the
+        #: global epoch at retirement (meaningful under ``epoch`` only).
+        self._retired: List[Tuple[Node, int]] = []
+        #: Nodes whose free was deferred past the end of the run
+        #: (the :class:`~repro.substrate.faults.DelayedFree` fault).
+        self._leaked: List[Node] = []
+        self._epoch = 0
+        self._pins: Dict[str, int] = {}
+        self._hazards: Dict[Tuple[str, int], Node] = {}
+        #: Reclamation tallies, folded into ``RunResult.counters`` by the
+        #: runtime: double frees observed, nodes reused, forced reuses.
+        self.stats: Dict[str, int] = {}
 
     def ref(self, name: str, value: Any = None) -> Ref:
         """Allocate a new atomic cell with a unique name."""
@@ -82,3 +189,158 @@ class Heap:
 
     def __len__(self) -> int:
         return len(self._cells)
+
+    # ------------------------------------------------------------------
+    # Node allocation and reclamation
+    # ------------------------------------------------------------------
+    def _bump(self, key: str, by: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + by
+
+    def alloc_node(
+        self,
+        tag: str,
+        fields: Dict[str, Any],
+        mode: Optional[str] = None,
+    ) -> Tuple[Node, bool]:
+        """Allocate (or recycle) a node; returns ``(node, reused)``.
+
+        Without ``mode``, the heap's policy decides: a retired node of
+        the same ``tag`` that the policy deems safe is recycled (oldest
+        first — FIFO, so the reuse order is deterministic); otherwise a
+        fresh node is built.  ``mode`` is the fault injector's override:
+        ``REUSE_FORCED`` recycles the *most recently* retired same-tag
+        node right now, bypassing the policy's safety protocol (epoch
+        pins, hazard pointers — premature reuse, the ABA fault);
+        ``REUSE_STALE`` additionally keeps the node's stale field values,
+        discarding the allocation's initializers (dangling-pointer
+        republication).
+        """
+        node = None
+        if mode in (REUSE_FORCED, REUSE_STALE):
+            for position in range(len(self._retired) - 1, -1, -1):
+                candidate, _ = self._retired[position]
+                if candidate.tag == tag:
+                    node = candidate
+                    del self._retired[position]
+                    self._bump("forced_reuse")
+                    break
+        elif self.policy != RECLAIM_GC:
+            self._advance_epoch()
+            for position, (candidate, retired_epoch) in enumerate(self._retired):
+                if candidate.tag != tag:
+                    continue
+                if self._reusable(candidate, retired_epoch):
+                    node = candidate
+                    del self._retired[position]
+                    break
+        if node is not None:
+            node.generation += 1
+            node.freed = False
+            if mode != REUSE_STALE:
+                for name, value in fields.items():
+                    node.ref(name).poke(value)
+            self._bump("reuse")
+            return node, True
+        index = self._node_counter
+        self._node_counter += 1
+        built = {
+            name: self.ref(f"{tag}.{index}.{name}", value)
+            for name, value in fields.items()
+        }
+        return Node(tag, index, built), False
+
+    def retire_node(self, node: Node, defer: bool = False) -> bool:
+        """Retire a node: under the policy it may become reusable later.
+
+        Retiring an already-freed node is recorded (``double_free``) and
+        otherwise ignored — the corrupted history is the checkers'
+        verdict to deliver, not an exception.  ``defer`` (the
+        ``DelayedFree`` fault) leaks the node past the end of the run
+        instead of making it reusable.  Returns whether the retire took
+        effect.
+        """
+        if node.freed:
+            self._bump("double_free")
+            return False
+        node.freed = True
+        if defer:
+            self._leaked.append(node)
+            return True
+        if self.policy != RECLAIM_GC:
+            self._retired.append((node, self._epoch))
+        return True
+
+    def _reusable(self, node: Node, retired_epoch: int) -> bool:
+        if self.policy == RECLAIM_FREE_LIST:
+            return True
+        if self.policy == RECLAIM_EPOCH:
+            return self._epoch >= retired_epoch + 2
+        if self.policy == RECLAIM_HAZARD:
+            return node not in self._hazards.values()
+        return False  # pragma: no cover — gc never reaches here
+
+    def _advance_epoch(self) -> None:
+        """Advance the global epoch while every pinned thread permits it.
+
+        Threads pinned at an older epoch block advancement — the epoch
+        invariant that makes ``epoch`` reclamation safe.  A thread that
+        crashed while pinned simply keeps blocking: retired nodes stay
+        in limbo forever, which is a leak, never unsafety.
+        """
+        if not self._retired:
+            return
+        horizon = max(epoch for _, epoch in self._retired) + 2
+        while self._epoch < horizon:
+            if any(pinned < self._epoch for pinned in self._pins.values()):
+                break
+            self._epoch += 1
+            if self._pins:
+                # Every pin was at the (old) current epoch: exactly one
+                # advance is allowed, after which the pins lag and block.
+                break
+
+    # -- guarded regions (epoch pinning) --------------------------------
+    def pin(self, tid: str) -> None:
+        """Enter a guarded region: pin the thread at the current epoch."""
+        if self.policy == RECLAIM_EPOCH and tid not in self._pins:
+            self._pins[tid] = self._epoch
+
+    def unpin(self, tid: str) -> None:
+        """Leave a guarded region: unpin this thread.
+
+        The epoch itself advances lazily, on the next allocation
+        (:meth:`_advance_epoch`) — keeping advancement single-pathed
+        keeps replayed runs step-for-step identical.
+        """
+        if self.policy == RECLAIM_EPOCH:
+            self._pins.pop(tid, None)
+
+    # -- hazard pointers ------------------------------------------------
+    def protect(self, tid: str, slot: int, node: Optional[Node]) -> None:
+        """Publish (or with ``None`` clear) a hazard-pointer slot."""
+        if self.policy != RECLAIM_HAZARD:
+            return
+        if node is None:
+            self._hazards.pop((tid, slot), None)
+        else:
+            self._hazards[(tid, slot)] = node
+
+    def clear_hazards(self, tid: str) -> None:
+        """Clear every hazard slot of ``tid`` (on leaving a guarded region)."""
+        if self.policy != RECLAIM_HAZARD:
+            return
+        for key in [key for key in self._hazards if key[0] == tid]:
+            del self._hazards[key]
+
+    # -- introspection (tests, monitors) --------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def retired_nodes(self) -> List[Node]:
+        """Retired-but-not-reused nodes, oldest first (tests/monitors)."""
+        return [node for node, _ in self._retired]
+
+    def leaked_nodes(self) -> List[Node]:
+        """Nodes whose free was deferred past the end of the run."""
+        return list(self._leaked)

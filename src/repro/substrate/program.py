@@ -53,6 +53,7 @@ class Program:
         scheduler: Scheduler,
         metrics: Optional[Any] = None,
         trace: Optional[Any] = None,
+        memory_model: str = "sc",
     ) -> Runtime:
         return Runtime(
             self.world,
@@ -61,6 +62,7 @@ class Program:
             self._monitors,
             metrics=metrics,
             trace=trace,
+            memory_model=memory_model,
         )
 
     @property

@@ -33,24 +33,34 @@ from repro.core.history import History
 from repro.substrate.context import Ctx
 from repro.substrate.effects import (
     CAS,
+    Alloc,
     AssertNow,
     AssertStable,
     Choose,
     Effect,
+    Free,
+    Guard,
     Invoke,
     LogTrace,
     Pause,
+    Protect,
     Query,
     Read,
     Respond,
     Retract,
+    Unguard,
     Write,
     same_value,
 )
 from repro.substrate.errors import ExplorationCut
 from repro.substrate.faults import CRASH, DELAY, STALL, FaultInjector, FaultPlan
-from repro.substrate.memory import Heap
-from repro.substrate.schedulers import Scheduler
+from repro.substrate.memory import RECLAIM_GC, Heap, Ref
+from repro.substrate.schedulers import Scheduler, flush_id, flush_owner, is_flush
+
+#: Memory models the runtime can execute under.
+MEMORY_SC = "sc"
+MEMORY_TSO = "tso"
+MEMORY_MODELS = (MEMORY_SC, MEMORY_TSO)
 
 
 class SubstrateError(Exception):
@@ -76,10 +86,15 @@ class AssertionFailed(SubstrateError, AssertionError):
 
 
 class World:
-    """Shared state of one run: heap + history ``H`` + auxiliary trace ``T``."""
+    """Shared state of one run: heap + history ``H`` + auxiliary trace ``T``.
 
-    def __init__(self) -> None:
-        self.heap = Heap()
+    ``policy`` selects the heap's memory-reclamation policy (see
+    :mod:`repro.substrate.memory`); the default ``"gc"`` never recycles
+    node identities, preserving the historical semantics bit-for-bit.
+    """
+
+    def __init__(self, policy: str = RECLAIM_GC) -> None:
+        self.heap = Heap(policy)
         self._actions: List[Any] = []
         self._trace: List[CAElement] = []
         #: Interval assertions registered via ``ctx.assert_stable`` —
@@ -178,6 +193,18 @@ class Runtime:
     invocation stays pending in ``H`` — while ``"raise"`` restores the
     historical abort-the-run behaviour (useful when a crash can only be
     a harness bug).
+
+    ``memory_model`` selects the execution memory model.  The default
+    ``"sc"`` is sequential consistency (every write is immediately
+    visible — the historical semantics, unchanged).  ``"tso"`` gives each
+    thread a FIFO store buffer: writes enqueue locally and become visible
+    only when a ``~flush:<tid>`` pseudo-thread step (an ordinary
+    scheduler decision — see :mod:`repro.substrate.schedulers`) commits
+    the oldest entry.  Reads forward from the issuing thread's own buffer
+    (newest matching entry first); a CAS drains the issuing thread's
+    buffer in the same atomic step (x86 semantics: CAS is a full fence).
+    An injected crash *drops* the victim's buffered writes; a stall
+    leaves them to drain through the flush pseudo-thread.
     """
 
     def __init__(
@@ -190,17 +217,25 @@ class Runtime:
         on_crash: str = "record",
         metrics: Optional[Any] = None,
         trace: Optional[Any] = None,
+        memory_model: str = MEMORY_SC,
     ) -> None:
         if on_crash not in ("record", "raise"):
             raise ValueError(f"on_crash must be 'record' or 'raise': {on_crash!r}")
+        if memory_model not in MEMORY_MODELS:
+            raise ValueError(
+                f"memory_model must be one of {MEMORY_MODELS}: {memory_model!r}"
+            )
         self.world = world
         self.scheduler = scheduler
         self.monitors = list(monitors)
         self.on_crash = on_crash
+        self.memory_model = memory_model
         self._threads: Dict[str, _Thread] = {}
         for tid, program in programs.items():
             ctx = Ctx(tid)
             self._threads[tid] = _Thread(tid, program(ctx))
+        #: Per-thread FIFO store buffers (TSO only): oldest entry first.
+        self._buffers: Dict[str, List[Tuple[Ref, Any, Optional[Callable]]]] = {}
         self.steps = 0
         self.counters: Dict[str, int] = {}
         self.crashed: Dict[str, str] = {}
@@ -223,7 +258,17 @@ class Runtime:
         return self
 
     def enabled(self) -> List[str]:
-        return [t.tid for t in self._threads.values() if not t.finished]
+        ids = [t.tid for t in self._threads.values() if not t.finished]
+        if self.memory_model == MEMORY_TSO:
+            # A non-empty store buffer keeps its flush pseudo-thread
+            # enabled even after the owner finished — buffered writes
+            # must still reach memory for the run to complete.
+            ids.extend(
+                flush_id(tid)
+                for tid in self._threads
+                if self._buffers.get(tid)
+            )
+        return ids
 
     def run(self, max_steps: Optional[int] = None) -> RunResult:
         """Run until all threads finish, halt, or ``max_steps`` is reached.
@@ -243,6 +288,9 @@ class Runtime:
             if max_steps is not None and self.steps >= max_steps:
                 return self._finish(completed=False)
             tid = self.scheduler.choose_thread(enabled)
+            if is_flush(tid):
+                self._flush_one(flush_owner(tid))
+                continue
             try:
                 self.step_thread(tid)
             except ThreadCrashed as crash:
@@ -250,7 +298,7 @@ class Runtime:
                     return self._finish(completed=False)
                 if self.on_crash == "raise":
                     raise
-                self._halt(tid, f"crashed: {crash.cause!r}")
+                self._halt(tid, f"crashed: {crash.cause!r}", drop_buffer=True)
         return self._finish(completed=True)
 
     def _finish(self, completed: bool) -> RunResult:
@@ -285,15 +333,35 @@ class Runtime:
             )
         return result
 
-    def _halt(self, tid: str, reason: str) -> None:
+    def _halt(self, tid: str, reason: str, drop_buffer: bool = False) -> None:
         """Silently halt ``tid``: it never steps again, its invocation
-        stays pending, and the cause is surfaced in ``RunResult.crashed``."""
+        stays pending, and the cause is surfaced in ``RunResult.crashed``.
+
+        Under TSO, ``drop_buffer`` discards the thread's buffered writes
+        (a crash loses them); otherwise they stay enabled to drain
+        through the flush pseudo-thread (a stalled thread's store buffer
+        is still flushed by the hardware).
+        """
         thread = self._threads[tid]
         thread.finished = True
         thread.halted_reason = reason
         self.crashed[tid] = reason
+        if drop_buffer:
+            dropped = self._buffers.pop(tid, None)
+            if dropped:
+                self.counters["tso_dropped"] = (
+                    self.counters.get("tso_dropped", 0) + len(dropped)
+                )
 
     def _result(self, completed: bool) -> RunResult:
+        counters = dict(self.counters)
+        # Fold the heap's reclamation tallies into the run counters.
+        # Only non-zero entries, so default-policy runs without Alloc
+        # effects keep bit-identical counters to the pre-reclamation
+        # substrate (the gc-mode differential guarantee).
+        for name, value in self.world.heap.stats.items():
+            if value:
+                counters[f"heap_{name}"] = value
         return RunResult(
             history=self.world.history,
             trace=self.world.trace,
@@ -305,7 +373,7 @@ class Runtime:
             completed=completed,
             steps=self.steps,
             world=self.world,
-            counters=dict(self.counters),
+            counters=counters,
             crashed=dict(self.crashed),
         )
 
@@ -367,7 +435,7 @@ class Runtime:
             return
         step = self._injector.halted_step(tid)
         if verdict == CRASH:
-            self._halt(tid, f"injected crash at thread step {step}")
+            self._halt(tid, f"injected crash at thread step {step}", drop_buffer=True)
         elif verdict == STALL:
             self._halt(tid, f"injected stall at thread step {step}")
         else:  # pragma: no cover — defensive
@@ -378,20 +446,86 @@ class Runtime:
     def _count(self, key: str) -> None:
         self.counters[key] = self.counters.get(key, 0) + 1
 
+    # ------------------------------------------------------------------
+    # TSO store buffers
+    # ------------------------------------------------------------------
+    def _flush_one(self, tid: str) -> None:
+        """Commit the oldest buffered write of ``tid`` as one atomic step.
+
+        This is the interpretation of a ``~flush:<tid>`` pseudo-thread
+        decision.  Flush steps never consult the fault injector (the
+        hardware drains store buffers regardless of software faults) and
+        never advance ``tid``'s own step/CAS counters.
+        """
+        buffer = self._buffers.get(tid)
+        if not buffer:  # pragma: no cover — defensive (stale flush id)
+            return
+        ref, value, on_commit = buffer.pop(0)
+        if not buffer:
+            del self._buffers[tid]
+        want_snapshots = bool(self.monitors)
+        pre = self.world.heap.snapshot() if want_snapshots else None
+        pre_trace = self.world.trace if want_snapshots else None
+        ref.poke(value)
+        if on_commit is not None:
+            on_commit(self.world)
+        self._count("tso_flush")
+        self.steps += 1
+        if want_snapshots:
+            post = self.world.heap.snapshot()
+            post_trace = self.world.trace
+            effect = Write(ref, value)
+            for monitor in self.monitors:
+                monitor.on_transition(
+                    flush_id(tid), effect, None, pre, post, pre_trace, post_trace
+                )
+
+    def _drain_buffer(self, tid: str) -> None:
+        """Commit every buffered write of ``tid`` in FIFO order, inside
+        the current atomic step (the CAS-as-fence path)."""
+        buffer = self._buffers.pop(tid, None)
+        if not buffer:
+            return
+        for ref, value, on_commit in buffer:
+            ref.poke(value)
+            if on_commit is not None:
+                on_commit(self.world)
+            self._count("tso_flush")
+
+    def _read_value(self, tid: str, ref: Ref) -> Any:
+        """The value ``tid`` observes at ``ref``: under TSO the newest
+        matching entry of its own store buffer (store-to-load
+        forwarding), else shared memory."""
+        if self.memory_model == MEMORY_TSO:
+            for buffered_ref, value, _ in reversed(self._buffers.get(tid, ())):
+                if buffered_ref is ref:
+                    return value
+        return ref.peek()
+
     def _interpret(self, tid: str, effect: Effect) -> Any:
         if isinstance(effect, Read):
             self._count("read")
-            value = effect.ref.peek()
+            value = self._read_value(tid, effect.ref)
             if effect.on_result is not None:
                 effect.on_result(self.world, value)
             return value
         if isinstance(effect, Write):
             self._count("write")
+            if self.memory_model == MEMORY_TSO:
+                # Enqueue locally; visibility waits for a flush step.
+                self._buffers.setdefault(tid, []).append(
+                    (effect.ref, effect.value, effect.on_commit)
+                )
+                return None
             effect.ref.poke(effect.value)
             if effect.on_commit is not None:
                 effect.on_commit(self.world)
             return None
         if isinstance(effect, CAS):
+            if self.memory_model == MEMORY_TSO:
+                # CAS is a full fence (x86): the issuing thread's buffer
+                # commits before the compare, inside this atomic step.
+                self._drain_buffer(tid)
             if self._injector is not None and self._injector.on_cas(tid):
                 # Weak-CAS semantics: fail without comparing or writing.
                 self._count("cas_spurious")
@@ -404,6 +538,51 @@ class Runtime:
                 return True
             self._count("cas_failure")
             return False
+        if isinstance(effect, Alloc):
+            mode = (
+                self._injector.on_alloc(tid)
+                if self._injector is not None
+                else None
+            )
+            node, reused = self.world.heap.alloc_node(
+                effect.tag, dict(effect.fields), mode=mode
+            )
+            self._count("alloc")
+            if reused:
+                self._count("cell_reuse")
+                if self._trace_sink is not None:
+                    self._trace_sink.emit(
+                        "cell_reuse",
+                        tid=tid,
+                        node=repr(node),
+                        forced=mode is not None,
+                    )
+            return node
+        if isinstance(effect, Free):
+            defer = (
+                self._injector.on_free(tid)
+                if self._injector is not None
+                else False
+            )
+            retired = self.world.heap.retire_node(effect.node, defer=defer)
+            if defer:
+                self._count("free_deferred")
+            elif retired:
+                self._count("free")
+            return None
+        if isinstance(effect, Guard):
+            self.world.heap.pin(tid)
+            self._count("guard")
+            return None
+        if isinstance(effect, Unguard):
+            self.world.heap.unpin(tid)
+            self.world.heap.clear_hazards(tid)
+            self._count("unguard")
+            return None
+        if isinstance(effect, Protect):
+            self.world.heap.protect(tid, effect.slot, effect.node)
+            self._count("protect")
+            return None
         if isinstance(effect, Pause):
             self._count("pause")
             return None

@@ -9,6 +9,16 @@ nondeterministic choices resolve (:meth:`Scheduler.choose_value`, backing
 choice sequence and records every decision point it encounters; the
 exhaustive explorer (:mod:`repro.substrate.explore`) backtracks over that
 log to enumerate all runs.
+
+**Store-buffer flush pseudo-threads.**  Under the TSO memory model
+(``Runtime(memory_model="tso")``) each thread with a non-empty store
+buffer contributes an extra enabled id, ``~flush:<tid>``, whose single
+step commits the oldest buffered write to shared memory.  Flushes are
+therefore *ordinary scheduler decisions*: every scheduler here — random,
+replay, exhaustive exploration, CHESS bounding — covers and replays
+buffer-commit orderings with no special handling.  The ``~`` prefix
+cannot collide with real thread ids (programs name threads with plain
+identifiers).
 """
 
 from __future__ import annotations
@@ -16,6 +26,24 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from typing import Any, List, Sequence, Tuple
+
+#: Prefix marking a store-buffer flush pseudo-thread id.
+FLUSH_PREFIX = "~flush:"
+
+
+def flush_id(tid: str) -> str:
+    """The flush pseudo-thread id for ``tid``'s store buffer."""
+    return FLUSH_PREFIX + tid
+
+
+def is_flush(tid: str) -> bool:
+    """Whether ``tid`` names a store-buffer flush pseudo-thread."""
+    return tid.startswith(FLUSH_PREFIX)
+
+
+def flush_owner(tid: str) -> str:
+    """The real thread whose buffer a flush pseudo-thread drains."""
+    return tid[len(FLUSH_PREFIX):]
 
 
 class Scheduler(ABC):

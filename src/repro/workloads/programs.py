@@ -17,8 +17,9 @@ from repro.objects.elimination_stack import POP_SENTINEL, EliminationStack
 from repro.objects.exchanger import Exchanger
 from repro.objects.immediate_snapshot import ImmediateSnapshot
 from repro.objects.registers import AtomicCounter, AtomicRegister
+from repro.objects.ms_queue import ManualMSQueue
 from repro.objects.sync_queue import SyncQueue
-from repro.objects.treiber_stack import TreiberStack
+from repro.objects.treiber_stack import ManualTreiberStack, TreiberStack
 from repro.substrate.program import Program, spawn
 from repro.substrate.runtime import Runtime, World
 from repro.substrate.schedulers import Scheduler
@@ -227,5 +228,100 @@ def counter_program(
             ]
             program.thread(f"t{index}", spawn(*calls))
         return program.runtime(scheduler)
+
+    return setup
+
+
+def manual_treiber_program(
+    workload: StackWorkload,
+    oid: str = "S",
+    policy: str = "gc",
+    seed_values: Sequence[Any] = (),
+    max_attempts: Optional[int] = 8,
+    memory_model: str = "sc",
+) -> SetupFn:
+    """Threads running scripted push/pop mixes on a manual-reclamation
+    Treiber stack (retrying semantics; pop frees its cell).
+
+    ``policy`` selects the heap's reclamation policy, ``seed_values``
+    prepopulates the stack bottom-first (pair with
+    ``StackSpec(initial=seed_values)``), and ``memory_model`` selects
+    sc/tso execution.
+    """
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World(policy=policy)
+        stack = ManualTreiberStack(world, oid, max_attempts=max_attempts)
+        stack.seed(seed_values)
+        program = Program(world)
+        for index, script in enumerate(workload.scripts, start=1):
+            program.thread(f"t{index}", spawn(*_stack_calls(stack, script)))
+        return program.runtime(scheduler, memory_model=memory_model)
+
+    return setup
+
+
+def manual_msqueue_program(
+    scripts: Sequence[Sequence[Tuple[Any, ...]]],
+    oid: str = "Q",
+    policy: str = "gc",
+    seed_values: Sequence[Any] = (),
+    max_attempts: Optional[int] = 8,
+    memory_model: str = "sc",
+) -> SetupFn:
+    """Threads running scripted enqueue/dequeue mixes on a
+    manual-reclamation Michael–Scott queue (dequeue frees the retired
+    dummy node).  ``seed_values`` prepopulates front-first (pair with
+    ``QueueSpec(initial=seed_values)``)."""
+
+    def _queue_calls(queue: Any, script: Sequence[Tuple[Any, ...]]):
+        calls = []
+        for step in script:
+            if step[0] == "enqueue":
+                calls.append(lambda ctx, v=step[1]: queue.enqueue(ctx, v))
+            elif step[0] == "dequeue":
+                calls.append(lambda ctx: queue.dequeue(ctx))
+            else:
+                raise ValueError(f"unknown queue step {step!r}")
+        return calls
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World(policy=policy)
+        queue = ManualMSQueue(world, oid, max_attempts=max_attempts)
+        queue.seed(seed_values)
+        program = Program(world)
+        for index, script in enumerate(scripts, start=1):
+            program.thread(f"t{index}", spawn(*_queue_calls(queue, script)))
+        return program.runtime(scheduler, memory_model=memory_model)
+
+    return setup
+
+
+def store_buffer_litmus(memory_model: str = "tso") -> SetupFn:
+    """The classic SB (store-buffer) litmus test as a register workload.
+
+    Two threads each write their own register then read the other's;
+    under sequential consistency at least one thread reads 1, while TSO
+    admits the ``(0, 0)`` outcome (both writes parked in store buffers
+    across both reads).  Thread results are the values read.
+    """
+
+    def setup(scheduler: Scheduler) -> Runtime:
+        world = World()
+        x = world.heap.ref("x", 0)
+        y = world.heap.ref("y", 0)
+
+        def writer_then_reader(own, other):
+            def body(ctx):
+                yield from ctx.write(own, 1)
+                value = yield from ctx.read(other)
+                return value
+
+            return body
+
+        program = Program(world)
+        program.thread("t1", writer_then_reader(x, y))
+        program.thread("t2", writer_then_reader(y, x))
+        return program.runtime(scheduler, memory_model=memory_model)
 
     return setup

@@ -299,3 +299,94 @@ class TestProgressRenderer:
         renderer.finish()
         renderer.finish()
         assert stream.getvalue().count("\n") == 1
+
+
+class TestHazardWorkloads:
+    def test_reclamation_workloads_registered(self):
+        for name in (
+            "treiber-reuse",
+            "treiber-hazard",
+            "treiber-epoch",
+            "treiber-gc",
+            "treiber-hazard-tso",
+            "msqueue-reclaim",
+        ):
+            assert name in WORKLOADS
+        assert WORKLOADS["treiber-reuse"].yield_bias > 0
+
+    def test_treiber_reuse_fails_with_aba_counterexample(self, tmp_path):
+        artifact_path = tmp_path / "aba.json"
+        code = _run(
+            "fuzz",
+            "--workload",
+            "treiber-reuse",
+            "--seeds",
+            "200",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        assert code == 1
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["verdict"] == "FAIL"
+        first = artifact["counterexamples"][0]
+        assert first["verdict"] == "fail"
+        assert "pop" in first["timeline"]
+        assert first["schedule"]  # replayable from the artifact alone
+
+    def test_treiber_hazard_passes_the_same_campaign(self, tmp_path):
+        artifact_path = tmp_path / "hazard.json"
+        code = _run(
+            "fuzz",
+            "--workload",
+            "treiber-hazard",
+            "--seeds",
+            "100",
+            "--quiet",
+            "--json",
+            str(artifact_path),
+        )
+        assert code == 0
+        assert json.loads(artifact_path.read_text())["verdict"] == "OK"
+
+
+class TestTrendReport:
+    ENTRY = {
+        "experiment": "E20",
+        "recorded_at": "2026-08-07T00:00:00+00:00",
+        "commit": "abcdef1234567890",
+        "reclamation_overhead": {"free-list": 0.12, "hazard": 0.07},
+        "tso_overhead": 0.14,
+    }
+
+    def test_trend_from_results_json(self, tmp_path, capsys):
+        results = tmp_path / "bench_results.json"
+        results.write_text(json.dumps({"trajectory": [self.ENTRY]}))
+        assert _run("report", "--trend", "--json", str(results)) == 0
+        out = capsys.readouterr().out
+        assert "E20" in out and "abcdef123456" in out
+        assert "reclaim-ovh" in out and "tso-ovh" in out
+        assert "free-list=0.12" in out
+
+    def test_trend_from_campaign_store(self, tmp_path, capsys):
+        import sys
+
+        sys.path.insert(0, "src")
+        from repro.store import CampaignStore
+
+        store_path = tmp_path / "campaigns.db"
+        with CampaignStore(str(store_path)) as store:
+            store.append_trajectory(self.ENTRY)
+        assert _run("report", "--trend", "--store", str(store_path)) == 0
+        out = capsys.readouterr().out
+        assert "E20" in out and "tso-ovh" in out
+
+    def test_trend_with_no_entries_reports_empty(self, tmp_path, capsys):
+        results = tmp_path / "empty.json"
+        results.write_text(json.dumps({}))
+        assert _run("report", "--trend", "--json", str(results)) == 0
+        assert "no trajectory entries" in capsys.readouterr().out
+
+    def test_report_without_json_still_requires_it(self):
+        with pytest.raises(SystemExit, match="--json is required"):
+            _run("report")

@@ -7,6 +7,7 @@ import pytest
 
 from repro.substrate import (
     CrashThread,
+    DelayedFree,
     DelayThread,
     ExploreBudget,
     FailCAS,
@@ -14,6 +15,8 @@ from repro.substrate import (
     FaultInjector,
     FaultPlan,
     Program,
+    RepublishStale,
+    ReuseCell,
     RandomScheduler,
     ReplayScheduler,
     RoundRobinScheduler,
@@ -318,3 +321,96 @@ class TestFaultCampaign:
         for seed in range(10):
             for fault in campaign.plan(seed, ["t1", "t2"]):
                 assert fault.at_step < 4
+
+
+class TestCanonicalOrdering:
+    """A FaultPlan is a canonical value: construction order never leaks
+    into equality, iteration order, repr, or injection semantics."""
+
+    FAULTS = [
+        DelayedFree("t2", 0),
+        RepublishStale("t1", 1),
+        FailCAS("t1", 0),
+        ReuseCell("t1", 1),
+        DelayThread("t2", 3),
+        StallThread("t1", 5),
+        CrashThread("t2", 1),
+    ]
+
+    def test_plans_are_order_insensitive(self):
+        forward = FaultPlan.of(*self.FAULTS)
+        backward = FaultPlan.of(*reversed(self.FAULTS))
+        assert forward == backward
+        assert list(forward) == list(backward)
+        assert repr(forward) == repr(backward)
+
+    def test_class_rank_then_tid_then_position(self):
+        plan = FaultPlan.of(*reversed(self.FAULTS))
+        kinds = [type(fault) for fault in plan]
+        assert kinds == [
+            CrashThread,
+            StallThread,
+            DelayThread,
+            FailCAS,
+            ReuseCell,
+            RepublishStale,
+            DelayedFree,
+        ]
+        same_kind = FaultPlan.of(
+            CrashThread("b", 9), CrashThread("a", 3), CrashThread("a", 1)
+        )
+        assert list(same_kind) == [
+            CrashThread("a", 1),
+            CrashThread("a", 3),
+            CrashThread("b", 9),
+        ]
+
+    def test_crash_beats_stall_at_the_same_step(self):
+        for order in (
+            [StallThread("a", 2), CrashThread("a", 2)],
+            [CrashThread("a", 2), StallThread("a", 2)],
+        ):
+            injector = FaultInjector(FaultPlan.of(*order))
+            injector.before_step("a")
+            injector.before_step("a")
+            assert injector.before_step("a") == CRASH
+
+    def test_stale_republish_beats_plain_reuse_at_same_alloc(self):
+        from repro.substrate.memory import REUSE_STALE
+
+        for order in (
+            [ReuseCell("a", 0), RepublishStale("a", 0)],
+            [RepublishStale("a", 0), ReuseCell("a", 0)],
+        ):
+            injector = FaultInjector(FaultPlan.of(*order))
+            assert injector.on_alloc("a") == REUSE_STALE
+
+    def test_alloc_and_free_faults_target_by_index(self):
+        from repro.substrate.memory import REUSE_FORCED
+
+        injector = FaultInjector(
+            FaultPlan.of(ReuseCell("a", 1), DelayedFree("a", 0))
+        )
+        assert injector.on_alloc("a") is None  # alloc #0
+        assert injector.on_alloc("a") == REUSE_FORCED  # alloc #1
+        assert injector.on_alloc("a") is None
+        assert injector.on_alloc("b") is None  # other threads untouched
+        assert injector.on_free("a") is True  # free #0 deferred
+        assert injector.on_free("a") is False
+        assert injector.on_free("b") is False
+
+    def test_campaign_aba_draws_come_last(self):
+        # Adding ABA-class draws must not perturb the plans a campaign
+        # predating those fields would have produced for the same seed.
+        tids = ["t1", "t2", "t3"]
+        legacy = FaultCampaign(crashes=1, stalls=1, cas_failures=1)
+        extended = FaultCampaign(
+            crashes=1, stalls=1, cas_failures=1,
+            reuses=1, stale_republishes=1, delayed_frees=1,
+        )
+        for seed in range(25):
+            old = list(legacy.plan(seed, tids))
+            new = list(extended.plan(seed, tids))
+            aba_kinds = (ReuseCell, RepublishStale, DelayedFree)
+            assert [f for f in new if not isinstance(f, aba_kinds)] == old
+            assert sum(isinstance(f, aba_kinds) for f in new) == 3

@@ -1,0 +1,390 @@
+"""The explicit-reclamation substrate and its ABA fault surface.
+
+Unit tests over :class:`~repro.substrate.memory.Heap` pin each policy's
+reuse protocol (free-list FIFO, epoch horizons, hazard pointers) and
+the fault-injection overrides (forced reuse, stale republication,
+deferred free).  Scenario tests drive the designed ABA loss-of-element
+interleaving through the manual-reclamation Treiber stack: the
+free-list policy yields a linearizability violation, the safe policies
+survive the identical schedule.  Fuzz tests confirm the violation is
+*findable* (not just constructible), shrinkable, and deterministically
+replayable from its :class:`~repro.obs.report.CounterexampleReport`.
+Finally, a differential guard checks that with reclamation and TSO off
+the substrate is bit-identical to its pre-hazard behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkers.fuzz import fuzz_linearizability, replay, shrink_failure
+from repro.checkers.linearizability import LinearizabilityChecker
+from repro.obs.report import CounterexampleReport
+from repro.specs import QueueSpec, StackSpec
+from repro.substrate import (
+    RECLAIM_EPOCH,
+    RECLAIM_FREE_LIST,
+    RECLAIM_GC,
+    RECLAIM_HAZARD,
+    RECLAIM_POLICIES,
+    CrashThread,
+    DelayedFree,
+    FailCAS,
+    FaultPlan,
+    Heap,
+    RandomScheduler,
+    ReuseCell,
+    World,
+)
+from repro.substrate.explore import run_schedule
+from repro.substrate.memory import REUSE_FORCED, REUSE_STALE
+from repro.substrate.schedulers import FixedScheduler
+from repro.workloads.programs import (
+    StackWorkload,
+    manual_msqueue_program,
+    manual_treiber_program,
+)
+
+# The designed ABA interleaving (see docs/substrate.md): the victim t1
+# runs one pop up to and including its read of head.next, the adversary
+# t2 pops both seeded cells (freeing them) and pushes 3 (recycling the
+# victim's head under free-list), the victim's stale CAS lands, and the
+# adversary's final pop returns an already-popped value.
+ABA_WORKLOAD = StackWorkload(
+    scripts=[
+        [("pop",)],
+        [("pop",), ("pop",), ("push", 3), ("pop",)],
+    ]
+)
+ABA_ORDER = (
+    ["t1"] * 6 + ["t2"] * 26 + ["t1"] * 4 + ["t2"] * 12 + ["t1", "t2"] * 80
+)
+ABA_SPEC = lambda: StackSpec("S", initial=(2, 1))  # noqa: E731
+
+
+def _aba_setup(policy, max_attempts=20, memory_model="sc"):
+    return manual_treiber_program(
+        ABA_WORKLOAD,
+        policy=policy,
+        seed_values=(2, 1),
+        max_attempts=max_attempts,
+        memory_model=memory_model,
+    )
+
+
+def _fresh(heap, tag="cell", **fields):
+    node, reused = heap.alloc_node(tag, dict(fields) or {"data": 0})
+    assert not reused
+    return node
+
+
+class TestHeapPolicies:
+    def test_gc_never_reuses(self):
+        heap = Heap(RECLAIM_GC)
+        node = _fresh(heap)
+        assert heap.retire_node(node)
+        again, reused = heap.alloc_node("cell", {"data": 1})
+        assert not reused and again is not node
+        assert heap.retired_nodes() == []  # gc does not even track them
+
+    def test_free_list_reuses_oldest_first(self):
+        heap = Heap(RECLAIM_FREE_LIST)
+        first, second = _fresh(heap), _fresh(heap)
+        heap.retire_node(first)
+        heap.retire_node(second)
+        recycled, reused = heap.alloc_node("cell", {"data": 9})
+        assert reused and recycled is first  # FIFO
+        assert recycled.generation == 1
+        assert recycled.peek("data") == 9  # fields re-initialized
+
+    def test_reuse_is_tag_scoped(self):
+        heap = Heap(RECLAIM_FREE_LIST)
+        node = _fresh(heap, tag="queue.cell")
+        heap.retire_node(node)
+        other, reused = heap.alloc_node("stack.cell", {"data": 0})
+        assert not reused and other is not node
+
+    def test_epoch_reuse_when_unpinned(self):
+        heap = Heap(RECLAIM_EPOCH)
+        node = _fresh(heap)
+        heap.retire_node(node)
+        # No thread is pinned, so the next allocation's lazy epoch
+        # advance sweeps straight past the retire horizon and recycles.
+        recycled, reused = heap.alloc_node("cell", {"data": 1})
+        assert reused and recycled is node
+        assert heap.epoch >= 2
+
+    def test_epoch_pinned_thread_blocks_reuse(self):
+        heap = Heap(RECLAIM_EPOCH)
+        heap.pin("reader")  # pinned at epoch 0
+        node = _fresh(heap)
+        heap.retire_node(node)
+        for attempt in range(5):
+            fresh, reused = heap.alloc_node("cell", {"data": attempt})
+            assert not reused  # the lagging pin caps the epoch
+        assert heap.epoch <= 1  # one advance allowed, then the pin lags
+        heap.unpin("reader")
+        recycled, reused = heap.alloc_node("cell", {"data": 9})
+        assert reused and recycled is node
+
+    def test_hazard_pointer_blocks_reuse(self):
+        heap = Heap(RECLAIM_HAZARD)
+        node = _fresh(heap)
+        heap.protect("reader", 0, node)
+        heap.retire_node(node)
+        fresh, reused = heap.alloc_node("cell", {"data": 1})
+        assert not reused
+        heap.clear_hazards("reader")
+        recycled, reused = heap.alloc_node("cell", {"data": 2})
+        assert reused and recycled is node
+
+    def test_double_free_is_recorded_not_raised(self):
+        heap = Heap(RECLAIM_FREE_LIST)
+        node = _fresh(heap)
+        assert heap.retire_node(node)
+        assert not heap.retire_node(node)
+        assert heap.stats["double_free"] == 1
+        assert len(heap.retired_nodes()) == 1  # not retired twice
+
+    def test_deferred_free_leaks_past_the_run(self):
+        heap = Heap(RECLAIM_FREE_LIST)
+        node = _fresh(heap)
+        heap.retire_node(node, defer=True)
+        assert heap.leaked_nodes() == [node]
+        fresh, reused = heap.alloc_node("cell", {"data": 1})
+        assert not reused  # leaked nodes are never recycled
+
+    def test_forced_reuse_bypasses_the_policy(self):
+        heap = Heap(RECLAIM_HAZARD)
+        node = _fresh(heap)
+        heap.protect("reader", 0, node)  # would block policy reuse
+        heap.retire_node(node)
+        recycled, reused = heap.alloc_node(
+            "cell", {"data": 7}, mode=REUSE_FORCED
+        )
+        assert reused and recycled is node
+        assert recycled.peek("data") == 7
+        assert heap.stats["forced_reuse"] == 1
+
+    def test_stale_reuse_keeps_old_field_values(self):
+        heap = Heap(RECLAIM_FREE_LIST)
+        node = _fresh(heap, data="stale-secret")
+        heap.retire_node(node)
+        recycled, reused = heap.alloc_node(
+            "cell", {"data": "fresh"}, mode=REUSE_STALE
+        )
+        assert reused and recycled is node
+        assert recycled.peek("data") == "stale-secret"
+
+
+def _popped(result):
+    """Values successfully popped across all threads' op results."""
+    popped = []
+    for results in result.returns.values():
+        for entry in results:
+            if isinstance(entry, tuple) and entry[0]:
+                popped.append(entry[1])
+    return popped
+
+
+class TestAbaScenario:
+    """The designed interleaving, replayed identically per policy."""
+
+    def _run(self, policy):
+        runtime = _aba_setup(policy)(FixedScheduler(list(ABA_ORDER)))
+        result = runtime.run(max_steps=2000)
+        verdict = LinearizabilityChecker(ABA_SPEC()).check(result.history)
+        return result, verdict
+
+    def test_free_list_loses_an_element(self):
+        result, verdict = self._run(RECLAIM_FREE_LIST)
+        assert not verdict.ok
+        assert result.counters.get("heap_reuse", 0) >= 1
+        # The victim's stale CAS returned a value the adversary already
+        # popped: four successful pops saw only three pushed values,
+        # with 2 delivered twice and 1's cell silently unlinked.
+        assert sorted(_popped(result)) == [1, 2, 2, 3]
+
+    @pytest.mark.parametrize(
+        "policy", [RECLAIM_GC, RECLAIM_EPOCH, RECLAIM_HAZARD]
+    )
+    def test_safe_policies_survive_the_same_schedule(self, policy):
+        result, verdict = self._run(policy)
+        assert verdict.ok
+        assert sorted(_popped(result)) == [1, 2, 3]
+
+    def test_policies_disagree_only_on_reuse(self):
+        # Same object code, same schedule: the one degree of freedom is
+        # whether the heap handed the victim's head cell back out.
+        _, unsafe = self._run(RECLAIM_FREE_LIST)
+        _, safe = self._run(RECLAIM_HAZARD)
+        assert not unsafe.ok and safe.ok
+
+
+class TestAbaFuzz:
+    """The violation is findable, shrinkable, and replayable."""
+
+    def _first_failure(self, shrink):
+        setup = _aba_setup("free-list")
+        report = fuzz_linearizability(
+            setup,
+            ABA_SPEC(),
+            seeds=range(400),
+            max_steps=400,
+            yield_bias=0.85,
+            shrink=shrink,
+        )
+        assert report.failures, "fuzz lost the ABA counterexample"
+        return setup, report.failures[0]
+
+    def test_fuzz_finds_the_free_list_aba(self):
+        setup, failure = self._first_failure(shrink=False)
+        assert "no linearization" in failure.reason
+
+    def test_shrunk_failure_still_replays_to_a_violation(self):
+        setup, failure = self._first_failure(shrink=False)
+        shrunk = shrink_failure(
+            setup,
+            failure,
+            lambda run: (
+                None
+                if LinearizabilityChecker(ABA_SPEC()).check(run.history).ok
+                else "still non-linearizable"
+            ),
+            max_steps=400,
+        )
+        assert len(shrunk.schedule) <= len(failure.schedule)
+        rerun = replay(setup, shrunk, max_steps=400)
+        assert list(rerun.history) == list(shrunk.history)
+        assert not LinearizabilityChecker(ABA_SPEC()).check(rerun.history).ok
+
+    def test_counterexample_report_round_trips(self):
+        setup, failure = self._first_failure(shrink=True)
+        report = CounterexampleReport.from_failure(
+            failure, oid="S", max_steps=400
+        )
+        assert report.verdict == "fail"
+        assert report.schedule == list(failure.schedule)
+        assert "pop" in report.timeline
+        # The report's schedule alone reproduces the violating history.
+        rerun = run_schedule(
+            setup, report.schedule, max_steps=400, faults=failure.plan
+        )
+        assert list(rerun.history) == list(failure.history)
+        payload = report.to_dict()
+        assert payload["schedule"] == report.schedule
+        assert payload["operations"] == report.operations
+
+    @pytest.mark.parametrize("policy", ["hazard", "epoch", "gc"])
+    def test_safe_policies_pass_the_same_campaign(self, policy):
+        report = fuzz_linearizability(
+            _aba_setup(policy),
+            ABA_SPEC(),
+            seeds=range(150),
+            max_steps=400,
+            yield_bias=0.85,
+        )
+        assert not report.failures
+        assert report.unknown == 0
+
+    def test_msqueue_reclaim_campaign_passes_under_hazard(self):
+        setup = manual_msqueue_program(
+            [[("enqueue", 1), ("dequeue",)], [("dequeue",), ("enqueue", 2)]],
+            policy="hazard",
+            seed_values=(5,),
+            max_attempts=20,
+        )
+        report = fuzz_linearizability(
+            setup,
+            QueueSpec("Q", initial=(5,)),
+            seeds=range(150),
+            max_steps=600,
+            yield_bias=0.7,
+        )
+        assert not report.failures
+
+
+class TestCombinedPlanReplay:
+    """Satellite: ABA faults compose with crash/weak-CAS plans and the
+    combined plan round-trips through ReplayScheduler exactly."""
+
+    PLAN = FaultPlan.of(
+        CrashThread("t2", 30),
+        FailCAS("t1", 0),
+        ReuseCell("t1", 1),
+        DelayedFree("t2", 0),
+    )
+
+    @pytest.mark.parametrize("seed", [1, 13, 42, 97])
+    def test_combined_plan_round_trips(self, seed):
+        setup = _aba_setup("hazard")
+        scheduler = RandomScheduler(seed, yield_bias=0.5)
+        runtime = setup(scheduler)
+        runtime.inject(self.PLAN)
+        original = runtime.run(max_steps=400)
+        rerun = run_schedule(
+            setup,
+            scheduler.choices(),
+            max_steps=400,
+            faults=self.PLAN,
+            clamp=True,
+        )
+        assert list(rerun.history) == list(original.history)
+        assert rerun.returns == original.returns
+        assert rerun.counters == original.counters
+        checker = LinearizabilityChecker(ABA_SPEC())
+        assert (
+            checker.check(rerun.history).ok
+            == checker.check(original.history).ok
+        )
+
+
+class TestGcDifferential:
+    """With reclamation and TSO off, the substrate is unchanged:
+    explicit defaults and implicit defaults are bit-identical, and no
+    heap counters leak into non-reclaiming runs."""
+
+    def test_default_world_is_gc(self):
+        assert World().heap.policy == RECLAIM_GC
+        assert RECLAIM_POLICIES == ("gc", "free-list", "epoch", "hazard")
+
+    @given(start=st.integers(0, 300), count=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_explicit_defaults_are_bit_identical(self, start, count):
+        seeds = range(start, start + count)
+        spec = ABA_SPEC()
+        implicit = fuzz_linearizability(
+            manual_treiber_program(
+                ABA_WORKLOAD, seed_values=(2, 1), max_attempts=20
+            ),
+            spec,
+            seeds=seeds,
+            max_steps=400,
+        )
+        explicit = fuzz_linearizability(
+            _aba_setup("gc", memory_model="sc"),
+            spec,
+            seeds=seeds,
+            max_steps=400,
+        )
+        assert implicit.runs == explicit.runs
+        assert implicit.unknown == explicit.unknown
+        assert [
+            (f.seed, f.reason, tuple(f.schedule)) for f in implicit.failures
+        ] == [
+            (f.seed, f.reason, tuple(f.schedule)) for f in explicit.failures
+        ]
+
+    def test_non_reclaiming_run_has_no_heap_counters(self):
+        from repro.workloads.programs import exchanger_program
+
+        run = exchanger_program([3, 4])(RandomScheduler(0)).run(max_steps=200)
+        assert not any(key.startswith("heap_") for key in run.counters)
+
+    def test_manual_object_under_gc_reports_frees_not_reuses(self):
+        runtime = _aba_setup("gc")(FixedScheduler(list(ABA_ORDER)))
+        result = runtime.run(max_steps=2000)
+        assert result.counters.get("free", 0) >= 3  # runtime-level frees
+        assert "heap_reuse" not in result.counters  # but no recycling

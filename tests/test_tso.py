@@ -1,0 +1,211 @@
+"""The TSO store-buffer execution mode.
+
+Under ``memory_model="tso"`` every plain write parks in the writing
+thread's FIFO store buffer and only reaches the heap at an explicitly
+scheduled **flush step** (a ``~flush:<tid>`` pseudo-thread in the
+enabled set), so buffer drain order is ordinary scheduler
+nondeterminism: replayable, explorable, shrinkable.  These tests pin
+the architectural contract — the SB litmus outcome split, store-to-load
+forwarding, the CAS fence, crash/stall buffer semantics — and the
+determinism of flush decisions under replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.substrate import (
+    CrashThread,
+    FaultPlan,
+    Program,
+    RandomScheduler,
+    ReplayScheduler,
+    StallThread,
+    World,
+)
+from repro.substrate.runtime import MEMORY_MODELS, MEMORY_SC, MEMORY_TSO
+from repro.substrate.schedulers import (
+    FixedScheduler,
+    flush_id,
+    flush_owner,
+    is_flush,
+)
+from repro.workloads.programs import store_buffer_litmus
+
+
+def _sb_outcomes(memory_model, seeds=200):
+    outcomes = set()
+    setup = store_buffer_litmus(memory_model=memory_model)
+    for seed in range(seeds):
+        run = setup(RandomScheduler(seed)).run(max_steps=100)
+        outcomes.add((run.returns["t1"], run.returns["t2"]))
+    return outcomes
+
+
+def _writer_program(memory_model=MEMORY_TSO, body=None):
+    """One thread ``w`` over refs ``x``/``y`` (both initially 0)."""
+    world = World()
+    x = world.heap.ref("x", 0)
+    y = world.heap.ref("y", 0)
+    program = Program(world)
+    program.thread("w", body(x, y))
+    return world, x, y, program
+
+
+class TestFlushIds:
+    def test_flush_id_round_trip(self):
+        assert is_flush(flush_id("t1"))
+        assert flush_owner(flush_id("t1")) == "t1"
+        assert not is_flush("t1")
+
+    def test_memory_model_constants(self):
+        assert MEMORY_SC in MEMORY_MODELS and MEMORY_TSO in MEMORY_MODELS
+
+    def test_unknown_memory_model_rejected(self):
+        def body(x, y):
+            def thread(ctx):
+                yield from ctx.write(x, 1)
+
+            return thread
+
+        world, x, y, program = _writer_program(body=body)
+        with pytest.raises(ValueError):
+            program.runtime(FixedScheduler(["w"]), memory_model="pso")
+
+
+class TestStoreBufferLitmus:
+    def test_sc_forbids_both_zero(self):
+        outcomes = _sb_outcomes(MEMORY_SC)
+        assert (0, 0) not in outcomes
+        assert outcomes <= {(0, 1), (1, 0), (1, 1)}
+
+    def test_tso_admits_both_zero(self):
+        outcomes = _sb_outcomes(MEMORY_TSO)
+        assert (0, 0) in outcomes
+        # TSO is weaker, not different: every SC outcome stays reachable.
+        assert outcomes >= {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_fixed_schedule_reaches_both_zero(self):
+        # Both threads write (buffered) then read before any flush.
+        setup = store_buffer_litmus(memory_model=MEMORY_TSO)
+        order = ["t1", "t2", "t1", "t2"] + [
+            flush_id("t1"), flush_id("t2"), "t1", "t2"
+        ] * 3
+        run = setup(FixedScheduler(order)).run(max_steps=100)
+        assert (run.returns["t1"], run.returns["t2"]) == (0, 0)
+        assert run.counters.get("tso_flush") == 2
+
+
+class TestStoreToLoadForwarding:
+    def test_own_write_visible_before_flush(self):
+        def body(x, y):
+            def thread(ctx):
+                yield from ctx.write(x, 1)
+                seen = yield from ctx.read(x)
+                return seen
+
+            return thread
+
+        world, x, y, program = _writer_program(body=body)
+        order = ["w", "w", "w"] + [flush_id("w"), "w"] * 3
+        run = program.runtime(
+            FixedScheduler(order), memory_model=MEMORY_TSO
+        ).run(max_steps=50)
+        assert run.returns["w"] == 1  # forwarded from the buffer
+        assert x.peek() == 1  # and eventually flushed
+
+    def test_newest_buffered_write_wins(self):
+        def body(x, y):
+            def thread(ctx):
+                yield from ctx.write(x, 1)
+                yield from ctx.write(x, 2)
+                seen = yield from ctx.read(x)
+                return seen
+
+            return thread
+
+        world, x, y, program = _writer_program(body=body)
+        order = ["w"] * 4 + [flush_id("w"), "w"] * 4
+        run = program.runtime(
+            FixedScheduler(order), memory_model=MEMORY_TSO
+        ).run(max_steps=50)
+        assert run.returns["w"] == 2
+        assert x.peek() == 2  # FIFO drain: 1 then 2
+
+
+class TestCasFence:
+    def test_cas_drains_own_buffer(self):
+        def body(x, y):
+            def thread(ctx):
+                yield from ctx.write(x, 1)
+                ok = yield from ctx.cas(y, 0, 7)
+                return ok
+
+            return thread
+
+        world, x, y, program = _writer_program(body=body)
+        # No explicit flush scheduled before the CAS: the CAS itself
+        # must drain the buffer (x86 CAS is a full fence).
+        run = program.runtime(
+            FixedScheduler(["w", "w", "w"]), memory_model=MEMORY_TSO
+        ).run(max_steps=50)
+        assert run.returns["w"] is True
+        assert x.peek() == 1
+        assert y.peek() == 7
+
+
+class TestBufferFaults:
+    def _single_writer(self):
+        def body(x, y):
+            def thread(ctx):
+                yield from ctx.write(x, 1)
+                yield from ctx.pause()
+                yield from ctx.pause()
+                return "done"
+
+            return thread
+
+        return _writer_program(body=body)
+
+    def test_crash_drops_buffered_writes(self):
+        world, x, y, program = self._single_writer()
+        runtime = program.runtime(
+            FixedScheduler(["w", "w"]), memory_model=MEMORY_TSO
+        )
+        runtime.inject(FaultPlan.of(CrashThread("w", 1)))
+        run = runtime.run(max_steps=50)
+        assert "w" in run.crashed
+        assert x.peek() == 0  # the buffered write never hit the heap
+        assert run.counters.get("tso_dropped") == 1
+
+    def test_stall_lets_buffer_drain(self):
+        world, x, y, program = self._single_writer()
+        runtime = program.runtime(
+            FixedScheduler(["w", flush_id("w"), "w"]),
+            memory_model=MEMORY_TSO,
+        )
+        runtime.inject(FaultPlan.of(StallThread("w", 1)))
+        run = runtime.run(max_steps=50)
+        assert "w" in run.crashed  # stalled forever, reported like a halt
+        assert x.peek() == 1  # but its store buffer still drained
+        assert "tso_dropped" not in run.counters
+
+
+class TestTsoReplay:
+    @pytest.mark.parametrize("seed", [0, 7, 23, 101])
+    def test_flush_decisions_replay_exactly(self, seed):
+        setup = store_buffer_litmus(memory_model=MEMORY_TSO)
+        scheduler = RandomScheduler(seed)
+        original = setup(scheduler).run(max_steps=100)
+        replayed = setup(ReplayScheduler(scheduler.choices())).run(
+            max_steps=100
+        )
+        assert replayed.returns == original.returns
+        assert list(replayed.history) == list(original.history)
+        assert replayed.counters == original.counters
+
+    def test_sc_mode_has_no_tso_counters(self):
+        setup = store_buffer_litmus(memory_model=MEMORY_SC)
+        run = setup(RandomScheduler(3)).run(max_steps=100)
+        assert "tso_flush" not in run.counters
+        assert "tso_dropped" not in run.counters
