@@ -46,9 +46,11 @@ def trajectory_entry(summary: dict) -> dict:
     """The compact trajectory record for one bench summary dict.
 
     Handles bench_e17 summaries (aggregate speedup + disabled-
-    observability overhead), bench_e19 summaries (checkpoint overhead)
-    and bench_e20 summaries (per-policy reclamation overhead + TSO
-    overhead); fields absent from a summary are simply omitted.
+    observability overhead), bench_e19 summaries (checkpoint overhead),
+    bench_e20 summaries (per-policy reclamation overhead + TSO
+    overhead) and bench_e21 summaries (guided-search runs-to-bug ratio
+    + sleep-set reduction); fields absent from a summary are simply
+    omitted.
     """
     overhead = summary.get("overhead") or {}
     if isinstance(overhead, dict):
@@ -62,7 +64,13 @@ def trajectory_entry(summary: dict) -> dict:
         "aggregate_speedup": summary.get("aggregate_speedup"),
         "overhead": overhead,
     }
-    for extra in ("checkpoint_overhead", "reclamation_overhead", "tso_overhead"):
+    for extra in (
+        "checkpoint_overhead",
+        "reclamation_overhead",
+        "tso_overhead",
+        "guided_speedup",
+        "sleep_set_reduction",
+    ):
         if extra in summary:
             entry[extra] = summary[extra]
     return entry
@@ -75,6 +83,12 @@ def append(summary_path: str, results_path: str, store_path: str = "") -> dict:
         with open(results_path, "r", encoding="utf-8") as handle:
             results = json.load(handle)
     except FileNotFoundError:
+        results = {}
+    if isinstance(results, list):
+        # An empty bench job once wrote a bare ``[]``; fold a list root
+        # into the dict shape instead of crashing on ``.setdefault``.
+        results = {"trajectory": [e for e in results if isinstance(e, dict)]}
+    elif not isinstance(results, dict):
         results = {}
     entry = trajectory_entry(summary)
     results.setdefault("trajectory", []).append(entry)
@@ -117,6 +131,8 @@ def main(argv=None) -> int:
             "checkpoint_overhead",
             "reclamation_overhead",
             "tso_overhead",
+            "guided_speedup",
+            "sleep_set_reduction",
         )
         if entry.get(key) is not None
     )

@@ -33,13 +33,18 @@ from repro.obs.report import CounterexampleReport
 from repro.substrate.explore import SetupFn, run_random, run_schedule
 from repro.substrate.faults import FaultCampaign, FaultPlan
 from repro.substrate.runtime import RunResult
-from repro.substrate.schedulers import RandomScheduler
+from repro.substrate.schedulers import PrefixRandomScheduler, RandomScheduler
 
 Faults = Union[FaultCampaign, FaultPlan, None]
 
 Stats = Optional[Dict[str, Dict[str, Any]]]
 
 Coverage = Optional[Dict[str, Any]]
+
+Corpus = Optional[List[Dict[str, Any]]]
+
+#: Schedule-guidance modes accepted by the fuzz drivers.
+GUIDANCE_MODES = ("uniform", "greybox")
 
 
 def _merge_stats(mine: Stats, theirs: Stats) -> Stats:
@@ -64,6 +69,39 @@ def _merge_coverage(mine: Coverage, theirs: Coverage) -> Coverage:
         .merge(CoverageTracker.from_snapshot(theirs))
         .snapshot()
     )
+
+
+def _merge_corpus(mine: Corpus, theirs: Corpus) -> Corpus:
+    """Merge two :meth:`ScheduleCorpus.snapshot` lists (either may be None)."""
+    from repro.search.corpus import ScheduleCorpus
+
+    if theirs is None:
+        return mine
+    if mine is None:
+        return ScheduleCorpus.from_snapshot(theirs).snapshot()
+    return (
+        ScheduleCorpus.from_snapshot(mine)
+        .merge(ScheduleCorpus.from_snapshot(theirs))
+        .snapshot()
+    )
+
+
+def _engine_for(guidance: str, corpus):
+    """Build the greybox engine for a campaign (None under uniform)."""
+    if guidance not in GUIDANCE_MODES:
+        raise ValueError(
+            f"guidance must be one of {GUIDANCE_MODES}: {guidance!r}"
+        )
+    if guidance == "uniform":
+        return None
+    from repro.search.corpus import ScheduleCorpus
+    from repro.search.greybox import GreyboxEngine
+
+    if corpus is None:
+        corpus = ScheduleCorpus()
+    elif not hasattr(corpus, "pick"):  # a snapshot list, not a corpus
+        corpus = ScheduleCorpus.from_snapshot(corpus)
+    return GreyboxEngine(corpus=corpus)
 
 
 def _campaign_registry(metrics) -> Optional[Metrics]:
@@ -141,6 +179,9 @@ class FuzzReport:
     fresh_schedules: List[str] = field(default_factory=list)
     stats: Stats = None
     coverage: Coverage = None
+    #: Greybox-campaign corpus snapshot (None under uniform guidance) —
+    #: what durable campaigns persist to the store's ``corpus`` table.
+    corpus: Corpus = None
 
     @property
     def ok(self) -> bool:
@@ -160,6 +201,9 @@ class FuzzReport:
         self.fresh_schedules.extend(other.fresh_schedules)
         self.stats = _merge_stats(self.stats, other.stats)
         self.coverage = _merge_coverage(self.coverage, other.coverage)
+        # getattr: reports unpickled from pre-corpus campaign stores
+        # restore without the attribute.
+        self.corpus = _merge_corpus(self.corpus, getattr(other, "corpus", None))
 
     def __repr__(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
@@ -190,9 +234,25 @@ def _fuzz_run(
     max_steps: Optional[int],
     yield_bias: float,
     faults: Faults,
+    engine=None,
 ) -> Tuple[RunResult, Optional[FaultPlan]]:
-    """One seeded run with its (seed-derived) fault plan attached."""
-    scheduler = RandomScheduler(seed=seed, yield_bias=yield_bias)
+    """One seeded run with its (seed-derived) fault plan attached.
+
+    With a greybox ``engine``, the engine may propose a mutated corpus
+    prefix for this seed; the run then replays the prefix (clamped) and
+    continues with the seed's usual random tail, logging the full
+    decision list so the run replays and shrinks like a uniform one.
+    A ``None`` proposal — empty corpus, or the exploration coin — is
+    the *exact* uniform draw for this seed (same scheduler, same
+    stream), so greybox strictly extends the uniform campaign.
+    """
+    prefix = engine.propose(seed) if engine is not None else None
+    if prefix is None:
+        scheduler = RandomScheduler(seed=seed, yield_bias=yield_bias)
+    else:
+        scheduler = PrefixRandomScheduler(
+            prefix, seed=seed, yield_bias=yield_bias
+        )
     runtime = setup(scheduler)
     plan = _plan_for(faults, seed, runtime.thread_ids)
     if plan is not None:
@@ -318,6 +378,8 @@ def fuzz_cal(
     coverage=None,
     progress_every: int = 0,
     dedup=None,
+    guidance: str = "uniform",
+    corpus=None,
 ) -> FuzzReport:
     """Sample random schedules and check CAL on each run.
 
@@ -353,10 +415,21 @@ def fuzz_cal(
     Dedup consults only the pre-campaign ``known`` set (never digests
     minted during this campaign), so tallies stay partition-transparent
     across the parallel runner's chunking.
+
+    ``guidance="greybox"`` closes the coverage-feedback loop (see
+    :mod:`repro.search`): runs that mint new coverage fingerprints
+    donate their schedule prefix to a corpus, and later seeds replay
+    mutated corpus prefixes instead of drawing purely uniformly.
+    ``corpus`` optionally warm-starts the engine — either a
+    :class:`~repro.search.corpus.ScheduleCorpus` (mutated in place) or
+    a snapshot list from the campaign store; the evolved snapshot lands
+    in ``report.corpus``.  ``guidance="uniform"`` (the default) is the
+    historical campaign, decision for decision.
     """
     checker = CALChecker(spec)
     report = FuzzReport()
     campaign = _campaign_registry(metrics)
+    engine = _engine_for(guidance, corpus)
     started = time.monotonic()
 
     def diagnose(run: RunResult, stats=None, sink=None):
@@ -394,7 +467,9 @@ def fuzz_cal(
             if trace is not None:
                 trace.emit("campaign_deadline", skipped=skipped)
             break
-        run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
+        run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults, engine)
+        if engine is not None:
+            engine.observe(position, run, oid=spec.oid)
         if campaign is not None:
             campaign.count("fuzz.seeds")
             observe_run(campaign, run)
@@ -409,6 +484,8 @@ def fuzz_cal(
             live = {}
             if coverage is not None:
                 live["distinct_histories"] = len(coverage.histories)
+            if engine is not None:
+                live.update(engine.stats())
             trace.emit(
                 "campaign_progress",
                 driver="fuzz_cal",
@@ -457,6 +534,8 @@ def fuzz_cal(
                 )
             )
         if reason is not None:
+            if engine is not None:
+                engine.record_failure(run)
             failure = FuzzFailure(seed, run.history, reason, run.schedule, plan)
             if shrink:
                 failure = shrink_failure(
@@ -481,6 +560,8 @@ def fuzz_cal(
         metrics.merge(campaign)
     if coverage is not None:
         report.coverage = coverage.snapshot()
+    if engine is not None:
+        report.corpus = engine.corpus.snapshot()
     if trace is not None:
         trace.emit(
             "campaign_end",
@@ -510,15 +591,19 @@ def fuzz_linearizability(
     coverage=None,
     progress_every: int = 0,
     dedup=None,
+    guidance: str = "uniform",
+    corpus=None,
 ) -> FuzzReport:
     """Sample random schedules and check linearizability on each run.
 
     ``deadline_at``, ``metrics``/``trace``, ``coverage``,
-    ``progress_every`` and ``dedup`` behave as in :func:`fuzz_cal`.
+    ``progress_every``, ``dedup``, ``guidance`` and ``corpus`` behave
+    as in :func:`fuzz_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
     campaign = _campaign_registry(metrics)
+    engine = _engine_for(guidance, corpus)
     started = time.monotonic()
 
     def diagnose(run: RunResult, stats=None, sink=None):
@@ -555,7 +640,9 @@ def fuzz_linearizability(
             if trace is not None:
                 trace.emit("campaign_deadline", skipped=skipped)
             break
-        run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults)
+        run, plan = _fuzz_run(setup, seed, max_steps, yield_bias, faults, engine)
+        if engine is not None:
+            engine.observe(position, run, oid=spec.oid)
         if campaign is not None:
             campaign.count("fuzz.seeds")
             observe_run(campaign, run)
@@ -570,6 +657,8 @@ def fuzz_linearizability(
             live = {}
             if coverage is not None:
                 live["distinct_histories"] = len(coverage.histories)
+            if engine is not None:
+                live.update(engine.stats())
             trace.emit(
                 "campaign_progress",
                 driver="fuzz_linearizability",
@@ -616,6 +705,8 @@ def fuzz_linearizability(
                 )
             )
         if reason is not None:
+            if engine is not None:
+                engine.record_failure(run)
             failure = FuzzFailure(seed, run.history, reason, run.schedule, plan)
             if shrink:
                 failure = shrink_failure(
@@ -640,6 +731,8 @@ def fuzz_linearizability(
         metrics.merge(campaign)
     if coverage is not None:
         report.coverage = coverage.snapshot()
+    if engine is not None:
+        report.corpus = engine.corpus.snapshot()
     if trace is not None:
         trace.emit(
             "campaign_end",

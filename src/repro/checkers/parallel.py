@@ -396,8 +396,11 @@ def _fuzz_parallel(
     dedup=None,
     task_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    guidance: str = "uniform",
+    corpus=None,
 ) -> FuzzReport:
     seeds = list(seeds)
+    greybox = guidance != "uniform"
     workers = default_workers() if workers is None else workers
     deadline_at = None if deadline is None else time.monotonic() + deadline
     # Checkpointed campaigns chunk by the checkpoint cadence — a pure
@@ -431,15 +434,21 @@ def _fuzz_parallel(
                 chunk_coverage = type(coverage)(
                     prefix_depth=coverage.prefix_depth, offset=offset
                 )
+            # Greybox chunks shrink in the worker: a corpus-guided run is
+            # a function of (corpus state, seed), and the chunk's evolved
+            # corpus does not exist in the parent, so the parent's
+            # confirm re-run could not reproduce the failure there.
             return driver(
                 setup,
                 spec,
                 seeds=chunk,
-                shrink=False,
+                shrink=shrink if greybox else False,
                 deadline_at=deadline_at,
                 metrics=type(metrics)() if metrics is not None else None,
                 coverage=chunk_coverage,
                 dedup=dedup,
+                guidance=guidance,
+                corpus=corpus,
                 **kwargs,
             )
         return run_chunk
@@ -516,7 +525,10 @@ def _fuzz_parallel(
         merged.merge(by_index[index])
     # Contiguous chunks merged in order ⇒ merged.failures is already in
     # original seed order; the first entry is the sequential winner.
-    if merged.failures and shrink:
+    # Greybox failures arrive already shrunk from their worker (see
+    # task_for) — no parent confirm re-run, since replaying the seed
+    # without the chunk's corpus state would not reproduce the failure.
+    if merged.failures and shrink and not greybox:
         first = merged.failures[0]
         # Confirm re-run gets metrics=None: the campaign stats must keep
         # covering each seed exactly once (shrink replays are excluded
@@ -565,6 +577,8 @@ def fuzz_cal_parallel(
     dedup=None,
     task_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    guidance: str = "uniform",
+    corpus=None,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_cal` fanned across workers.
 
@@ -593,6 +607,13 @@ def fuzz_cal_parallel(
     ``task_timeout``/``max_retries`` tune the worker supervisor; a chunk
     whose workers keep dying is quarantined into explicit ``skipped``
     seeds plus a ``report.quarantined`` entry instead of aborting.
+
+    ``guidance="greybox"`` gives every chunk its own engine warm-started
+    from the shared ``corpus`` snapshot; evolved chunk corpora merge
+    into ``report.corpus``.  Greybox failures are shrunk inside their
+    worker and the first-failure identity guarantee is relative to a
+    sequential campaign over the same *chunk* (guided proposals depend
+    on the chunk-local corpus state, not the seed alone).
     """
     return _fuzz_parallel(
         fuzz_cal,
@@ -621,6 +642,8 @@ def fuzz_cal_parallel(
         dedup=dedup,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        guidance=guidance,
+        corpus=corpus,
     )
 
 
@@ -647,11 +670,14 @@ def fuzz_linearizability_parallel(
     dedup=None,
     task_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    guidance: str = "uniform",
+    corpus=None,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_linearizability` fanned across
     workers, with the same determinism guarantees (first failure, merged
-    stats and merged coverage) and durability hooks (checkpoint, resume,
-    dedup, supervised retry/quarantine) as :func:`fuzz_cal_parallel`."""
+    stats and merged coverage), durability hooks (checkpoint, resume,
+    dedup, supervised retry/quarantine) and guidance modes as
+    :func:`fuzz_cal_parallel`."""
     return _fuzz_parallel(
         fuzz_linearizability,
         setup,
@@ -678,6 +704,8 @@ def fuzz_linearizability_parallel(
         dedup=dedup,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        guidance=guidance,
+        corpus=corpus,
     )
 
 
@@ -708,6 +736,7 @@ def explore_parallel(
     metrics=None,
     trace=None,
     coverage=None,
+    reduction: str = "none",
 ) -> List[RunResult]:
     """Enumerate all runs, sharded by the first decision point.
 
@@ -726,6 +755,12 @@ def explore_parallel(
     results and ``explore.budget_trips`` when the campaign was cut.
     ``coverage`` observes the merged results in enumeration order, so
     sharded and sequential campaigns produce identical trackers.
+
+    ``reduction="sleep-set"`` applies partial-order reduction *per
+    shard* (each worker's sleep sets start fresh under its pinned first
+    decision).  This is sound — every shard still covers its subtree's
+    behaviour — but prunes less than an unsharded reduced sweep, and
+    shard run counts need not sum to the sequential reduced count.
     """
     workers = default_workers() if workers is None else workers
     if budget is not None:
@@ -740,6 +775,7 @@ def explore_parallel(
                 include_incomplete=include_incomplete,
                 preemption_bound=preemption_bound,
                 budget=budget,
+                reduction=reduction,
             )
         )
         _observe_explore(metrics, trace, results, budget, coverage)
@@ -766,6 +802,7 @@ def explore_parallel(
                     preemption_bound=preemption_bound,
                     budget=shard_budget,
                     pin_prefix=[pin],
+                    reduction=reduction,
                 )
             ]
             return results, (shard_budget or ExploreBudget())

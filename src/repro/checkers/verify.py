@@ -162,6 +162,7 @@ def verify_cal(
     coverage=None,
     progress_every: int = 0,
     pin_prefix: Sequence[int] = (),
+    reduction: str = "none",
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -187,6 +188,12 @@ def verify_cal(
     :func:`~repro.substrate.explore.explore_all`) — the sharding hook
     durable campaigns checkpoint on: per-shard reports merged in pin
     order (:meth:`VerificationReport.merge`) equal an unsharded sweep.
+
+    ``reduction="sleep-set"`` prunes commutativity-equivalent
+    interleavings during exploration (see
+    :func:`~repro.substrate.explore.explore_all`): the verdict and the
+    set of distinct failing histories are preserved, with strictly
+    fewer runs checked whenever independent steps commute.
     """
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
@@ -204,6 +211,7 @@ def verify_cal(
         preemption_bound=preemption_bound,
         budget=budget,
         pin_prefix=pin_prefix,
+        reduction=reduction,
     ):
         if campaign is not None:
             observe_run(campaign, run)
@@ -308,6 +316,7 @@ def verify_linearizability(
     coverage=None,
     progress_every: int = 0,
     pin_prefix: Sequence[int] = (),
+    reduction: str = "none",
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -319,7 +328,8 @@ def verify_linearizability(
     Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
     falls back to witness validation (when a view is available) and the
     run counts as ``unknown``.  ``metrics``/``trace``/``coverage``/
-    ``progress_every``/``pin_prefix`` behave as in :func:`verify_cal`.
+    ``progress_every``/``pin_prefix``/``reduction`` behave as in
+    :func:`verify_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
@@ -337,6 +347,7 @@ def verify_linearizability(
         preemption_bound=preemption_bound,
         budget=budget,
         pin_prefix=pin_prefix,
+        reduction=reduction,
     ):
         if campaign is not None:
             observe_run(campaign, run)

@@ -1,0 +1,43 @@
+"""``repro.search`` — feedback-guided schedule search.
+
+The fuzz drivers historically drew schedules uniformly at random and the
+coverage layer (:mod:`repro.obs.coverage`) collected fingerprints that
+were never fed back.  This package closes the loop with an AFL-style
+greybox engine over *schedule prefixes*:
+
+* :mod:`repro.search.corpus` — :class:`ScheduleCorpus`, the store of
+  "interesting" prefixes (those that minted new coverage fingerprints)
+  with a power/energy schedule that spends mutation budget on entries
+  whose coverage yield is still climbing;
+* :mod:`repro.search.greybox` — the mutation operators
+  (splice/extend/perturb/truncate) and :class:`GreyboxEngine`, the
+  propose/observe loop the fuzz drivers call behind
+  ``guidance="greybox"``;
+* :mod:`repro.search.rng` — named per-purpose RNG streams derived from
+  the campaign seed, so mutation draws can never perturb the schedule
+  or fault streams that pinned-seed regressions depend on.
+
+Everything here is seed-deterministic: a greybox campaign is a pure
+function of its seed range (plus its warm-start corpus), and every
+corpus-derived failure carries its full decision schedule, so it
+replays and shrinks exactly like a uniform one.  ``docs/search.md``
+documents the design end to end.
+"""
+
+from repro.search.corpus import CorpusEntry, ScheduleCorpus
+from repro.search.greybox import (
+    MUTATION_OPS,
+    GreyboxEngine,
+    mutate_prefix,
+)
+from repro.search.rng import named_stream, stream_label
+
+__all__ = [
+    "CorpusEntry",
+    "GreyboxEngine",
+    "MUTATION_OPS",
+    "ScheduleCorpus",
+    "mutate_prefix",
+    "named_stream",
+    "stream_label",
+]

@@ -1,0 +1,141 @@
+"""Corpus of interesting schedule prefixes with an energy schedule.
+
+A :class:`ScheduleCorpus` holds the prefixes of schedules that minted
+new coverage fingerprints (see :class:`repro.search.greybox.GreyboxEngine`
+for the observation loop).  Each entry tracks how many mutations were
+derived from it (``children``) and how many of those minted further
+coverage (``hits``); the **energy** of an entry — ``(hits + 1) /
+(children + 1)`` — is the empirical estimate that its neighbourhood of
+the schedule space is still yielding novelty.  Entries whose saturation
+curve has flattened (many children, few hits) decay toward the floor
+and stop absorbing mutation budget, mirroring the AFL power-schedule
+idea at schedule-prefix granularity.
+
+The corpus is deliberately plain data: entries are ``(prefix, children,
+hits)`` triples, ``snapshot()``/``from_snapshot()`` round-trip through
+JSON-able dicts (this is what the campaign store persists in its
+``corpus`` table), and ``merge()`` folds partition results by summing
+counters per prefix — the same offset-free commutative shape the
+coverage tracker uses, so parallel workers can evolve private copies
+that fold back deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Prefix = Tuple[int, ...]
+
+
+class CorpusEntry:
+    """One interesting schedule prefix plus its mutation ledger."""
+
+    __slots__ = ("prefix", "children", "hits")
+
+    def __init__(self, prefix: Sequence[int], children: int = 0, hits: int = 0):
+        self.prefix: Prefix = tuple(int(d) for d in prefix)
+        self.children = children
+        self.hits = hits
+
+    @property
+    def energy(self) -> float:
+        """Mutation-budget weight; decays as the entry stops minting coverage."""
+        return (self.hits + 1) / (self.children + 1)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "prefix": list(self.prefix),
+            "children": self.children,
+            "hits": self.hits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorpusEntry(prefix={list(self.prefix)!r}, "
+            f"children={self.children}, hits={self.hits})"
+        )
+
+
+class ScheduleCorpus:
+    """Ordered, deduplicated store of interesting schedule prefixes.
+
+    Insertion order is part of the contract: ``pick`` iterates entries
+    in insertion order with deterministic weighted selection, so two
+    campaigns that grow the corpus identically draw identically.
+    """
+
+    __slots__ = ("_entries", "_index")
+
+    def __init__(self, entries: Optional[Iterable[CorpusEntry]] = None):
+        self._entries: List[CorpusEntry] = []
+        self._index: Dict[Prefix, CorpusEntry] = {}
+        for entry in entries or ():
+            existing = self._index.get(entry.prefix)
+            if existing is None:
+                self._entries.append(entry)
+                self._index[entry.prefix] = entry
+            else:
+                existing.children += entry.children
+                existing.hits += entry.hits
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def add(self, prefix: Sequence[int]) -> Optional[CorpusEntry]:
+        """Insert ``prefix`` if novel; return the new entry (or None)."""
+        key = tuple(int(d) for d in prefix)
+        if not key or key in self._index:
+            return None
+        entry = CorpusEntry(key)
+        self._entries.append(entry)
+        self._index[key] = entry
+        return entry
+
+    def pick(self, rng: random.Random) -> CorpusEntry:
+        """Energy-weighted deterministic draw over the entries."""
+        if not self._entries:
+            raise IndexError("pick from an empty corpus")
+        total = 0.0
+        for entry in self._entries:
+            total += entry.energy
+        point = rng.random() * total
+        acc = 0.0
+        for entry in self._entries:
+            acc += entry.energy
+            if point < acc:
+                return entry
+        return self._entries[-1]
+
+    def merge(self, other: "ScheduleCorpus") -> "ScheduleCorpus":
+        """Fold another corpus into this one (sum counters per prefix)."""
+        for entry in other:
+            existing = self._index.get(entry.prefix)
+            if existing is None:
+                self.add(entry.prefix)
+                existing = self._index[entry.prefix]
+            existing.children += entry.children
+            existing.hits += entry.hits
+        return self
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-able dump in insertion order (what the store persists)."""
+        return [entry.snapshot() for entry in self._entries]
+
+    @classmethod
+    def from_snapshot(cls, payload: Iterable[Dict[str, object]]) -> "ScheduleCorpus":
+        entries = [
+            CorpusEntry(
+                item.get("prefix", ()),  # type: ignore[arg-type]
+                children=int(item.get("children", 0)),  # type: ignore[arg-type]
+                hits=int(item.get("hits", 0)),  # type: ignore[arg-type]
+            )
+            for item in payload
+        ]
+        return cls(entries)
+
+
+__all__ = ["CorpusEntry", "Prefix", "ScheduleCorpus"]

@@ -1,0 +1,67 @@
+"""Named per-purpose RNG streams derived from the campaign seed.
+
+The fuzz drivers historically consumed randomness from two places, and
+pinned-seed regressions (tests, recorded counterexamples, CI smoke
+jobs) depend on both staying byte-identical forever:
+
+* the **schedule** stream — ``random.Random(seed)`` inside
+  :class:`repro.substrate.schedulers.RandomScheduler`;
+* the **fault** stream — ``random.Random(f"fault-campaign:{seed}")``
+  inside :meth:`repro.substrate.faults.FaultCampaign.plan`.
+
+Greybox guidance adds a third consumer: mutation choice (which corpus
+entry to mutate, which operator, where to cut).  If mutation draws
+shared either existing stream, enabling ``guidance="greybox"`` — or
+merely changing how many mutations an engine tries — would shift every
+subsequent draw and silently re-key the pinned-seed universe.  This
+module therefore names each purpose and derives an *independent*
+``random.Random`` per ``(seed, purpose)`` pair:
+
+======== ==========================  =======================================
+purpose  label                       compatibility constraint
+======== ==========================  =======================================
+schedule ``seed`` (bare int)         must equal ``RandomScheduler`` seeding
+fault    ``"fault-campaign:{seed}"`` must equal ``FaultCampaign.plan``
+mutation ``"mutation:{seed}"``       new in this release
+corpus   ``"corpus:{seed}"``         new in this release (reserved)
+======== ==========================  =======================================
+
+The first two labels are frozen: ``tests/test_search_greybox.py`` pins
+them against the substrate's own draws, so any accidental divergence is
+a test failure, not a silent regression.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+# Purposes with a frozen, historically-significant seeding label.  The
+# fault label must stay byte-identical to the literal in
+# ``FaultCampaign.plan``; the schedule purpose seeds with the bare int
+# exactly like ``RandomScheduler(seed=...)``.
+FAULT_LABEL = "fault-campaign:{seed}"
+
+_KNOWN_PURPOSES = ("schedule", "fault", "mutation", "corpus")
+
+
+def stream_label(seed: int, purpose: str) -> Union[int, str]:
+    """Return the ``random.Random`` seeding value for a named stream."""
+    if purpose == "schedule":
+        return seed
+    if purpose == "fault":
+        return FAULT_LABEL.format(seed=seed)
+    return f"{purpose}:{seed}"
+
+
+def named_stream(seed: int, purpose: str) -> random.Random:
+    """Build the independent RNG for ``purpose`` under campaign ``seed``.
+
+    Unknown purposes are allowed (they hash their name into the label),
+    but the canonical set is ``schedule``/``fault``/``mutation``/
+    ``corpus`` — stick to those so draws stay attributable.
+    """
+    return random.Random(stream_label(seed, purpose))
+
+
+__all__ = ["FAULT_LABEL", "named_stream", "stream_label"]

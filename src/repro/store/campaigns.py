@@ -16,6 +16,11 @@ foreground process into an interruption-safe job:
    schedule digests and coverage fingerprints are folded into the
    store's fingerprint sets, keyed by ``(workload, checker, width)``, so
    later campaigns can skip already-verified schedules (``--dedup``).
+   Greybox fuzz campaigns additionally persist their schedule corpus to
+   the ``corpus`` table under the same scope key; a later campaign
+   against the same store warm-starts from it, which is how a recorded
+   failure keeps paying off across invocations (the regression-hunt
+   flow ``bench_e21_guided_search`` measures).
 
 Determinism: chunk boundaries are pure functions of the stored config
 (``checkpoint_every`` over the seed range; first-decision arity for
@@ -144,6 +149,15 @@ def durable_fuzz(
     )
     width = probe_width(setup)
     dedup = load_dedup(store, workload, checker, width) if use_dedup else None
+    driver_kwargs = dict(driver_kwargs or {})
+    greybox = driver_kwargs.get("guidance") == "greybox"
+    if greybox and driver_kwargs.get("corpus") is None:
+        # Warm-start from every prior campaign's persisted corpus for
+        # this (workload, checker, width) scope.  An empty table yields
+        # an empty list, which the engine treats as a cold start.
+        stored = store.corpus_entries(dedup_scope(workload, checker, width))
+        if stored:
+            driver_kwargs["corpus"] = stored
     writer = CheckpointWriter(
         store, campaign_id, trace=trace, abort_after=abort_after
     )
@@ -163,7 +177,7 @@ def durable_fuzz(
             checkpoint_every=config["checkpoint_every"],
             completed=completed,
             dedup=dedup,
-            **(driver_kwargs or {}),
+            **driver_kwargs,
         )
     except KeyboardInterrupt:
         store.set_status(campaign_id, STATUS_INTERRUPTED)
@@ -172,6 +186,10 @@ def durable_fuzz(
     _persist_knowledge(
         store, workload, checker, width, dedup, report.fresh_schedules, coverage
     )
+    if greybox and getattr(report, "corpus", None):
+        # The report snapshot already folds the warm-start baseline, so
+        # a plain save (INSERT OR REPLACE) is the correct merge.
+        store.save_corpus(dedup_scope(workload, checker, width), report.corpus)
     return report
 
 
@@ -194,7 +212,9 @@ def durable_explore(
     each shard's sanitised results as a chunk.  Shards run sequentially
     in pin order — durable explore trades worker fan-out for
     checkpointability; budgets are unsupported here because a cut shard
-    has no stable boundary to resume from.
+    has no stable boundary to resume from.  ``config`` may carry
+    ``reduction`` (``"none"`` | ``"sleep-set"``); sharded sleep sets
+    prune per shard, which is sound but weaker than an unsharded sweep.
     """
     from repro.checkers.parallel import (
         _first_arity,
@@ -207,6 +227,7 @@ def durable_explore(
         store, campaign_id, "explore", workload, checker, config, trace=trace
     )
     max_steps = config["max_steps"]
+    reduction = config.get("reduction", "none")
     arity = _first_arity(setup, max_steps)
     pins: List[Any] = [[k] for k in range(arity)] if arity > 1 else [[]]
     writer = CheckpointWriter(
@@ -220,7 +241,10 @@ def durable_explore(
             results = [
                 _sanitize(result)
                 for result in explore_all(
-                    setup, max_steps=max_steps, pin_prefix=pin
+                    setup,
+                    max_steps=max_steps,
+                    pin_prefix=pin,
+                    reduction=reduction,
                 )
             ]
             writer.chunk_done(index, index, 1, results)

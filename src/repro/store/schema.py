@@ -74,6 +74,13 @@ CREATE TABLE IF NOT EXISTS trajectory (
     recorded_at TEXT NOT NULL,
     entry       TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS corpus (
+    scope    TEXT NOT NULL,
+    prefix   TEXT NOT NULL,
+    children INTEGER NOT NULL DEFAULT 0,
+    hits     INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (scope, prefix)
+);
 """
 
 #: Campaign lifecycle states.
@@ -283,6 +290,51 @@ class CampaignStore:
             (scope, kind),
         ).fetchall()
         return {row["fingerprint"] for row in rows}
+
+    # -- greybox corpus ------------------------------------------------
+    def save_corpus(
+        self, scope: str, entries: Iterable[Dict[str, Any]]
+    ) -> None:
+        """Upsert a corpus snapshot (see
+        :meth:`repro.search.corpus.ScheduleCorpus.snapshot`) under
+        ``scope`` — keyed like :class:`~repro.store.dedup.ScheduleDedup`
+        scopes, so corpora never leak across workloads or checkers.
+        Snapshots already carry the warm-start baseline folded into
+        their counters, so rows are replaced, not summed."""
+        rows = [
+            (
+                scope,
+                ",".join(str(int(d)) for d in entry["prefix"]),
+                int(entry.get("children", 0)),
+                int(entry.get("hits", 0)),
+            )
+            for entry in entries
+        ]
+        if not rows:
+            return
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO corpus "
+                "(scope, prefix, children, hits) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+
+    def corpus_entries(self, scope: str) -> List[Dict[str, Any]]:
+        """The stored corpus snapshot for ``scope`` (possibly empty),
+        in deterministic (prefix-sorted) order."""
+        rows = self._conn.execute(
+            "SELECT prefix, children, hits FROM corpus "
+            "WHERE scope = ? ORDER BY prefix",
+            (scope,),
+        ).fetchall()
+        return [
+            {
+                "prefix": [int(d) for d in row["prefix"].split(",") if d != ""],
+                "children": int(row["children"]),
+                "hits": int(row["hits"]),
+            }
+            for row in rows
+        ]
 
     # -- bench trajectory ----------------------------------------------
     def append_trajectory(self, entry: Dict[str, Any]) -> None:

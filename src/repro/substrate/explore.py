@@ -18,9 +18,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.substrate.faults import FaultPlan
+from repro.substrate.independence import (
+    OPAQUE,
+    Footprint,
+    footprint_of,
+    independent,
+)
 from repro.substrate.runtime import RunResult, Runtime
 from repro.substrate.schedulers import (
     RandomScheduler,
@@ -30,6 +45,9 @@ from repro.substrate.schedulers import (
 )
 
 SetupFn = Callable[[Scheduler], Runtime]
+
+#: Partial-order-reduction modes accepted by :func:`explore_all`.
+REDUCTIONS = ("none", "sleep-set")
 
 
 @dataclass
@@ -168,6 +186,271 @@ def run_schedule(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Sleep-set partial-order reduction (Godefroid).
+#
+# The reduced search keeps the stateless-replay structure of the plain
+# explorer — each run rebuilds the world and replays the decision stack —
+# but maintains, per thread-choice node, a *sleep set*: threads whose
+# next step is provably covered by a sibling branch already explored.
+# A child inherits the parent's sleeping threads that are independent of
+# the executed step (their pending step still commutes around it); after
+# a sibling subtree finishes, its thread joins the node's sleep set.  A
+# continuation whose enabled threads are all asleep is redundant — every
+# maximal run below it is a commutation of runs already explored — and
+# is pruned.
+#
+# Because every history/trace-appending step writes the shared ("hist",)
+# token (see repro.substrate.independence), commuting-equivalent runs
+# carry identical histories: the reduced sweep yields the same set of
+# complete-run histories (hence verdicts and counterexample content) as
+# the unreduced one, while visiting strictly fewer schedules whenever
+# any two co-enabled steps commute.
+# ---------------------------------------------------------------------------
+
+
+class _PrunedRun(Exception):
+    """Raised from ``choose_thread`` to abandon a redundant continuation.
+
+    ``Runtime.run`` calls ``choose_thread`` outside its crash-handling
+    ``try``, so this propagates cleanly to the explorer without being
+    mistaken for a thread crash.
+    """
+
+
+class _PinnedNode:
+    """A ``pin_prefix`` decision: replayed verbatim, never backtracked."""
+
+    __slots__ = ("chosen",)
+
+    def __init__(self, chosen: int) -> None:
+        self.chosen = chosen
+
+
+class _ValueNode:
+    """An in-program ``Choose`` decision: enumerated exhaustively."""
+
+    __slots__ = ("arity", "chosen")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.chosen = 0
+
+
+class _ThreadNode:
+    """A thread-choice decision point with its sleep set."""
+
+    __slots__ = ("enabled", "sleep", "chosen", "footprint")
+
+    def __init__(self, enabled: Tuple[str, ...], sleep: Dict[str, Footprint]):
+        self.enabled = enabled
+        self.sleep = sleep  # tid -> footprint of its pending step
+        self.chosen = 0  # index into enabled
+        self.footprint: Optional[Footprint] = None  # of the executed step
+
+
+class _SleepSetScheduler(Scheduler):
+    """Thin adapter: forwards decisions to the explorer, logs them."""
+
+    def __init__(self, explorer: "_SleepSetExplorer") -> None:
+        self._explorer = explorer
+        self.log: List[Tuple[int, int]] = []
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        ordered = tuple(enabled)
+        index = self._explorer.on_thread_choice(ordered)
+        self.log.append((len(ordered), index))
+        return ordered[index]
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        index = self._explorer.on_value_choice(len(options))
+        self.log.append((len(options), index))
+        return options[index]
+
+    def choices(self) -> List[int]:
+        return [chosen for _, chosen in self.log]
+
+
+class _SleepSetExplorer:
+    """Drives the reduced DFS over a persistent decision-node stack."""
+
+    def __init__(self, pin_prefix: Sequence[int]) -> None:
+        self.stack: List[Any] = [_PinnedNode(c) for c in pin_prefix]
+        self._pinned = len(pin_prefix)
+        self._replay_len = 0
+        self._depth = 0
+        self._pending_sleep: Dict[str, Footprint] = {}
+        self._current: Optional[_ThreadNode] = None
+        self._memory_model = "sc"
+        self.pruned = 0
+
+    def begin_run(self, runtime: Runtime) -> None:
+        """Arm the explorer for one run over ``runtime``."""
+        self._replay_len = len(self.stack)
+        self._depth = 0
+        self._pending_sleep = {}
+        self._current = None
+        self._memory_model = runtime.memory_model
+        runtime.observer = self.on_step
+
+    # -- scheduler callbacks -------------------------------------------
+    def on_thread_choice(self, enabled: Tuple[str, ...]) -> int:
+        self._current = None
+        inherited = self._pending_sleep
+        self._pending_sleep = {}  # consume-once: crashes leave no stale sleep
+        if self._depth < self._replay_len:
+            node = self.stack[self._depth]
+            self._depth += 1
+            if isinstance(node, _PinnedNode):
+                if not 0 <= node.chosen < len(enabled):
+                    raise ValueError(
+                        f"pin prefix out of range: {node.chosen} not in "
+                        f"[0, {len(enabled)})"
+                    )
+                return node.chosen
+            if not isinstance(node, _ThreadNode) or node.enabled != enabled:
+                raise RuntimeError(
+                    "sleep-set replay desync: nondeterministic setup?"
+                )
+            self._current = node
+            return node.chosen
+        node = _ThreadNode(enabled, inherited)
+        for index, tid in enumerate(enabled):
+            if tid not in node.sleep:
+                node.chosen = index
+                self.stack.append(node)
+                self._depth += 1
+                self._current = node
+                return index
+        raise _PrunedRun()
+
+    def on_value_choice(self, arity: int) -> int:
+        if self._depth < self._replay_len:
+            node = self.stack[self._depth]
+            self._depth += 1
+            if isinstance(node, _PinnedNode):
+                if not 0 <= node.chosen < arity:
+                    raise ValueError(
+                        f"pin prefix out of range: {node.chosen} not in "
+                        f"[0, {arity})"
+                    )
+                return node.chosen
+            if not isinstance(node, _ValueNode):
+                raise RuntimeError(
+                    "sleep-set replay desync: nondeterministic setup?"
+                )
+            return node.chosen
+        node = _ValueNode(arity)
+        self.stack.append(node)
+        self._depth += 1
+        return node.chosen
+
+    # -- runtime observer ----------------------------------------------
+    def on_step(self, tid: str, effect: Any) -> None:
+        node = self._current
+        self._current = None
+        if node is None:
+            # A pinned decision's step: nothing to inherit below it.
+            self._pending_sleep = {}
+            return
+        step = footprint_of(tid, effect, self._memory_model)
+        node.footprint = step
+        self._pending_sleep = {
+            sleeper: pending
+            for sleeper, pending in node.sleep.items()
+            if independent(pending, step)
+        }
+
+    # -- backtracking ---------------------------------------------------
+    def backtrack(self) -> bool:
+        """Advance to the next unexplored leaf; False when exhausted."""
+        stack = self.stack
+        while len(stack) > self._pinned:
+            node = stack[-1]
+            if isinstance(node, _ValueNode):
+                if node.chosen + 1 < node.arity:
+                    node.chosen += 1
+                    return True
+                stack.pop()
+                continue
+            # Thread node: the chosen subtree is fully explored — its
+            # thread goes to sleep, then try the next awake sibling.
+            done = node.enabled[node.chosen]
+            node.sleep[done] = (
+                node.footprint if node.footprint is not None else OPAQUE
+            )
+            advanced = False
+            for index in range(node.chosen + 1, len(node.enabled)):
+                if node.enabled[index] not in node.sleep:
+                    node.chosen = index
+                    node.footprint = None
+                    advanced = True
+                    break
+            if advanced:
+                return True
+            stack.pop()
+        return False
+
+
+def _explore_sleep_set(
+    setup: SetupFn,
+    max_steps: Optional[int],
+    include_incomplete: bool,
+    limit: Optional[int],
+    budget: Optional[ExploreBudget],
+    pin_prefix: Sequence[int],
+    trace,
+    progress_every: int,
+) -> Iterator[RunResult]:
+    """The ``reduction="sleep-set"`` body of :func:`explore_all`."""
+    explorer = _SleepSetExplorer(pin_prefix)
+    produced = 0
+    attempted = 0
+    steps = 0
+    started = time.monotonic()
+    if budget is not None:
+        budget.start()
+    while True:
+        if budget is not None and budget.exhausted():
+            return
+        scheduler = _SleepSetScheduler(explorer)
+        runtime = setup(scheduler)
+        explorer.begin_run(runtime)
+        try:
+            result: Optional[RunResult] = runtime.run(max_steps=max_steps)
+        except _PrunedRun:
+            # Redundant continuation: every maximal run below it commutes
+            # into a branch already explored.  Charge the partial work.
+            explorer.pruned += 1
+            result = None
+            if budget is not None:
+                budget.runs += 1
+                budget.steps += runtime.steps
+        attempted += 1
+        steps += runtime.steps
+        if result is not None:
+            result.schedule = scheduler.choices()
+            if budget is not None:
+                budget.charge(result)
+        if trace is not None and progress_every and attempted % progress_every == 0:
+            trace.emit(
+                "campaign_progress",
+                driver="explore",
+                attempted=attempted,
+                runs=produced,
+                steps=steps,
+                pruned=explorer.pruned,
+                elapsed_s=time.monotonic() - started,
+            )
+        if result is not None and (result.completed or include_incomplete):
+            yield result
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        if not explorer.backtrack():
+            return
+
+
 def explore_all(
     setup: SetupFn,
     max_steps: Optional[int] = None,
@@ -178,6 +461,7 @@ def explore_all(
     pin_prefix: Sequence[int] = (),
     trace=None,
     progress_every: int = 0,
+    reduction: str = "none",
 ) -> Iterator[RunResult]:
     """Enumerate every run of the program (bounded by ``max_steps``).
 
@@ -206,7 +490,41 @@ def explore_all(
     ``campaign_progress`` event every ``progress_every`` attempted runs
     — the live-progress hook for open-ended enumerations, usable
     standalone (without any checker driver on top).
+
+    ``reduction`` selects the partial-order-reduction mode.  ``"none"``
+    (the default) is the historical exhaustive enumeration, decision
+    sequence for decision sequence.  ``"sleep-set"`` prunes branches
+    that only commute independent steps of branches already explored
+    (see :mod:`repro.substrate.independence` and ``docs/search.md``):
+    the set of complete-run histories — hence verdicts and
+    counterexample content — is preserved, while strictly fewer
+    schedules are visited whenever any co-enabled steps commute.
+    Incompatible with ``preemption_bound`` (CHESS bounding changes
+    which continuations exist, invalidating the covering argument).
+    With ``pin_prefix``, sleep sets apply within the pinned subtree
+    only — per-shard reduction stays sound, but cross-shard pruning is
+    lost, so sharded sweeps prune less than a single reduced sweep.
     """
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"reduction must be one of {REDUCTIONS}: {reduction!r}"
+        )
+    if reduction == "sleep-set":
+        if preemption_bound is not None:
+            raise ValueError(
+                "reduction='sleep-set' is incompatible with preemption_bound"
+            )
+        yield from _explore_sleep_set(
+            setup,
+            max_steps,
+            include_incomplete,
+            limit,
+            budget,
+            pin_prefix,
+            trace,
+            progress_every,
+        )
+        return
     pinned = len(pin_prefix)
     prefix: list[int] = list(pin_prefix)
     produced = 0
@@ -255,11 +573,15 @@ def count_runs(
     setup: SetupFn,
     max_steps: Optional[int] = None,
     preemption_bound: Optional[int] = None,
+    reduction: str = "none",
 ) -> int:
     """Number of complete runs (exhaustive-exploration size)."""
     return sum(
         1
         for _ in explore_all(
-            setup, max_steps=max_steps, preemption_bound=preemption_bound
+            setup,
+            max_steps=max_steps,
+            preemption_bound=preemption_bound,
+            reduction=reduction,
         )
     )

@@ -246,6 +246,14 @@ class Runtime:
         # substrate stays import-free of the observability layer.
         self._metrics = metrics
         self._trace_sink = trace
+        #: Optional step observer, ``fn(tid, effect_or_None)``, called
+        #: after each interpreted step (flush steps report as their
+        #: ``~flush:<tid>`` pseudo-thread with a synthesized Write; a
+        #: thread's finishing step reports ``None``).  The sleep-set
+        #: explorer (:mod:`repro.substrate.explore`) attaches here to
+        #: compute per-step footprints; ``None`` (the default) is
+        #: bit-identical to the pre-hook runtime.
+        self.observer: Optional[Callable[[str, Optional[Effect]], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -397,6 +405,8 @@ class Runtime:
             thread.finished = True
             thread.result = stop.value
             self.steps += 1
+            if self.observer is not None:
+                self.observer(tid, None)
             return
         except Exception as exc:  # noqa: BLE001 — surfaced with context
             thread.finished = True
@@ -407,6 +417,8 @@ class Runtime:
         pre_trace = self.world.trace if want_snapshots else None
         thread.inbox = self._interpret(tid, effect)
         self.steps += 1
+        if self.observer is not None:
+            self.observer(tid, effect)
         if want_snapshots:
             post = self.world.heap.snapshot()
             post_trace = self.world.trace
@@ -471,6 +483,8 @@ class Runtime:
             on_commit(self.world)
         self._count("tso_flush")
         self.steps += 1
+        if self.observer is not None:
+            self.observer(flush_id(tid), Write(ref, value, on_commit))
         if want_snapshots:
             post = self.world.heap.snapshot()
             post_trace = self.world.trace

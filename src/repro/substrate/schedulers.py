@@ -129,6 +129,68 @@ class RandomScheduler(Scheduler):
         return [chosen for _, chosen in self.log]
 
 
+class PrefixRandomScheduler(Scheduler):
+    """Replay a (possibly mutated) prefix, then continue seeded-random.
+
+    The greybox engine (:mod:`repro.search.greybox`) proposes mutated
+    schedule prefixes whose entries may no longer match the decision
+    arities they land on; prefix entries are therefore always wrapped
+    modulo the arity, like ``ReplayScheduler(clamp=True)``.  Beyond the
+    prefix the scheduler behaves exactly like :class:`RandomScheduler`
+    (same stream, same ``yield_bias`` persistence), and every decision —
+    replayed or drawn — is logged as ``(arity, index)``, so the full run
+    replays through :class:`ReplayScheduler` and shrinks like any other
+    recorded schedule.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[int],
+        seed: int = 0,
+        yield_bias: float = 0.0,
+    ) -> None:
+        self._prefix: Tuple[int, ...] = tuple(prefix)
+        self._rng = random.Random(seed)
+        self._bias = yield_bias
+        self._last: str | None = None
+        self.log: List[Tuple[int, int]] = []
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        position = len(self.log)
+        if position < len(self._prefix):
+            index = self._prefix[position] % len(enabled)
+            choice = enabled[index]
+            self._last = choice
+            self.log.append((len(enabled), index))
+            return choice
+        if self._last is not None and self._last not in enabled:
+            self._last = None
+        if (
+            self._bias > 0.0
+            and self._last is not None
+            and self._rng.random() < self._bias
+        ):
+            choice = self._last
+        else:
+            choice = enabled[self._rng.randrange(len(enabled))]
+        self._last = choice
+        self.log.append((len(enabled), list(enabled).index(choice)))
+        return choice
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        position = len(self.log)
+        if position < len(self._prefix):
+            index = self._prefix[position] % len(options)
+        else:
+            index = self._rng.randrange(len(options))
+        self.log.append((len(options), index))
+        return options[index]
+
+    def choices(self) -> List[int]:
+        """The decision indices actually taken in this run."""
+        return [chosen for _, chosen in self.log]
+
+
 class ReplayScheduler(Scheduler):
     """Follow a prefix of decision indices, then default to index 0.
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.checkers.fuzz import fuzz_cal
 from repro.checkers.parallel import explore_parallel, fuzz_cal_parallel
@@ -158,6 +160,71 @@ class TestCoverageTracker:
 
     def test_repr_is_compact(self):
         assert "0 runs" in repr(CoverageTracker())
+
+
+# ----------------------------------------------------------------------
+# Merge algebra (property-based)
+# ----------------------------------------------------------------------
+_run_lists = st.lists(
+    st.tuples(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=6),
+        st.integers(min_value=2, max_value=5),
+    ),
+    max_size=8,
+)
+
+
+def _build_tracker(runs, offset=0):
+    tracker = CoverageTracker(prefix_depth=4, offset=offset)
+    for position, (schedule, width) in enumerate(runs):
+        tracker.observe_run(position, schedule, wide_overlap_history(width))
+    return tracker
+
+
+class TestMergeLaws:
+    """The laws the parallel runner and the durable store lean on:
+    shard snapshots merge in any order to the same snapshot, and a
+    re-delivered snapshot cannot invent fingerprints.  ``observed`` is
+    deliberately additive (it counts run *attempts*, not distinct
+    facts), so self-merge idempotence holds on every set facet and on
+    the samples — not on the attempt counter."""
+
+    @given(left_runs=_run_lists, right_runs=_run_lists)
+    def test_merge_commutes_on_disjoint_positions(
+        self, left_runs, right_runs
+    ):
+        # Disjoint offsets, as the parallel runner guarantees per shard.
+        one = _build_tracker(left_runs, offset=0).merge(
+            _build_tracker(right_runs, offset=100)
+        )
+        other = _build_tracker(right_runs, offset=100).merge(
+            _build_tracker(left_runs, offset=0)
+        )
+        assert one.snapshot() == other.snapshot()
+
+    @given(runs=_run_lists)
+    def test_self_merge_is_idempotent_on_facts(self, runs):
+        tracker = _build_tracker(runs)
+        before = tracker.snapshot()
+        tracker.merge(_build_tracker(runs))
+        after = tracker.snapshot()
+        assert after["observed"] == 2 * before["observed"]
+        for facet in (
+            "schedule_prefixes",
+            "histories",
+            "history_shapes",
+            "spec_transitions",
+            "samples",
+        ):
+            assert after[facet] == before[facet]
+
+    @given(runs=_run_lists)
+    def test_merge_round_trips_through_snapshot(self, runs):
+        tracker = _build_tracker(runs)
+        rebuilt = CoverageTracker.from_snapshot(tracker.snapshot())
+        merged = CoverageTracker(prefix_depth=4).merge(rebuilt)
+        for facet in ("schedule_prefixes", "histories", "history_shapes"):
+            assert tracker.snapshot()[facet] == merged.snapshot()[facet]
 
 
 # ----------------------------------------------------------------------
