@@ -70,6 +70,7 @@ def trajectory_entry(summary: dict) -> dict:
         "tso_overhead",
         "guided_speedup",
         "sleep_set_reduction",
+        "dpor_reduction",
     ):
         if extra in summary:
             entry[extra] = summary[extra]
@@ -133,6 +134,7 @@ def main(argv=None) -> int:
             "tso_overhead",
             "guided_speedup",
             "sleep_set_reduction",
+            "dpor_reduction",
         )
         if entry.get(key) is not None
     )

@@ -228,6 +228,7 @@ TREND_SERIES = (
     ("tso_overhead", "TSO overhead"),
     ("guided_speedup", "guided-search speedup (runs-to-bug ratio)"),
     ("sleep_set_reduction", "sleep-set schedule reduction"),
+    ("dpor_reduction", "DPOR schedule reduction"),
 )
 
 

@@ -79,7 +79,13 @@ from repro.checkers.seqspec import SequentialSpec
 from repro.checkers.verify import ViewFn
 from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics
-from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
+from repro.substrate.explore import (
+    ExploreBudget,
+    SetupFn,
+    explore_all,
+    shard_sleep_seeds,
+    validate_exploration,
+)
 from repro.substrate.runtime import RunResult
 from repro.substrate.schedulers import ReplayScheduler
 
@@ -756,12 +762,17 @@ def explore_parallel(
     ``coverage`` observes the merged results in enumeration order, so
     sharded and sequential campaigns produce identical trackers.
 
-    ``reduction="sleep-set"`` applies partial-order reduction *per
-    shard* (each worker's sleep sets start fresh under its pinned first
-    decision).  This is sound — every shard still covers its subtree's
-    behaviour — but prunes less than an unsharded reduced sweep, and
-    shard run counts need not sum to the sequential reduced count.
+    ``reduction="sleep-set"`` / ``reduction="dpor"`` apply partial-order
+    reduction per shard, with the shards exchanging reduction knowledge
+    at their boundaries: shard ``k`` starts with the first-step
+    footprints of shards ``0..k-1`` asleep (see
+    :func:`~repro.substrate.explore.shard_sleep_seeds`) — the sleep
+    state a sequential reduced sweep holds when it enters the root's
+    ``k``-th branch — so the sharded sweep prunes like the unsharded
+    one and the concatenated shard results equal the sequential reduced
+    enumeration.
     """
+    validate_exploration(reduction, preemption_bound=preemption_bound)
     workers = default_workers() if workers is None else workers
     if budget is not None:
         budget.start()
@@ -781,6 +792,9 @@ def explore_parallel(
         _observe_explore(metrics, trace, results, budget, coverage)
         return results
     remaining = budget.remaining_deadline() if budget is not None else None
+    seeds = (
+        shard_sleep_seeds(setup, arity) if reduction != "none" else None
+    )
 
     def shard_task(pin: int) -> Callable[[], Tuple[List[RunResult], ExploreBudget]]:
         def run_shard() -> Tuple[List[RunResult], ExploreBudget]:
@@ -803,6 +817,7 @@ def explore_parallel(
                     budget=shard_budget,
                     pin_prefix=[pin],
                     reduction=reduction,
+                    sleep_seed=None if seeds is None else seeds[pin],
                 )
             ]
             return results, (shard_budget or ExploreBudget())

@@ -29,7 +29,12 @@ from repro.core.catrace import CATrace
 from repro.core.history import History
 from repro.obs.metrics import Metrics, observe_run
 from repro.obs.report import CounterexampleReport
-from repro.substrate.explore import ExploreBudget, SetupFn, explore_all
+from repro.substrate.explore import (
+    ExploreBudget,
+    SetupFn,
+    explore_all,
+    validate_exploration,
+)
 
 
 @dataclass
@@ -163,6 +168,7 @@ def verify_cal(
     progress_every: int = 0,
     pin_prefix: Sequence[int] = (),
     reduction: str = "none",
+    sleep_seed=None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -189,12 +195,17 @@ def verify_cal(
     durable campaigns checkpoint on: per-shard reports merged in pin
     order (:meth:`VerificationReport.merge`) equal an unsharded sweep.
 
-    ``reduction="sleep-set"`` prunes commutativity-equivalent
-    interleavings during exploration (see
+    ``reduction="sleep-set"`` / ``reduction="dpor"`` prune
+    commutativity-equivalent interleavings during exploration (see
     :func:`~repro.substrate.explore.explore_all`): the verdict and the
     set of distinct failing histories are preserved, with strictly
     fewer runs checked whenever independent steps commute.
+    ``sleep_seed`` hands a sharded reduced sweep the sleep state of its
+    siblings (see :func:`~repro.substrate.explore.shard_sleep_seeds`);
+    the reduction/bound combination is validated before any trace event
+    is emitted.
     """
+    validate_exploration(reduction, preemption_bound=preemption_bound)
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
     campaign = type(metrics)() if metrics is not None else None
@@ -212,6 +223,7 @@ def verify_cal(
         budget=budget,
         pin_prefix=pin_prefix,
         reduction=reduction,
+        sleep_seed=sleep_seed,
     ):
         if campaign is not None:
             observe_run(campaign, run)
@@ -317,6 +329,7 @@ def verify_linearizability(
     progress_every: int = 0,
     pin_prefix: Sequence[int] = (),
     reduction: str = "none",
+    sleep_seed=None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -328,9 +341,10 @@ def verify_linearizability(
     Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
     falls back to witness validation (when a view is available) and the
     run counts as ``unknown``.  ``metrics``/``trace``/``coverage``/
-    ``progress_every``/``pin_prefix``/``reduction`` behave as in
-    :func:`verify_cal`.
+    ``progress_every``/``pin_prefix``/``reduction``/``sleep_seed``
+    behave as in :func:`verify_cal`.
     """
+    validate_exploration(reduction, preemption_bound=preemption_bound)
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
     campaign = type(metrics)() if metrics is not None else None
@@ -348,6 +362,7 @@ def verify_linearizability(
         budget=budget,
         pin_prefix=pin_prefix,
         reduction=reduction,
+        sleep_seed=sleep_seed,
     ):
         if campaign is not None:
             observe_run(campaign, run)

@@ -213,23 +213,37 @@ def durable_explore(
     in pin order — durable explore trades worker fan-out for
     checkpointability; budgets are unsupported here because a cut shard
     has no stable boundary to resume from.  ``config`` may carry
-    ``reduction`` (``"none"`` | ``"sleep-set"``); sharded sleep sets
-    prune per shard, which is sound but weaker than an unsharded sweep.
+    ``reduction`` (``"none"`` | ``"sleep-set"`` | ``"dpor"``); reduced
+    shards exchange sleep state at their boundaries (see
+    :func:`~repro.substrate.explore.shard_sleep_seeds`), so the merged
+    enumeration equals an unsharded reduced sweep — and, because the
+    seeds are a pure function of ``setup``, a resumed campaign's
+    remaining shards prune exactly as the uninterrupted run's did.
     """
     from repro.checkers.parallel import (
         _first_arity,
         _observe_explore,
         _sanitize,
     )
-    from repro.substrate.explore import explore_all
+    from repro.substrate.explore import (
+        explore_all,
+        shard_sleep_seeds,
+        validate_exploration,
+    )
 
+    reduction = config.get("reduction", "none")
+    validate_exploration(reduction)
     completed = _begin(
         store, campaign_id, "explore", workload, checker, config, trace=trace
     )
     max_steps = config["max_steps"]
-    reduction = config.get("reduction", "none")
     arity = _first_arity(setup, max_steps)
     pins: List[Any] = [[k] for k in range(arity)] if arity > 1 else [[]]
+    seeds = (
+        shard_sleep_seeds(setup, arity)
+        if reduction != "none" and arity > 1
+        else None
+    )
     writer = CheckpointWriter(
         store, campaign_id, trace=trace, abort_after=abort_after
     )
@@ -245,6 +259,7 @@ def durable_explore(
                     max_steps=max_steps,
                     pin_prefix=pin,
                     reduction=reduction,
+                    sleep_seed=None if seeds is None else seeds[index],
                 )
             ]
             writer.chunk_done(index, index, 1, results)
@@ -287,7 +302,10 @@ def durable_verify(
     run sequentially because each shard's coverage tracker is seeded
     with the cumulative attempted-run count of the shards before it —
     the offset that keeps merged saturation curves identical to a
-    sequential campaign's.
+    sequential campaign's.  When ``driver_kwargs`` carries a
+    ``reduction``, shards additionally exchange sleep state at their
+    boundaries (:func:`~repro.substrate.explore.shard_sleep_seeds`), so
+    the merged reduced sweep checks the same runs as an unsharded one.
     """
     from repro.checkers.parallel import _first_arity
     from repro.checkers.verify import (
@@ -296,13 +314,27 @@ def durable_verify(
         verify_linearizability,
     )
     from repro.obs.metrics import Metrics
+    from repro.substrate.explore import (
+        shard_sleep_seeds,
+        validate_exploration,
+    )
 
+    reduction = (driver_kwargs or {}).get("reduction", "none")
+    validate_exploration(
+        reduction,
+        preemption_bound=(driver_kwargs or {}).get("preemption_bound"),
+    )
     completed = _begin(
         store, campaign_id, "verify", workload, checker, config, trace=trace
     )
     max_steps = config["max_steps"]
     arity = _first_arity(setup, max_steps)
     pins: List[Any] = [[k] for k in range(arity)] if arity > 1 else [[]]
+    seeds = (
+        shard_sleep_seeds(setup, arity)
+        if reduction != "none" and arity > 1
+        else None
+    )
     writer = CheckpointWriter(
         store, campaign_id, trace=trace, abort_after=abort_after
     )
@@ -330,6 +362,7 @@ def durable_verify(
                 coverage=shard_coverage,
                 progress_every=progress_every,
                 pin_prefix=pin,
+                sleep_seed=None if seeds is None else seeds[index],
                 **(driver_kwargs or {}),
             )
             writer.chunk_done(index, index, 1, shard)

@@ -36,7 +36,7 @@ from repro.substrate.independence import (
     footprint_of,
     independent,
 )
-from repro.substrate.runtime import RunResult, Runtime
+from repro.substrate.runtime import MEMORY_MODELS, RunResult, Runtime
 from repro.substrate.schedulers import (
     RandomScheduler,
     ReplayScheduler,
@@ -47,7 +47,39 @@ from repro.substrate.schedulers import (
 SetupFn = Callable[[Scheduler], Runtime]
 
 #: Partial-order-reduction modes accepted by :func:`explore_all`.
-REDUCTIONS = ("none", "sleep-set")
+REDUCTIONS = ("none", "sleep-set", "dpor")
+
+
+def validate_exploration(
+    reduction: str = "none",
+    preemption_bound: Optional[int] = None,
+    memory_model: Optional[str] = None,
+) -> None:
+    """Validate a reduction/bound/memory-model combination *up front*.
+
+    Every exploration entry point — :func:`explore_all`, the verify
+    drivers, :func:`~repro.checkers.parallel.explore_parallel` and the
+    durable drivers — funnels through this check before doing any work
+    (emitting trace events, creating campaign rows, forking workers), so
+    a bad combination fails fast with one shared message instead of
+    surfacing mid-campaign out of a generator.
+    """
+    problem = None
+    if reduction not in REDUCTIONS:
+        problem = f"unknown reduction {reduction!r} (choose from {REDUCTIONS})"
+    elif memory_model is not None and memory_model not in MEMORY_MODELS:
+        problem = (
+            f"unknown memory_model {memory_model!r} "
+            f"(choose from {MEMORY_MODELS})"
+        )
+    elif reduction != "none" and preemption_bound is not None:
+        problem = (
+            f"reduction={reduction!r} is incompatible with preemption_bound "
+            "(CHESS bounding changes which continuations exist, invalidating "
+            "the covering argument)"
+        )
+    if problem is not None:
+        raise ValueError(f"invalid exploration configuration: {problem}")
 
 
 @dataclass
@@ -272,13 +304,32 @@ class _SleepSetScheduler(Scheduler):
 
 
 class _SleepSetExplorer:
-    """Drives the reduced DFS over a persistent decision-node stack."""
+    """Drives the reduced DFS over a persistent decision-node stack.
 
-    def __init__(self, pin_prefix: Sequence[int]) -> None:
+    ``sleep_seed`` (thread -> footprint of its pending first step) seeds
+    the sleep set of the first *unpinned* thread-choice node.  The
+    parallel and durable drivers use it to exchange reduction knowledge
+    at shard boundaries: shard ``k`` starts with the first-step
+    footprints of shards ``0..k-1`` asleep — exactly the sleep state a
+    sequential sweep would carry into the root's ``k``-th branch — so a
+    sharded sweep prunes as the unsharded one does.  The seed survives
+    the pinned prefix only while independent of every pinned step (and
+    is dropped wholesale across steps with no observable footprint, such
+    as injected faults), mirroring the in-run inheritance rule.
+    """
+
+    def __init__(
+        self,
+        pin_prefix: Sequence[int],
+        sleep_seed: Optional[Dict[str, Footprint]] = None,
+    ) -> None:
         self.stack: List[Any] = [_PinnedNode(c) for c in pin_prefix]
         self._pinned = len(pin_prefix)
         self._replay_len = 0
         self._depth = 0
+        self._sleep_seed: Dict[str, Footprint] = dict(sleep_seed or {})
+        self._seed_live: Dict[str, Footprint] = {}
+        self._awaiting_pinned_step = False
         self._pending_sleep: Dict[str, Footprint] = {}
         self._current: Optional[_ThreadNode] = None
         self._memory_model = "sc"
@@ -288,14 +339,25 @@ class _SleepSetExplorer:
         """Arm the explorer for one run over ``runtime``."""
         self._replay_len = len(self.stack)
         self._depth = 0
-        self._pending_sleep = {}
+        self._pending_sleep = dict(self._sleep_seed)
+        self._seed_live = dict(self._sleep_seed)
+        self._awaiting_pinned_step = False
         self._current = None
         self._memory_model = runtime.memory_model
         runtime.observer = self.on_step
 
+    def end_run(self) -> None:
+        """Per-run epilogue hook (no analysis needed for sleep sets)."""
+
     # -- scheduler callbacks -------------------------------------------
     def on_thread_choice(self, enabled: Tuple[str, ...]) -> int:
         self._current = None
+        if self._awaiting_pinned_step:
+            # The previous pinned decision's step never reported a
+            # footprint (an injected fault or crash): conservatively
+            # drop the shard seed rather than claim commutation.
+            self._seed_live = {}
+            self._awaiting_pinned_step = False
         inherited = self._pending_sleep
         self._pending_sleep = {}  # consume-once: crashes leave no stale sleep
         if self._depth < self._replay_len:
@@ -307,6 +369,7 @@ class _SleepSetExplorer:
                         f"pin prefix out of range: {node.chosen} not in "
                         f"[0, {len(enabled)})"
                     )
+                self._awaiting_pinned_step = True
                 return node.chosen
             if not isinstance(node, _ThreadNode) or node.enabled != enabled:
                 raise RuntimeError(
@@ -350,8 +413,19 @@ class _SleepSetExplorer:
         node = self._current
         self._current = None
         if node is None:
-            # A pinned decision's step: nothing to inherit below it.
-            self._pending_sleep = {}
+            # A pinned decision's step: filter the shard seed through it
+            # (a seeded sleeper survives only while its pending step is
+            # independent of every pinned step, exactly as an in-run
+            # sleeper would); nothing else is inherited below it.
+            self._awaiting_pinned_step = False
+            if self._seed_live:
+                step = footprint_of(tid, effect, self._memory_model)
+                self._seed_live = {
+                    sleeper: pending
+                    for sleeper, pending in self._seed_live.items()
+                    if independent(pending, step)
+                }
+            self._pending_sleep = dict(self._seed_live)
             return
         step = footprint_of(tid, effect, self._memory_model)
         node.footprint = step
@@ -392,18 +466,23 @@ class _SleepSetExplorer:
         return False
 
 
-def _explore_sleep_set(
+def _explore_reduced(
+    explorer: Any,
     setup: SetupFn,
     max_steps: Optional[int],
     include_incomplete: bool,
     limit: Optional[int],
     budget: Optional[ExploreBudget],
-    pin_prefix: Sequence[int],
     trace,
     progress_every: int,
 ) -> Iterator[RunResult]:
-    """The ``reduction="sleep-set"`` body of :func:`explore_all`."""
-    explorer = _SleepSetExplorer(pin_prefix)
+    """The shared replay loop behind every reduced exploration mode.
+
+    ``explorer`` supplies the strategy: ``begin_run`` arms it over a
+    fresh runtime, ``end_run`` runs any per-run analysis (the DPOR race
+    detection; a no-op for sleep sets), and ``backtrack`` advances the
+    persistent decision stack to the next unexplored leaf.
+    """
     produced = 0
     attempted = 0
     steps = 0
@@ -426,6 +505,7 @@ def _explore_sleep_set(
             if budget is not None:
                 budget.runs += 1
                 budget.steps += runtime.steps
+        explorer.end_run()
         attempted += 1
         steps += runtime.steps
         if result is not None:
@@ -462,6 +542,7 @@ def explore_all(
     trace=None,
     progress_every: int = 0,
     reduction: str = "none",
+    sleep_seed: Optional[Dict[str, Footprint]] = None,
 ) -> Iterator[RunResult]:
     """Enumerate every run of the program (bounded by ``max_steps``).
 
@@ -499,32 +580,66 @@ def explore_all(
     the set of complete-run histories — hence verdicts and
     counterexample content — is preserved, while strictly fewer
     schedules are visited whenever any co-enabled steps commute.
-    Incompatible with ``preemption_bound`` (CHESS bounding changes
-    which continuations exist, invalidating the covering argument).
-    With ``pin_prefix``, sleep sets apply within the pinned subtree
-    only — per-shard reduction stays sound, but cross-shard pruning is
-    lost, so sharded sweeps prune less than a single reduced sweep.
+    ``"dpor"`` (:mod:`repro.substrate.dpor`) goes further: instead of
+    enumerating-then-skipping, it detects races in explored runs and
+    schedules only the reversals those races demand, as wakeup
+    sequences — no schedule is generated and then discarded, so very
+    wide programs stop paying enumeration cost.  Both reduced modes are
+    incompatible with ``preemption_bound`` (CHESS bounding changes
+    which continuations exist, invalidating the covering argument) and
+    both validate their configuration *before* the first run, at call
+    time.
+
+    ``sleep_seed`` (thread -> first-step footprint) seeds the sleep set
+    of the first unpinned decision node; the parallel and durable
+    drivers use it to hand each ``pin_prefix`` shard the sleep state a
+    sequential reduced sweep would carry into that branch, so sharding
+    loses no pruning (see :func:`shard_sleep_seeds`).  Ignored by
+    ``reduction="none"``.
     """
-    if reduction not in REDUCTIONS:
-        raise ValueError(
-            f"reduction must be one of {REDUCTIONS}: {reduction!r}"
-        )
-    if reduction == "sleep-set":
-        if preemption_bound is not None:
-            raise ValueError(
-                "reduction='sleep-set' is incompatible with preemption_bound"
-            )
-        yield from _explore_sleep_set(
+    validate_exploration(reduction, preemption_bound=preemption_bound)
+    if reduction != "none":
+        if reduction == "dpor":
+            from repro.substrate.dpor import DporExplorer
+
+            explorer: Any = DporExplorer(pin_prefix, sleep_seed=sleep_seed)
+        else:
+            explorer = _SleepSetExplorer(pin_prefix, sleep_seed=sleep_seed)
+        return _explore_reduced(
+            explorer,
             setup,
             max_steps,
             include_incomplete,
             limit,
             budget,
-            pin_prefix,
             trace,
             progress_every,
         )
-        return
+    return _explore_unreduced(
+        setup,
+        max_steps,
+        include_incomplete,
+        limit,
+        preemption_bound,
+        budget,
+        pin_prefix,
+        trace,
+        progress_every,
+    )
+
+
+def _explore_unreduced(
+    setup: SetupFn,
+    max_steps: Optional[int],
+    include_incomplete: bool,
+    limit: Optional[int],
+    preemption_bound: Optional[int],
+    budget: Optional[ExploreBudget],
+    pin_prefix: Sequence[int],
+    trace,
+    progress_every: int,
+) -> Iterator[RunResult]:
+    """The historical exhaustive enumeration (``reduction="none"``)."""
     pinned = len(pin_prefix)
     prefix: list[int] = list(pin_prefix)
     produced = 0
@@ -585,3 +700,72 @@ def count_runs(
             reduction=reduction,
         )
     )
+
+
+class _FirstStepProbe(Scheduler):
+    """Schedules alternative ``pin`` first, then anything — one step."""
+
+    def __init__(self, pin: int) -> None:
+        self._pin = pin
+        self.agent: Optional[str] = None
+
+    def choose_thread(self, enabled: Sequence[str]) -> str:
+        ordered = tuple(enabled)
+        if self.agent is None:
+            self.agent = ordered[self._pin]
+            return self.agent
+        return ordered[0]
+
+    def choose_value(self, options: Sequence[Any]) -> Any:
+        return options[0]
+
+
+def shard_sleep_seeds(
+    setup: SetupFn, arity: int
+) -> List[Dict[str, Footprint]]:
+    """Per-shard sleep seeds for first-decision sharding.
+
+    Runs one probe step under each alternative of the root decision to
+    learn which thread it schedules and that step's footprint; shard
+    ``k`` then receives ``{thread_j: footprint_j for j < k}`` — exactly
+    the sleep set a sequential reduced sweep holds at the root when it
+    enters its ``k``-th branch.  This is the backtrack-set exchange that
+    makes sharded reduced sweeps prune like unsharded ones.
+
+    A probe whose first step reports no footprint (an injected fault
+    fires immediately) is recorded as :data:`~repro.substrate
+    .independence.OPAQUE` — the same conservative entry sequential
+    backtracking would record for it.
+    """
+    probes: List[Tuple[Optional[str], Footprint]] = []
+    for pin in range(arity):
+        scheduler = _FirstStepProbe(pin)
+        runtime = setup(scheduler)
+        captured: List[Footprint] = []
+
+        def observe(
+            tid: str,
+            effect: Any,
+            _captured: List[Footprint] = captured,
+            _runtime: Runtime = runtime,
+        ) -> None:
+            if not _captured:
+                _captured.append(
+                    footprint_of(tid, effect, _runtime.memory_model)
+                )
+
+        runtime.observer = observe
+        runtime.run(max_steps=1)
+        probes.append(
+            (scheduler.agent, captured[0] if captured else OPAQUE)
+        )
+    seeds: List[Dict[str, Footprint]] = []
+    for pin in range(arity):
+        seeds.append(
+            {
+                agent: footprint
+                for agent, footprint in probes[:pin]
+                if agent is not None
+            }
+        )
+    return seeds

@@ -381,6 +381,46 @@ class TestTrendReport:
         out = capsys.readouterr().out
         assert "E20" in out and "tso-ovh" in out
 
+    def test_trend_renders_e22_without_breaking_older_rows(
+        self, tmp_path, capsys
+    ):
+        """New columns (E22's ``dpor_reduction``) must appear without
+        breaking rows recorded before the column existed."""
+        old = {
+            "experiment": "E21",
+            "recorded_at": "2026-08-06T00:00:00+00:00",
+            "commit": "1111111111111111",
+            "sleep_set_reduction": 79.7,
+        }
+        new = {
+            "experiment": "E22",
+            "recorded_at": "2026-08-07T00:00:00+00:00",
+            "commit": "2222222222222222",
+            "dpor_reduction": 301.3,
+        }
+        results = tmp_path / "bench_results.json"
+        results.write_text(json.dumps({"trajectory": [old, new]}))
+        assert _run("report", "--trend", "--json", str(results)) == 0
+        out = capsys.readouterr().out
+        assert "E21" in out and "E22" in out
+        assert "dpor" in out and "301.3" in out
+        assert "sleep-set" in out and "79.7" in out
+        html_path = tmp_path / "trend.html"
+        assert (
+            _run(
+                "report",
+                "--trend",
+                "--json",
+                str(results),
+                "--html",
+                str(html_path),
+            )
+            == 0
+        )
+        page = html_path.read_text()
+        assert "DPOR schedule reduction" in page
+        assert "301" in page
+
     def test_trend_with_no_entries_reports_empty(self, tmp_path, capsys):
         results = tmp_path / "empty.json"
         results.write_text(json.dumps({}))

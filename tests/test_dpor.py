@@ -1,0 +1,454 @@
+"""Source-set DPOR: cross-engine conformance and pinned reductions.
+
+An aggressive pruner is exactly the kind of change that silently loses
+counterexamples, so ``reduction="dpor"`` is held to *observational
+identity* with both the unreduced enumeration and the sleep-set engine:
+identical outcome sets, identical verdicts, and identical first
+counterexamples, on six curated workloads spanning the CLI families
+(CAL and linearizability, SC and TSO, passing and failing) plus fifty
+generated random programs (with and without fault plans), sequentially,
+sharded across workers, and through the durable drivers.
+
+Schedule counts are pinned per workload: a change to the race analysis
+or the wakeup-tree bookkeeping that alters pruning shows up as a count
+diff even while equivalence still holds.  DPOR must never visit more
+schedules than the sleep-set engine on any pinned workload — and under
+TSO it visits strictly fewer, because sleep sets only skip the first
+step of an explored sibling while wakeup trees never generate the
+redundant suffix at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers.parallel import explore_parallel
+from repro.checkers.verify import verify_cal, verify_linearizability
+from repro.obs.tracing import TraceSink
+from repro.specs import ExchangerSpec, StackSpec
+from repro.store import (
+    STATUS_INTERRUPTED,
+    CampaignStore,
+    durable_explore,
+    durable_verify,
+)
+from repro.substrate.explore import (
+    REDUCTIONS,
+    explore_all,
+    validate_exploration,
+)
+from repro.workloads.programs import (
+    StackWorkload,
+    dual_stack_program,
+    exchanger_program,
+    manual_treiber_program,
+)
+from repro.workloads.randomprog import random_program
+from tests.test_rendezvous import rv_setup
+from tests.test_sleepset import broken2_setup
+
+
+def _small_treiber(memory_model):
+    return manual_treiber_program(
+        StackWorkload(scripts=[[("push", 3)], [("pop",)]]),
+        policy="gc",
+        seed_values=(1,),
+        max_attempts=1,
+        memory_model=memory_model,
+    )
+
+
+#: The six conformance workloads: (name, setup factory, max_steps,
+#: unreduced count, sleep-set count, dpor count).  Counts are the
+#: pruning contract; outcome identity is asserted alongside.
+WORKLOADS = [
+    ("exchanger2", lambda: exchanger_program([3, 4]), 200, 4622, 58, 58),
+    (
+        "dual-stack",
+        lambda: dual_stack_program(
+            StackWorkload(scripts=[[("push", 1)], [("pop",)]])
+        ),
+        150,
+        17742,
+        41,
+        41,
+    ),
+    ("rendezvous", lambda: rv_setup([3, 4], slots=1), 300, 70080, 208, 208),
+    ("broken-exchanger", lambda: broken2_setup, 200, 70, 20, 20),
+    ("treiber-gc-sc", lambda: _small_treiber("sc"), 200, 6561, 56, 56),
+    ("treiber-gc-tso", lambda: _small_treiber("tso"), 200, 16875, 112, 56),
+]
+
+WORKLOAD_IDS = [w[0] for w in WORKLOADS]
+
+
+def _signature(runs):
+    """Hashable per-run observation: returns, history, crash set.
+
+    The *set* of these across an enumeration is what every reduction
+    must preserve — it determines each checker's verdict.
+    """
+    return {
+        (
+            tuple(sorted((tid, repr(v)) for tid, v in run.returns.items())),
+            tuple(repr(action) for action in run.history.actions),
+            tuple(sorted(run.crashed)),
+        )
+        for run in runs
+    }
+
+
+def _first_failure(report):
+    failure = report.failures[0]
+    return (
+        failure.reason,
+        failure.schedule,
+        [repr(action) for action in failure.history.actions],
+    )
+
+
+class TestPinnedConformance:
+    @pytest.mark.parametrize(
+        "name, factory, max_steps, full_count, sleep_count, dpor_count",
+        WORKLOADS,
+        ids=WORKLOAD_IDS,
+    )
+    def test_outcomes_identical_and_counts_pinned(
+        self, name, factory, max_steps, full_count, sleep_count, dpor_count
+    ):
+        setup = factory()
+        full = list(explore_all(setup, max_steps=max_steps))
+        sleep = list(
+            explore_all(setup, max_steps=max_steps, reduction="sleep-set")
+        )
+        dpor = list(
+            explore_all(setup, max_steps=max_steps, reduction="dpor")
+        )
+        assert len(full) == full_count
+        assert len(sleep) == sleep_count
+        assert len(dpor) == dpor_count
+        assert len(dpor) <= len(sleep)
+        assert _signature(dpor) == _signature(full)
+        assert _signature(dpor) == _signature(sleep)
+
+    def test_dpor_skips_the_enumerate_then_skip_cost(self):
+        """Fully independent threads collapse to ONE schedule with zero
+        pruned attempts — sleep sets visit (and discard) every sibling
+        prefix; wakeup trees never generate them."""
+        from repro.substrate import Program, World
+
+        def setup(scheduler):
+            world = World()
+            refs = [world.heap.ref(f"c{i}", 0) for i in range(3)]
+
+            def writer(ref):
+                def body(ctx):
+                    yield from ctx.write(ref, 1)
+                    yield from ctx.write(ref, 2)
+
+                return body
+
+            program = Program(world)
+            for index, ref in enumerate(refs):
+                program.thread(f"t{index}", writer(ref))
+            return program.runtime(scheduler)
+
+        runs = list(explore_all(setup, max_steps=100, reduction="dpor"))
+        assert len(runs) == 1
+
+
+class TestVerifyDifferential:
+    def test_cal_fail_same_first_counterexample(self):
+        reports = {
+            red: verify_cal(
+                broken2_setup,
+                ExchangerSpec("E"),
+                max_steps=200,
+                reduction=red,
+            )
+            for red in REDUCTIONS
+        }
+        verdicts = {red: r.verdict.name for red, r in reports.items()}
+        assert verdicts == {red: "FAIL" for red in REDUCTIONS}
+        first = {red: _first_failure(r) for red, r in reports.items()}
+        assert first["dpor"] == first["none"] == first["sleep-set"]
+
+    def test_cal_pass_all_engines(self):
+        for red in REDUCTIONS:
+            report = verify_cal(
+                exchanger_program([3, 4]),
+                ExchangerSpec("E"),
+                max_steps=200,
+                search=True,
+                reduction=red,
+            )
+            assert report.verdict.name == "OK", red
+
+    @pytest.mark.parametrize("memory_model", ["sc", "tso"])
+    def test_linearizability_pass_all_engines(self, memory_model):
+        setup = _small_treiber(memory_model)
+        for red in REDUCTIONS:
+            report = verify_linearizability(
+                setup,
+                StackSpec("S", initial=(1,)),
+                max_steps=200,
+                check_witness=False,
+                reduction=red,
+            )
+            assert report.verdict.name == "OK", (memory_model, red)
+
+
+class TestRandomProgramConformance:
+    """Differential sweep over generated programs.
+
+    Every seed is checked under both memory models, with and without a
+    fault plan — 4 configurations per seed, 50 seeds.  A failing seed is
+    a complete reproducer: ``random_program(seed, ...)`` rebuilds the
+    exact program.
+    """
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_engines_agree(self, seed):
+        for memory_model in ("sc", "tso"):
+            for with_faults in (False, True):
+                program = random_program(
+                    seed,
+                    memory_model=memory_model,
+                    with_faults=with_faults,
+                )
+                signatures = {}
+                counts = {}
+                for red in REDUCTIONS:
+                    runs = list(
+                        explore_all(
+                            program.setup, max_steps=200, reduction=red
+                        )
+                    )
+                    signatures[red] = _signature(runs)
+                    counts[red] = len(runs)
+                context = program.describe()
+                assert signatures["sleep-set"] == signatures["none"], context
+                assert signatures["dpor"] == signatures["none"], context
+                assert counts["dpor"] <= counts["sleep-set"], context
+
+
+class TestParallelConformance:
+    """Sharding must lose nothing: seeded shards make the parallel
+    reduced sweep *schedule-identical* to the sequential one, not merely
+    outcome-equal."""
+
+    @pytest.mark.parametrize("reduction", ["sleep-set", "dpor"])
+    def test_sharded_equals_sequential_schedules(self, reduction):
+        setup = exchanger_program([3, 4])
+        sequential = list(
+            explore_all(setup, max_steps=200, reduction=reduction)
+        )
+        parallel = explore_parallel(
+            setup, max_steps=200, workers=2, reduction=reduction
+        )
+        assert [r.schedule for r in parallel] == [
+            r.schedule for r in sequential
+        ]
+
+    def test_sharded_random_tso_program(self):
+        program = random_program(7, memory_model="tso")
+        sequential = list(
+            explore_all(program.setup, max_steps=200, reduction="dpor")
+        )
+        parallel = explore_parallel(
+            program.setup, max_steps=200, workers=2, reduction="dpor"
+        )
+        assert [r.schedule for r in parallel] == [
+            r.schedule for r in sequential
+        ]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CampaignStore(str(tmp_path / "campaigns.db")) as s:
+        yield s
+
+
+class TestDurableConformance:
+    def test_durable_explore_matches_sequential_dpor(self, store):
+        setup = exchanger_program([3, 4])
+        sequential = list(
+            explore_all(setup, max_steps=200, reduction="dpor")
+        )
+        merged = durable_explore(
+            store,
+            "dp1",
+            "exchanger2",
+            "cal",
+            setup,
+            {"max_steps": 200, "reduction": "dpor"},
+        )
+        assert [r.schedule for r in merged] == [
+            r.schedule for r in sequential
+        ]
+
+    def test_interrupt_resume_equals_uninterrupted(self, store):
+        """PR 5's durability contract extended to reduced sweeps: the
+        resumed artifact equals the uninterrupted one modulo wall-clock,
+        because the shard seeds are a pure function of the setup."""
+        setup = exchanger_program([3, 4])
+        config = {"max_steps": 200, "reduction": "dpor"}
+        uninterrupted = durable_explore(
+            store, "dp-full", "exchanger2", "cal", setup, dict(config)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            durable_explore(
+                store,
+                "dp-cut",
+                "exchanger2",
+                "cal",
+                setup,
+                dict(config),
+                abort_after=1,
+            )
+        assert store.get_campaign("dp-cut")["status"] == STATUS_INTERRUPTED
+        resumed = durable_explore(
+            store, "dp-cut", "exchanger2", "cal", setup, dict(config)
+        )
+        assert [r.schedule for r in resumed] == [
+            r.schedule for r in uninterrupted
+        ]
+        assert [r.returns for r in resumed] == [
+            r.returns for r in uninterrupted
+        ]
+
+    def test_durable_verify_dpor_matches_sequential(self, store):
+        setup = exchanger_program([3, 4])
+        direct = verify_cal(
+            setup,
+            ExchangerSpec("E"),
+            max_steps=200,
+            search=True,
+            reduction="dpor",
+        )
+        durable = durable_verify(
+            store,
+            "dv1",
+            "exchanger2",
+            "cal",
+            setup,
+            ExchangerSpec("E"),
+            {"max_steps": 200},
+            driver_kwargs={"search": True, "reduction": "dpor"},
+        )
+        assert durable.verdict == direct.verdict
+        assert durable.runs == direct.runs
+
+
+class TestValidation:
+    """All reduction/bound/memory-model combinations are rejected up
+    front with one shared message — before any partial setup, trace
+    emission, or campaign row is created."""
+
+    def test_reductions_registry(self):
+        assert REDUCTIONS == ("none", "sleep-set", "dpor")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reduction": "odd-sets"},
+            {"reduction": "sleep-set", "preemption_bound": 1},
+            {"reduction": "dpor", "preemption_bound": 1},
+            {"reduction": "dpor", "memory_model": "alpha"},
+            {"memory_model": "psox"},
+        ],
+        ids=[
+            "unknown-reduction",
+            "sleep-set+bound",
+            "dpor+bound",
+            "bad-memory-model",
+            "bad-memory-model-unreduced",
+        ],
+    )
+    def test_every_rejected_combo_shares_one_message(self, kwargs):
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            validate_exploration(**kwargs)
+
+    @pytest.mark.parametrize("reduction", ["sleep-set", "dpor"])
+    def test_explore_all_rejects_bound_up_front(self, reduction):
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            explore_all(
+                broken2_setup, reduction=reduction, preemption_bound=1
+            )
+
+    def test_explore_all_rejects_unknown_reduction(self):
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            explore_all(broken2_setup, reduction="odd-sets")
+
+    def test_verify_rejects_before_emitting_trace(self):
+        trace = TraceSink()
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            verify_cal(
+                broken2_setup,
+                ExchangerSpec("E"),
+                max_steps=200,
+                reduction="dpor",
+                preemption_bound=2,
+                trace=trace,
+            )
+        assert trace.events == []
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            verify_linearizability(
+                broken2_setup,
+                StackSpec("S"),
+                max_steps=200,
+                reduction="bogus",
+                trace=trace,
+            )
+        assert trace.events == []
+
+    def test_explore_parallel_rejects_up_front(self):
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            explore_parallel(
+                broken2_setup,
+                max_steps=200,
+                reduction="dpor",
+                preemption_bound=1,
+            )
+
+    def test_durable_drivers_reject_before_creating_campaign(
+        self, store
+    ):
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            durable_explore(
+                store,
+                "bad1",
+                "exchanger2",
+                "cal",
+                exchanger_program([3, 4]),
+                {"max_steps": 200, "reduction": "odd-sets"},
+            )
+        assert store.get_campaign("bad1") is None
+        with pytest.raises(
+            ValueError, match="invalid exploration configuration"
+        ):
+            durable_verify(
+                store,
+                "bad2",
+                "exchanger2",
+                "cal",
+                exchanger_program([3, 4]),
+                ExchangerSpec("E"),
+                {"max_steps": 200},
+                driver_kwargs={"reduction": "dpor", "preemption_bound": 1},
+            )
+        assert store.get_campaign("bad2") is None

@@ -108,7 +108,7 @@ class TestExploreDifferential:
         assert _outcomes(reduced) == _outcomes(full)
 
     def test_reduction_none_is_default_and_validated(self):
-        assert REDUCTIONS == ("none", "sleep-set")
+        assert REDUCTIONS == ("none", "sleep-set", "dpor")
         with pytest.raises(ValueError, match="reduction"):
             list(explore_all(broken2_setup, reduction="odd-sets"))
 
