@@ -48,9 +48,9 @@ def trajectory_entry(summary: dict) -> dict:
     Handles bench_e17 summaries (aggregate speedup + disabled-
     observability overhead), bench_e19 summaries (checkpoint overhead),
     bench_e20 summaries (per-policy reclamation overhead + TSO
-    overhead) and bench_e21 summaries (guided-search runs-to-bug ratio
-    + sleep-set reduction); fields absent from a summary are simply
-    omitted.
+    overhead), bench_e21 summaries (guided-search runs-to-bug ratio +
+    sleep-set reduction) and bench_e23 summaries (provenance-ledger
+    overhead); fields absent from a summary are simply omitted.
     """
     overhead = summary.get("overhead") or {}
     if isinstance(overhead, dict):
@@ -71,6 +71,7 @@ def trajectory_entry(summary: dict) -> dict:
         "guided_speedup",
         "sleep_set_reduction",
         "dpor_reduction",
+        "provenance_overhead",
     ):
         if extra in summary:
             entry[extra] = summary[extra]
@@ -135,6 +136,7 @@ def main(argv=None) -> int:
             "guided_speedup",
             "sleep_set_reduction",
             "dpor_reduction",
+            "provenance_overhead",
         )
         if entry.get(key) is not None
     )

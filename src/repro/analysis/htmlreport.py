@@ -32,6 +32,11 @@ pre { background: #f6f8fa; border: 1px solid #d7dde3; padding: .8rem;
 .verdict-unknown { background: #b58105; }
 svg { background: #fcfdfe; border: 1px solid #d7dde3; }
 .note { color: #5a6773; font-size: .9rem; }
+.bar { display: inline-block; height: .7rem; background: #4078c0;
+       vertical-align: baseline; }
+ul.spans, ul.spans ul { list-style: none; padding-left: 1.2rem; }
+ul.spans li { border-left: 2px solid #d7dde3; padding: .1rem 0 .1rem .6rem;
+              margin: .15rem 0; }
 """
 
 
@@ -219,6 +224,191 @@ def _counterexample_section(artifact: Dict[str, Any]) -> str:
     return "".join(parts)
 
 
+def _hbar_table(
+    title_headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """A table whose last column is a value rendered with a proportional
+    horizontal bar — the no-JS histogram used by the flight recorder."""
+    values = [row[-1] for row in rows]
+    peak = max([v for v in values if isinstance(v, (int, float))] + [1])
+    head = "".join(f"<th>{_esc(h)}</th>" for h in title_headers)
+    body_rows = []
+    for row in rows:
+        cells = "".join(f"<td>{_esc(_fmt(v))}</td>" for v in row[:-1])
+        value = row[-1]
+        width = int(round(160 * value / peak)) if peak else 0
+        bar = (
+            f"<td><span class='bar' style='width:{width}px'></span> "
+            f"{_esc(_fmt(value))}</td>"
+        )
+        body_rows.append(f"<tr>{cells}{bar}</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody></table>"
+    )
+
+
+def _provenance_section(artifact: Dict[str, Any]) -> str:
+    """The exploration-provenance ledger, rendered for both the flight
+    recorder and the regular campaign report (when recorded)."""
+    snapshot = artifact.get("provenance")
+    if not snapshot:
+        return ""
+    # Lazy, like _coverage_section: no analysis → obs edge at import.
+    from repro.obs.provenance import ExplorationLedger, ledger_report
+
+    ledger = ExplorationLedger.from_snapshot(snapshot)
+    report = ledger_report(ledger)
+    audit = report["reconciliation"]
+    parts = ["<h2>Exploration provenance</h2>"]
+    if audit["visited"]:
+        badge = (
+            "<span class='verdict verdict-ok'>balanced</span>"
+            if audit["balanced"]
+            else "<span class='verdict verdict-fail'>unaccounted "
+            "schedules</span>"
+        )
+        parts.append(f"<h3>Schedule dispositions {badge}</h3>")
+        parts.append(
+            _table(
+                ["disposition", "count"],
+                [
+                    ["visited", audit["visited"]],
+                    ["executed", audit["executed"]],
+                    ["completed", audit["completed"]],
+                    ["pruned", audit["pruned"]],
+                    ["roots", audit["roots"]],
+                    ["advances", audit["advances"]],
+                    ["race reversals", audit["race_reversals"]],
+                ],
+            )
+        )
+    if report["prune_causes"]:
+        parts.append("<h3>Prune causes</h3>")
+        parts.append(
+            _hbar_table(
+                ["cause", "pruned"], sorted(report["prune_causes"].items())
+            )
+        )
+    if report["wakeups"]:
+        parts.append("<h3>Wakeup-tree admissions</h3>")
+        parts.append(
+            _hbar_table(
+                ["outcome", "count"], sorted(report["wakeups"].items())
+            )
+        )
+    if report["races"]:
+        parts.append("<h3>Race graph</h3>")
+        rows = []
+        for edge, count in sorted(report["races"].items()):
+            exemplar = ledger.evidence.get(edge) or {}
+            steps = (
+                f"{exemplar.get('i')} &lt; {exemplar.get('j')}"
+                if exemplar
+                else ""
+            )
+            rows.append([edge, steps, count])
+        parts.append(_hbar_table(["earlier → later", "e.g. steps", "races"], rows))
+    greybox = report["greybox"]
+    if greybox:
+        picks = {
+            name[len("pick."):]: value
+            for name, value in greybox.items()
+            if name.startswith("pick.")
+        }
+        if picks:
+            parts.append("<h3>Corpus energy at pick time</h3>")
+            # High-energy buckets first, the order ENERGY_BUCKETS defines.
+            from repro.obs.provenance import ENERGY_BUCKETS
+
+            order = [label for _, label in ENERGY_BUCKETS] + ["<0.25"]
+            rows = [
+                [label, picks[label]] for label in order if label in picks
+            ]
+            parts.append(_hbar_table(["energy", "picks"], rows))
+        others = {
+            name: value
+            for name, value in greybox.items()
+            if not name.startswith("pick.")
+        }
+        if others:
+            parts.append("<h3>Greybox telemetry</h3>")
+            parts.append(_hbar_table(["counter", "count"], sorted(others.items())))
+    return "".join(parts)
+
+
+def _span_items(nodes: Sequence[Dict[str, Any]]) -> str:
+    items = []
+    for node in nodes:
+        flags = []
+        if node.get("visits", 0) > 1:
+            flags.append(f"{node['visits']} visits")
+        if node.get("open"):
+            flags.append("open")
+        suffix = f" <em>({', '.join(flags)})</em>" if flags else ""
+        children = node.get("children") or ()
+        nested = f"<ul>{_span_items(children)}</ul>" if children else ""
+        items.append(
+            f"<li><code>{_esc(node.get('span_id', ''))}</code> "
+            f"{_fmt(node.get('elapsed_s', 0.0))}s{suffix}{nested}</li>"
+        )
+    return "".join(items)
+
+
+def _span_section(spans: Sequence[Dict[str, Any]]) -> str:
+    if not spans:
+        return ""
+    return (
+        "<h2>Span timeline</h2>"
+        "<p class='note'>Hierarchical spans with deterministic ids: the "
+        "traces of sequential, forked and resumed invocations of the "
+        "same campaign reassemble into this one tree.</p>"
+        f"<ul class='spans'>{_span_items(spans)}</ul>"
+    )
+
+
+def render_flight_recorder(
+    artifact: Dict[str, Any], spans: Sequence[Dict[str, Any]] = ()
+) -> str:
+    """The ``repro explain --html`` page: one self-contained flight
+    recorder with the prune-cause breakdown, race graph, wakeup-tree
+    admission stats, corpus energy histogram and (when a trace was
+    given) the hierarchical span timeline."""
+    verdict = str(artifact.get("verdict", "UNKNOWN"))
+    css_class = {
+        "OK": "verdict-ok",
+        "FAIL": "verdict-fail",
+    }.get(verdict, "verdict-unknown")
+    title = (
+        f"flight recorder · {artifact.get('kind', 'campaign')} · "
+        f"{artifact.get('workload', '?')}"
+    )
+    head = (
+        f"<h1>{_esc(title)} "
+        f"<span class='verdict {css_class}'>{_esc(verdict)}</span></h1>"
+        f"<p class='note'>checker: {_esc(artifact.get('checker', '?'))} · "
+        f"elapsed: {_fmt(artifact.get('elapsed_s', 0.0))}s</p>"
+    )
+    provenance = _provenance_section(artifact)
+    if not provenance:
+        provenance = (
+            "<p class='note'>no provenance recorded in this artifact</p>"
+        )
+    sections = [
+        head,
+        _table(
+            ["tally", "value"], sorted((artifact.get("tallies") or {}).items())
+        ),
+        provenance,
+        _span_section(spans),
+    ]
+    return (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        "<body>" + "".join(sections) + "</body></html>"
+    )
+
+
 #: Trajectory metrics :func:`render_trend_html` charts when present.
 TREND_SERIES = (
     ("aggregate_speedup", "aggregate speedup"),
@@ -229,6 +419,7 @@ TREND_SERIES = (
     ("guided_speedup", "guided-search speedup (runs-to-bug ratio)"),
     ("sleep_set_reduction", "sleep-set schedule reduction"),
     ("dpor_reduction", "DPOR schedule reduction"),
+    ("provenance_overhead", "provenance ledger overhead"),
 )
 
 
@@ -367,6 +558,7 @@ def render_html_report(artifact: Dict[str, Any]) -> str:
         _coverage_section(artifact.get("coverage")),
         _profile_section(artifact),
         _stats_section(artifact),
+        _provenance_section(artifact),
         _counterexample_section(artifact),
     ]
     return (

@@ -43,6 +43,8 @@ Coverage = Optional[Dict[str, Any]]
 
 Corpus = Optional[List[Dict[str, Any]]]
 
+Provenance = Optional[Dict[str, Any]]
+
 #: Schedule-guidance modes accepted by the fuzz drivers.
 GUIDANCE_MODES = ("uniform", "greybox")
 
@@ -86,7 +88,22 @@ def _merge_corpus(mine: Corpus, theirs: Corpus) -> Corpus:
     )
 
 
-def _engine_for(guidance: str, corpus):
+def _merge_provenance(mine: Provenance, theirs: Provenance) -> Provenance:
+    """Merge two :meth:`ExplorationLedger.snapshot` dicts (either may be None)."""
+    from repro.obs.provenance import ExplorationLedger
+
+    if theirs is None:
+        return mine
+    if mine is None:
+        return ExplorationLedger.from_snapshot(theirs).snapshot()
+    return (
+        ExplorationLedger.from_snapshot(mine)
+        .merge(ExplorationLedger.from_snapshot(theirs))
+        .snapshot()
+    )
+
+
+def _engine_for(guidance: str, corpus, ledger=None):
     """Build the greybox engine for a campaign (None under uniform)."""
     if guidance not in GUIDANCE_MODES:
         raise ValueError(
@@ -101,7 +118,7 @@ def _engine_for(guidance: str, corpus):
         corpus = ScheduleCorpus()
     elif not hasattr(corpus, "pick"):  # a snapshot list, not a corpus
         corpus = ScheduleCorpus.from_snapshot(corpus)
-    return GreyboxEngine(corpus=corpus)
+    return GreyboxEngine(corpus=corpus, ledger=ledger)
 
 
 def _campaign_registry(metrics) -> Optional[Metrics]:
@@ -113,6 +130,14 @@ def _campaign_registry(metrics) -> Optional[Metrics]:
     carries the same hooks as the caller's.
     """
     return type(metrics)() if metrics is not None else None
+
+
+def _campaign_ledger(provenance):
+    """A fresh campaign-local provenance ledger (same discipline as
+    :func:`_campaign_registry`): the campaign records into its own
+    instance, exposes the snapshot as ``report.provenance``, and merges
+    into the caller's ledger on the way out."""
+    return type(provenance)() if provenance is not None else None
 
 
 @dataclass
@@ -182,6 +207,9 @@ class FuzzReport:
     #: Greybox-campaign corpus snapshot (None under uniform guidance) —
     #: what durable campaigns persist to the store's ``corpus`` table.
     corpus: Corpus = None
+    #: :meth:`ExplorationLedger.snapshot` of the campaign's provenance
+    #: ledger (None unless the campaign ran with ``provenance=``).
+    provenance: Provenance = None
 
     @property
     def ok(self) -> bool:
@@ -204,6 +232,9 @@ class FuzzReport:
         # getattr: reports unpickled from pre-corpus campaign stores
         # restore without the attribute.
         self.corpus = _merge_corpus(self.corpus, getattr(other, "corpus", None))
+        self.provenance = _merge_provenance(
+            self.provenance, getattr(other, "provenance", None)
+        )
 
     def __repr__(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
@@ -380,6 +411,7 @@ def fuzz_cal(
     dedup=None,
     guidance: str = "uniform",
     corpus=None,
+    provenance=None,
 ) -> FuzzReport:
     """Sample random schedules and check CAL on each run.
 
@@ -425,11 +457,18 @@ def fuzz_cal(
     a snapshot list from the campaign store; the evolved snapshot lands
     in ``report.corpus``.  ``guidance="uniform"`` (the default) is the
     historical campaign, decision for decision.
+
+    ``provenance`` (an :class:`~repro.obs.provenance.ExplorationLedger`)
+    collects the greybox engine's energy/mutation/novelty telemetry —
+    observation-only, so guided proposals are identical with or without
+    it.  The campaign's own snapshot lands in ``report.provenance`` and
+    merges into the caller's ledger, mirroring ``metrics``.
     """
     checker = CALChecker(spec)
     report = FuzzReport()
     campaign = _campaign_registry(metrics)
-    engine = _engine_for(guidance, corpus)
+    audit = _campaign_ledger(provenance)
+    engine = _engine_for(guidance, corpus, audit)
     started = time.monotonic()
 
     def diagnose(run: RunResult, stats=None, sink=None):
@@ -562,6 +601,9 @@ def fuzz_cal(
         report.coverage = coverage.snapshot()
     if engine is not None:
         report.corpus = engine.corpus.snapshot()
+    if audit is not None:
+        report.provenance = audit.snapshot()
+        provenance.merge(audit)
     if trace is not None:
         trace.emit(
             "campaign_end",
@@ -593,17 +635,19 @@ def fuzz_linearizability(
     dedup=None,
     guidance: str = "uniform",
     corpus=None,
+    provenance=None,
 ) -> FuzzReport:
     """Sample random schedules and check linearizability on each run.
 
     ``deadline_at``, ``metrics``/``trace``, ``coverage``,
-    ``progress_every``, ``dedup``, ``guidance`` and ``corpus`` behave
-    as in :func:`fuzz_cal`.
+    ``progress_every``, ``dedup``, ``guidance``, ``corpus`` and
+    ``provenance`` behave as in :func:`fuzz_cal`.
     """
     checker = LinearizabilityChecker(spec)
     report = FuzzReport()
     campaign = _campaign_registry(metrics)
-    engine = _engine_for(guidance, corpus)
+    audit = _campaign_ledger(provenance)
+    engine = _engine_for(guidance, corpus, audit)
     started = time.monotonic()
 
     def diagnose(run: RunResult, stats=None, sink=None):
@@ -733,6 +777,9 @@ def fuzz_linearizability(
         report.coverage = coverage.snapshot()
     if engine is not None:
         report.corpus = engine.corpus.snapshot()
+    if audit is not None:
+        report.provenance = audit.snapshot()
+        provenance.merge(audit)
     if trace is not None:
         trace.emit(
             "campaign_end",

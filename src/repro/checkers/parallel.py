@@ -79,6 +79,7 @@ from repro.checkers.seqspec import SequentialSpec
 from repro.checkers.verify import ViewFn
 from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics
+from repro.obs.provenance import ExplorationLedger
 from repro.substrate.explore import (
     ExploreBudget,
     SetupFn,
@@ -404,6 +405,7 @@ def _fuzz_parallel(
     max_retries: int = DEFAULT_MAX_RETRIES,
     guidance: str = "uniform",
     corpus=None,
+    provenance=None,
 ) -> FuzzReport:
     seeds = list(seeds)
     greybox = guidance != "uniform"
@@ -455,6 +457,7 @@ def _fuzz_parallel(
                 dedup=dedup,
                 guidance=guidance,
                 corpus=corpus,
+                provenance=type(provenance)() if provenance is not None else None,
                 **kwargs,
             )
         return run_chunk
@@ -556,6 +559,9 @@ def _fuzz_parallel(
         # same contract as the sequential driver.
         coverage.merge(CoverageTracker.from_snapshot(merged.coverage))
         merged.coverage = coverage.snapshot()
+    if provenance is not None and merged.provenance is not None:
+        provenance.merge(ExplorationLedger.from_snapshot(merged.provenance))
+        merged.provenance = provenance.snapshot()
     return merged
 
 
@@ -585,6 +591,7 @@ def fuzz_cal_parallel(
     max_retries: int = DEFAULT_MAX_RETRIES,
     guidance: str = "uniform",
     corpus=None,
+    provenance=None,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_cal` fanned across workers.
 
@@ -620,6 +627,12 @@ def fuzz_cal_parallel(
     worker and the first-failure identity guarantee is relative to a
     sequential campaign over the same *chunk* (guided proposals depend
     on the chunk-local corpus state, not the seed alone).
+
+    ``provenance`` (an :class:`~repro.obs.provenance.ExplorationLedger`)
+    follows the coverage discipline: each worker records into a private
+    ledger, snapshots ride back on the chunk reports, and the merged
+    ledger equals a sequential campaign's byte for byte (the merge law
+    is associative and commutative).
     """
     return _fuzz_parallel(
         fuzz_cal,
@@ -650,6 +663,7 @@ def fuzz_cal_parallel(
         max_retries=max_retries,
         guidance=guidance,
         corpus=corpus,
+        provenance=provenance,
     )
 
 
@@ -678,6 +692,7 @@ def fuzz_linearizability_parallel(
     max_retries: int = DEFAULT_MAX_RETRIES,
     guidance: str = "uniform",
     corpus=None,
+    provenance=None,
 ) -> FuzzReport:
     """:func:`~repro.checkers.fuzz.fuzz_linearizability` fanned across
     workers, with the same determinism guarantees (first failure, merged
@@ -712,6 +727,7 @@ def fuzz_linearizability_parallel(
         max_retries=max_retries,
         guidance=guidance,
         corpus=corpus,
+        provenance=provenance,
     )
 
 
@@ -743,6 +759,7 @@ def explore_parallel(
     trace=None,
     coverage=None,
     reduction: str = "none",
+    provenance=None,
 ) -> List[RunResult]:
     """Enumerate all runs, sharded by the first decision point.
 
@@ -771,6 +788,12 @@ def explore_parallel(
     ``k``-th branch — so the sharded sweep prunes like the unsharded
     one and the concatenated shard results equal the sequential reduced
     enumeration.
+
+    ``provenance`` (an :class:`~repro.obs.provenance.ExplorationLedger`)
+    audits reduced sweeps: each shard records into a private ledger
+    whose snapshot rides back beside the shard results, and the parent
+    folds them — the merged ledger's dispositions reconcile against the
+    merged visited-schedule count exactly as a sequential sweep's do.
     """
     validate_exploration(reduction, preemption_bound=preemption_bound)
     workers = default_workers() if workers is None else workers
@@ -787,6 +810,7 @@ def explore_parallel(
                 preemption_bound=preemption_bound,
                 budget=budget,
                 reduction=reduction,
+                provenance=provenance,
             )
         )
         _observe_explore(metrics, trace, results, budget, coverage)
@@ -796,8 +820,10 @@ def explore_parallel(
         shard_sleep_seeds(setup, arity) if reduction != "none" else None
     )
 
-    def shard_task(pin: int) -> Callable[[], Tuple[List[RunResult], ExploreBudget]]:
-        def run_shard() -> Tuple[List[RunResult], ExploreBudget]:
+    def shard_task(
+        pin: int,
+    ) -> Callable[[], Tuple[List[RunResult], ExploreBudget, Optional[dict]]]:
+        def run_shard() -> Tuple[List[RunResult], ExploreBudget, Optional[dict]]:
             shard_budget = (
                 ExploreBudget(
                     max_runs=budget.max_runs,
@@ -806,6 +832,12 @@ def explore_parallel(
                 )
                 if budget is not None
                 else None
+            )
+            # Private per-shard ledger; its snapshot crosses the pipe
+            # (the ledger itself holds only plain dicts, but snapshots
+            # are the merge currency everywhere else too).
+            shard_ledger = (
+                type(provenance)() if provenance is not None else None
             )
             results = [
                 _sanitize(result)
@@ -818,9 +850,14 @@ def explore_parallel(
                     pin_prefix=[pin],
                     reduction=reduction,
                     sleep_seed=None if seeds is None else seeds[pin],
+                    provenance=shard_ledger,
                 )
             ]
-            return results, (shard_budget or ExploreBudget())
+            return (
+                results,
+                shard_budget or ExploreBudget(),
+                None if shard_ledger is None else shard_ledger.snapshot(),
+            )
         return run_shard
 
     shards = _map_forked(
@@ -847,8 +884,10 @@ def explore_parallel(
                     f"shard {pin} quarantined ({shard.error})"
                 )
             continue
-        results, shard_budget = shard
+        results, shard_budget, shard_ledger = shard
         merged.extend(results)
+        if provenance is not None and shard_ledger is not None:
+            provenance.merge(ExplorationLedger.from_snapshot(shard_ledger))
         if budget is not None:
             budget.runs += shard_budget.runs
             budget.steps += shard_budget.steps

@@ -76,6 +76,9 @@ class VerificationReport:
     budget: Optional[ExploreBudget] = None
     stats: Optional[Dict[str, Dict[str, Any]]] = None
     coverage: Optional[Dict[str, Any]] = None
+    #: :meth:`ExplorationLedger.snapshot` of the driver's reduction
+    #: audit (None unless run with ``provenance=``).
+    provenance: Optional[Dict[str, Any]] = None
 
     @property
     def verdict(self) -> Verdict:
@@ -103,7 +106,11 @@ class VerificationReport:
         unsharded sweep produces.  ``budget`` objects are not merged —
         sharded durable campaigns run each shard to completion instead.
         """
-        from repro.checkers.fuzz import _merge_coverage, _merge_stats
+        from repro.checkers.fuzz import (
+            _merge_coverage,
+            _merge_provenance,
+            _merge_stats,
+        )
 
         self.runs += other.runs
         self.incomplete += other.incomplete
@@ -112,6 +119,9 @@ class VerificationReport:
         self.failures.extend(other.failures)
         self.stats = _merge_stats(self.stats, other.stats)
         self.coverage = _merge_coverage(self.coverage, other.coverage)
+        self.provenance = _merge_provenance(
+            self.provenance, getattr(other, "provenance", None)
+        )
 
     def __repr__(self) -> str:
         if self.ok:
@@ -169,6 +179,7 @@ def verify_cal(
     pin_prefix: Sequence[int] = (),
     reduction: str = "none",
     sleep_seed=None,
+    provenance=None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check CAL w.r.t. ``spec``.
 
@@ -204,11 +215,21 @@ def verify_cal(
     siblings (see :func:`~repro.substrate.explore.shard_sleep_seeds`);
     the reduction/bound combination is validated before any trace event
     is emitted.
+
+    ``provenance`` (an :class:`~repro.obs.provenance.ExplorationLedger`)
+    audits the reduced engines' schedule dispositions — executed,
+    pruned, race-reversed, with race evidence under ``"dpor"`` — into a
+    campaign-local ledger whose snapshot lands in ``report.provenance``
+    and merges into the caller's ledger, mirroring ``metrics``.
+    Observation-only: the explored schedules are identical either way.
     """
+    from repro.checkers.fuzz import _campaign_ledger
+
     validate_exploration(reduction, preemption_bound=preemption_bound)
     checker = CALChecker(spec)
     report = VerificationReport(budget=budget)
     campaign = type(metrics)() if metrics is not None else None
+    audit = _campaign_ledger(provenance)
     started = time.monotonic()
     attempted = 0
     if budget is not None:
@@ -224,6 +245,7 @@ def verify_cal(
         pin_prefix=pin_prefix,
         reduction=reduction,
         sleep_seed=sleep_seed,
+        provenance=audit,
     ):
         if campaign is not None:
             observe_run(campaign, run)
@@ -300,6 +322,9 @@ def verify_cal(
         metrics.merge(campaign)
     if coverage is not None:
         report.coverage = coverage.snapshot()
+    if audit is not None:
+        report.provenance = audit.snapshot()
+        provenance.merge(audit)
     if trace is not None:
         trace.emit(
             "verify_end",
@@ -330,6 +355,7 @@ def verify_linearizability(
     pin_prefix: Sequence[int] = (),
     reduction: str = "none",
     sleep_seed=None,
+    provenance=None,
 ) -> VerificationReport:
     """Explore all runs of ``setup`` and check classic linearizability.
 
@@ -341,13 +367,16 @@ def verify_linearizability(
     Budgets degrade exactly as in :func:`verify_cal`: a budget-cut search
     falls back to witness validation (when a view is available) and the
     run counts as ``unknown``.  ``metrics``/``trace``/``coverage``/
-    ``progress_every``/``pin_prefix``/``reduction``/``sleep_seed``
-    behave as in :func:`verify_cal`.
+    ``progress_every``/``pin_prefix``/``reduction``/``sleep_seed``/
+    ``provenance`` behave as in :func:`verify_cal`.
     """
+    from repro.checkers.fuzz import _campaign_ledger
+
     validate_exploration(reduction, preemption_bound=preemption_bound)
     checker = LinearizabilityChecker(spec)
     report = VerificationReport(budget=budget)
     campaign = type(metrics)() if metrics is not None else None
+    audit = _campaign_ledger(provenance)
     started = time.monotonic()
     attempted = 0
     if budget is not None:
@@ -363,6 +392,7 @@ def verify_linearizability(
         pin_prefix=pin_prefix,
         reduction=reduction,
         sleep_seed=sleep_seed,
+        provenance=audit,
     ):
         if campaign is not None:
             observe_run(campaign, run)
@@ -429,6 +459,9 @@ def verify_linearizability(
         metrics.merge(campaign)
     if coverage is not None:
         report.coverage = coverage.snapshot()
+    if audit is not None:
+        report.provenance = audit.snapshot()
+        provenance.merge(audit)
     if trace is not None:
         trace.emit(
             "verify_end",

@@ -31,6 +31,12 @@ This package provides both, zero-dependency and off by default:
 * :class:`SearchProfiler` — a :class:`Metrics` subclass that additionally
   buckets the search tallies per (checker, object, history width);
   :func:`profile_breakdown` / :func:`render_profile` read it back.
+* :class:`ExplorationLedger` — the reduction-audit ledger: the
+  disposition of every candidate schedule (executed, pruned, deferred
+  into a wakeup tree, spawned by a race reversal, with race evidence)
+  plus greybox energy/mutation telemetry, same merge law as
+  :class:`Metrics`; :func:`render_ledger` and ``repro explain`` read it
+  back.
 
 Every entry point that accepts ``metrics=``/``trace=``/``coverage=``
 defaults them to ``None``; the disabled path is the plain code path
@@ -41,24 +47,36 @@ the counter-name tables and the trace event schema.
 from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics, observe_run
 from repro.obs.profile import SearchProfiler, profile_breakdown, render_profile
+from repro.obs.provenance import (
+    ExplorationLedger,
+    ledger_report,
+    render_ledger,
+)
 from repro.obs.report import CounterexampleReport
 from repro.obs.tracing import (
     JsonLinesTraceSink,
     TeeTraceSink,
     TraceSink,
+    assemble_spans,
     read_trace,
+    span_path,
 )
 
 __all__ = [
     "CounterexampleReport",
     "CoverageTracker",
+    "ExplorationLedger",
     "JsonLinesTraceSink",
     "Metrics",
     "SearchProfiler",
     "TeeTraceSink",
     "TraceSink",
+    "assemble_spans",
+    "ledger_report",
     "observe_run",
     "profile_breakdown",
     "read_trace",
+    "render_ledger",
     "render_profile",
+    "span_path",
 ]

@@ -10,6 +10,16 @@ run and worker lifecycle, shrink iterations, and ``span``-timed phases;
 :class:`TraceSink` collects events in memory (tests, interactive use);
 :class:`JsonLinesTraceSink` streams them to a file as JSON lines, one
 event per line, round-trippable through :func:`read_trace`.
+
+Spans can be **hierarchical**: :meth:`TraceSink.span` takes an optional
+``span_id`` — a slash-joined path built with :func:`span_path` — whose
+parent is derived from the path prefix.  Because span ids are pure
+functions of stable coordinates (campaign id, chunk index, worker slot,
+run position), never of wall clock or pid, the spans of a sequential
+run, a forked run, and a resumed run of the same campaign all carry the
+*same* ids: concatenating their traces and feeding them to
+:func:`assemble_spans` reassembles one timeline, with re-entered spans
+(a resumed campaign) folded into a single node that counts its visits.
 """
 
 from __future__ import annotations
@@ -18,7 +28,19 @@ import io
 import json
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+
+def span_path(*parts: Tuple[str, Any]) -> str:
+    """Build a deterministic hierarchical span id from coordinates.
+
+    ``span_path(("campaign", cid), ("chunk", 3))`` →
+    ``"campaign=<cid>/chunk=3"``.  The parent of a path is its prefix
+    (everything before the last ``/``), so the hierarchy is carried by
+    the id itself and two traces of the same campaign — sequential and
+    resumed, say — mint identical ids for the same work.
+    """
+    return "/".join(f"{name}={value}" for name, value in parts)
 
 
 def _jsonable(value: Any) -> Any:
@@ -49,9 +71,22 @@ class TraceSink:
         self.events.append(record)
 
     @contextmanager
-    def span(self, phase: str, **fields: Any) -> Iterator[None]:
+    def span(
+        self, phase: str, span_id: Optional[str] = None, **fields: Any
+    ) -> Iterator[None]:
         """Emit ``phase_begin``/``phase_end`` around a block, with the
-        block's wall clock on the ``phase_end`` event."""
+        block's wall clock on the ``phase_end`` event.
+
+        ``span_id`` (see :func:`span_path`) makes the span hierarchical:
+        both events carry the id plus the parent derived from its path
+        prefix, and :func:`assemble_spans` nests them back into a
+        timeline.  Without it the span is flat, as before.
+        """
+        if span_id is not None:
+            fields = dict(fields, span_id=span_id)
+            parent = span_id.rpartition("/")[0]
+            if parent:
+                fields["parent"] = parent
         self.emit("phase_begin", phase=phase, **fields)
         started = time.perf_counter()
         try:
@@ -151,3 +186,56 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
                 }
             )
     return events
+
+
+def assemble_spans(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Reassemble hierarchical spans from (concatenated) trace events.
+
+    Scans ``phase_begin``/``phase_end`` records carrying a ``span_id``
+    and folds them into one node per id: ``visits`` counts how many
+    times the span began (a resumed campaign re-enters its campaign
+    span), ``elapsed_s`` sums across visits, ``open`` flags a span whose
+    last visit never ended (a crashed worker).  Nodes nest under the
+    span whose id is their path parent; ids whose parent never appears
+    are roots.  Events may come from several trace files of the same
+    campaign — ids are deterministic, so the timelines interleave
+    correctly regardless of file order.
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for event in events:
+        kind = event.get("event")
+        if kind not in ("phase_begin", "phase_end"):
+            continue
+        span_id = event.get("span_id")
+        if not span_id:
+            continue
+        node = spans.get(span_id)
+        if node is None:
+            node = {
+                "span_id": span_id,
+                "phase": event.get("phase"),
+                "parent": event.get("parent"),
+                "visits": 0,
+                "ends": 0,
+                "elapsed_s": 0.0,
+                "children": [],
+            }
+            spans[span_id] = node
+            order.append(span_id)
+        if kind == "phase_begin":
+            node["visits"] += 1
+        else:
+            node["ends"] += 1
+            node["elapsed_s"] += float(event.get("elapsed_s", 0.0))
+    roots: List[Dict[str, Any]] = []
+    for span_id in order:
+        node = spans[span_id]
+        node["open"] = node["visits"] > node["ends"]
+        del node["ends"]
+        parent = node.get("parent")
+        if parent and parent in spans:
+            spans[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots

@@ -68,6 +68,39 @@ DEFAULT_MAX_VALUE = 4
 FAILURE_ENERGY = 8
 
 
+def mutate_prefix_op(
+    rng: random.Random,
+    prefix: Sequence[int],
+    donor: Sequence[int],
+    max_value: int = DEFAULT_MAX_VALUE,
+) -> Tuple[str, Tuple[int, ...]]:
+    """Like :func:`mutate_prefix`, also naming the operator applied.
+
+    Returns ``(op, mutated)`` where ``op`` is the *effective* operator —
+    a degenerate ``truncate``/``perturb``/``splice`` that fell back
+    reports ``"extend"`` — so provenance telemetry attributes outcomes
+    to what actually ran.  The rng draw sequence is identical to
+    :func:`mutate_prefix`.
+    """
+    base = tuple(int(d) for d in prefix)
+    op = rng.choice(MUTATION_OPS)
+    if op == "truncate" and len(base) > 1:
+        cut = rng.randrange(1, len(base))
+        return op, base[:cut]
+    if op == "perturb" and base:
+        slot = rng.randrange(len(base))
+        return op, base[:slot] + (rng.randrange(max_value),) + base[slot + 1 :]
+    if op == "splice" and base and donor:
+        head = rng.randrange(1, len(base) + 1)
+        tail = rng.randrange(len(donor) + 1)
+        return op, base[:head] + tuple(int(d) for d in donor)[tail:]
+    # extend (also the fallback for degenerate truncate/perturb/splice)
+    grown = base
+    for _ in range(rng.randrange(1, 4)):
+        grown += (rng.randrange(max_value),)
+    return "extend", grown
+
+
 def mutate_prefix(
     rng: random.Random,
     prefix: Sequence[int],
@@ -81,23 +114,7 @@ def mutate_prefix(
     Degenerate cases (empty prefixes) fall back to ``extend`` so the
     operator always returns a non-empty prefix.
     """
-    base = tuple(int(d) for d in prefix)
-    op = rng.choice(MUTATION_OPS)
-    if op == "truncate" and len(base) > 1:
-        cut = rng.randrange(1, len(base))
-        return base[:cut]
-    if op == "perturb" and base:
-        slot = rng.randrange(len(base))
-        return base[:slot] + (rng.randrange(max_value),) + base[slot + 1 :]
-    if op == "splice" and base and donor:
-        head = rng.randrange(1, len(base) + 1)
-        tail = rng.randrange(len(donor) + 1)
-        return base[:head] + tuple(int(d) for d in donor)[tail:]
-    # extend (also the fallback for degenerate truncate/perturb/splice)
-    grown = base
-    for _ in range(rng.randrange(1, 4)):
-        grown += (rng.randrange(max_value),)
-    return grown
+    return mutate_prefix_op(rng, prefix, donor, max_value)[1]
 
 
 class GreyboxEngine:
@@ -108,8 +125,10 @@ class GreyboxEngine:
         "prefix_len",
         "explore_ratio",
         "max_value",
+        "ledger",
         "_novelty",
         "_parent",
+        "_pending_op",
         "proposed",
         "mutated",
     )
@@ -120,19 +139,23 @@ class GreyboxEngine:
         prefix_len: int = DEFAULT_PREFIX_LEN,
         explore_ratio: float = DEFAULT_EXPLORE_RATIO,
         max_value: int = DEFAULT_MAX_VALUE,
+        ledger=None,
     ) -> None:
         self.corpus = corpus if corpus is not None else ScheduleCorpus()
         self.prefix_len = prefix_len
         self.explore_ratio = explore_ratio
         self.max_value = max_value
+        self.ledger = ledger  # optional ExplorationLedger (provenance)
         self._novelty = CoverageTracker()
         self._parent: Optional[CorpusEntry] = None
+        self._pending_op: Optional[str] = None
         self.proposed = 0  # seeds that got a mutated prefix
         self.mutated = 0  # mutations derived in total (== proposed)
 
     def propose(self, seed: int) -> Optional[List[int]]:
         """Return a mutated prefix for ``seed``, or None for a uniform draw."""
         self._parent = None
+        self._pending_op = None
         if not len(self.corpus):
             return None
         rng = named_stream(seed, "mutation")
@@ -140,9 +163,15 @@ class GreyboxEngine:
             return None
         entry = self.corpus.pick(rng)
         donor = self.corpus.pick(rng)
-        prefix = mutate_prefix(rng, entry.prefix, donor.prefix, self.max_value)
+        if self.ledger is not None:
+            # Energy at pick time, before this pick decays it.
+            self.ledger.record_pick(entry.energy)
+        op, prefix = mutate_prefix_op(
+            rng, entry.prefix, donor.prefix, self.max_value
+        )
         entry.children += 1
         self._parent = entry
+        self._pending_op = op
         self.proposed += 1
         self.mutated += 1
         return list(prefix)
@@ -157,14 +186,30 @@ class GreyboxEngine:
         credits the proposing entry.
         """
         tracker = self._novelty
-        before = len(tracker.histories) + len(tracker.history_shapes)
+        histories_before = len(tracker.histories)
+        shapes_before = len(tracker.history_shapes)
         tracker.observe_run(position, run.schedule, run.history, oid=oid)
-        minted = len(tracker.histories) + len(tracker.history_shapes) > before
+        minted = (
+            len(tracker.histories) > histories_before
+            or len(tracker.history_shapes) > shapes_before
+        )
+        if self.ledger is not None:
+            if self._pending_op is not None:
+                self.ledger.record_mutation(self._pending_op, minted)
+            if minted:
+                self.ledger.record_admission(
+                    "history"
+                    if len(tracker.histories) > histories_before
+                    else "shape"
+                )
+            else:
+                self.ledger.record_rejection("duplicate")
         if minted:
             self.corpus.add(tuple(run.schedule[: self.prefix_len]))
             if self._parent is not None:
                 self._parent.hits += 1
         self._parent = None
+        self._pending_op = None
         return minted
 
     def record_failure(self, run: Any) -> Optional[CorpusEntry]:
@@ -176,6 +221,12 @@ class GreyboxEngine:
         entry = self.corpus.add(tuple(run.schedule))
         if entry is not None:
             entry.hits += FAILURE_ENERGY
+        if self.ledger is not None:
+            self.ledger.count(
+                "greybox.failure_donated"
+                if entry is not None
+                else "greybox.failure_duplicate"
+            )
         return entry
 
     def stats(self) -> dict:
@@ -195,4 +246,5 @@ __all__ = [
     "GreyboxEngine",
     "MUTATION_OPS",
     "mutate_prefix",
+    "mutate_prefix_op",
 ]

@@ -34,8 +34,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.provenance import ExplorationLedger
+from repro.obs.tracing import span_path
 from repro.store.checkpoint import CheckpointWriter, restore_completed
 from repro.store.dedup import (
     ScheduleDedup,
@@ -66,6 +69,20 @@ def default_campaign_id(kind: str, workload: str, config: Dict[str, Any]) -> str
         json.dumps([kind, workload, config], sort_keys=True).encode("utf-8")
     ).hexdigest()[:10]
     return f"{kind}-{workload}-{digest}"
+
+
+def _span(trace, phase: str, span_id: str, **fields):
+    """A hierarchical trace span, or a no-op when tracing is off.
+
+    Campaign runners wrap their campaign and each chunk in spans whose
+    ids are pure functions of ``(campaign_id, chunk index)`` — see
+    :func:`repro.obs.tracing.span_path` — so the traces of an
+    uninterrupted run and of its interrupt/resume pieces reassemble into
+    one timeline (:func:`repro.obs.tracing.assemble_spans`).
+    """
+    if trace is None:
+        return nullcontext()
+    return trace.span(phase, span_id=span_id, **fields)
 
 
 def _begin(
@@ -130,6 +147,7 @@ def durable_fuzz(
     abort_after: int = 0,
     use_dedup: bool = False,
     driver_kwargs: Optional[Dict[str, Any]] = None,
+    provenance=None,
 ):
     """Run (or resume) a checkpointed fuzz campaign.
 
@@ -151,34 +169,46 @@ def durable_fuzz(
     dedup = load_dedup(store, workload, checker, width) if use_dedup else None
     driver_kwargs = dict(driver_kwargs or {})
     greybox = driver_kwargs.get("guidance") == "greybox"
+    scope = dedup_scope(workload, checker, width)
     if greybox and driver_kwargs.get("corpus") is None:
         # Warm-start from every prior campaign's persisted corpus for
         # this (workload, checker, width) scope.  An empty table yields
         # an empty list, which the engine treats as a cold start.
-        stored = store.corpus_entries(dedup_scope(workload, checker, width))
+        stored = store.corpus_entries(scope)
         if stored:
             driver_kwargs["corpus"] = stored
+        if trace is not None:
+            trace.emit(
+                "corpus_loaded",
+                campaign=campaign_id,
+                scope=scope,
+                entries=len(stored),
+            )
     writer = CheckpointWriter(
         store, campaign_id, trace=trace, abort_after=abort_after
     )
     driver = fuzz_cal_parallel if checker == "cal" else fuzz_linearizability_parallel
     try:
-        report = driver(
-            setup,
-            spec,
-            seeds=range(config["seeds"]),
-            workers=max(1, workers),
-            max_steps=config["max_steps"],
-            metrics=metrics,
-            trace=trace,
-            coverage=coverage,
-            progress_every=progress_every,
-            checkpoint=writer,
-            checkpoint_every=config["checkpoint_every"],
-            completed=completed,
-            dedup=dedup,
-            **driver_kwargs,
-        )
+        with _span(
+            trace, "campaign", span_path(("campaign", campaign_id)), kind="fuzz"
+        ):
+            report = driver(
+                setup,
+                spec,
+                seeds=range(config["seeds"]),
+                workers=max(1, workers),
+                max_steps=config["max_steps"],
+                metrics=metrics,
+                trace=trace,
+                coverage=coverage,
+                progress_every=progress_every,
+                checkpoint=writer,
+                checkpoint_every=config["checkpoint_every"],
+                completed=completed,
+                dedup=dedup,
+                provenance=provenance,
+                **driver_kwargs,
+            )
     except KeyboardInterrupt:
         store.set_status(campaign_id, STATUS_INTERRUPTED)
         raise
@@ -189,7 +219,14 @@ def durable_fuzz(
     if greybox and getattr(report, "corpus", None):
         # The report snapshot already folds the warm-start baseline, so
         # a plain save (INSERT OR REPLACE) is the correct merge.
-        store.save_corpus(dedup_scope(workload, checker, width), report.corpus)
+        store.save_corpus(scope, report.corpus)
+        if trace is not None:
+            trace.emit(
+                "corpus_persisted",
+                campaign=campaign_id,
+                scope=scope,
+                entries=len(report.corpus),
+            )
     return report
 
 
@@ -204,6 +241,7 @@ def durable_explore(
     trace=None,
     coverage=None,
     abort_after: int = 0,
+    provenance=None,
 ):
     """Run (or resume) a checkpointed exhaustive enumeration.
 
@@ -247,29 +285,66 @@ def durable_explore(
     writer = CheckpointWriter(
         store, campaign_id, trace=trace, abort_after=abort_after
     )
-    shards: Dict[int, List[Any]] = dict(completed)
+    shards: Dict[int, Any] = dict(completed)
     try:
-        for index, pin in enumerate(pins):
-            if index in shards:
-                continue
-            results = [
-                _sanitize(result)
-                for result in explore_all(
-                    setup,
-                    max_steps=max_steps,
-                    pin_prefix=pin,
-                    reduction=reduction,
-                    sleep_seed=None if seeds is None else seeds[index],
+        with _span(
+            trace,
+            "campaign",
+            span_path(("campaign", campaign_id)),
+            kind="explore",
+        ):
+            for index, pin in enumerate(pins):
+                if index in shards:
+                    continue
+                # Each shard records into a private ledger whose snapshot
+                # is checkpointed beside the shard's results, so a
+                # resumed campaign's merged ledger equals an
+                # uninterrupted one's — the coverage discipline.
+                shard_ledger = (
+                    type(provenance)() if provenance is not None else None
                 )
-            ]
-            writer.chunk_done(index, index, 1, results)
-            shards[index] = results
+                with _span(
+                    trace,
+                    "chunk",
+                    span_path(("campaign", campaign_id), ("chunk", index)),
+                    chunk=index,
+                ):
+                    results = [
+                        _sanitize(result)
+                        for result in explore_all(
+                            setup,
+                            max_steps=max_steps,
+                            pin_prefix=pin,
+                            reduction=reduction,
+                            sleep_seed=None if seeds is None else seeds[index],
+                            provenance=shard_ledger,
+                        )
+                    ]
+                payload: Any = results
+                if shard_ledger is not None:
+                    payload = {
+                        "results": results,
+                        "provenance": shard_ledger.snapshot(),
+                    }
+                writer.chunk_done(index, index, 1, payload)
+                shards[index] = payload
     except KeyboardInterrupt:
         store.set_status(campaign_id, STATUS_INTERRUPTED)
         raise
     merged: List[Any] = []
     for index in range(len(pins)):
-        merged.extend(shards[index])
+        payload = shards[index]
+        # Checkpoints from pre-provenance campaigns (or ledger-off runs)
+        # restore as bare result lists; ledger-on chunks restore as
+        # {"results", "provenance"} payloads.
+        if isinstance(payload, dict):
+            if provenance is not None and payload.get("provenance"):
+                provenance.merge(
+                    ExplorationLedger.from_snapshot(payload["provenance"])
+                )
+            merged.extend(payload["results"])
+        else:
+            merged.extend(payload)
     _observe_explore(metrics, trace, merged, None, coverage)
     store.set_status(campaign_id, STATUS_COMPLETE)
     _persist_knowledge(
@@ -292,6 +367,7 @@ def durable_verify(
     progress_every: int = 0,
     abort_after: int = 0,
     driver_kwargs: Optional[Dict[str, Any]] = None,
+    provenance=None,
 ):
     """Run (or resume) a checkpointed exhaustive verification.
 
@@ -344,30 +420,45 @@ def durable_verify(
     shards: Dict[int, Any] = dict(completed)
     attempted = 0
     try:
-        for index, pin in enumerate(pins):
-            if index in shards:
-                attempted += shards[index].runs + shards[index].incomplete
-                continue
-            shard_coverage = None
-            if coverage is not None:
-                shard_coverage = type(coverage)(
-                    prefix_depth=coverage.prefix_depth, offset=attempted
-                )
-            shard = driver(
-                setup,
-                spec,
-                max_steps=max_steps,
-                metrics=type(metrics)() if metrics is not None else None,
-                trace=trace,
-                coverage=shard_coverage,
-                progress_every=progress_every,
-                pin_prefix=pin,
-                sleep_seed=None if seeds is None else seeds[index],
-                **(driver_kwargs or {}),
-            )
-            writer.chunk_done(index, index, 1, shard)
-            shards[index] = shard
-            attempted += shard.runs + shard.incomplete
+        with _span(
+            trace,
+            "campaign",
+            span_path(("campaign", campaign_id)),
+            kind="verify",
+        ):
+            for index, pin in enumerate(pins):
+                if index in shards:
+                    attempted += shards[index].runs + shards[index].incomplete
+                    continue
+                shard_coverage = None
+                if coverage is not None:
+                    shard_coverage = type(coverage)(
+                        prefix_depth=coverage.prefix_depth, offset=attempted
+                    )
+                with _span(
+                    trace,
+                    "chunk",
+                    span_path(("campaign", campaign_id), ("chunk", index)),
+                    chunk=index,
+                ):
+                    shard = driver(
+                        setup,
+                        spec,
+                        max_steps=max_steps,
+                        metrics=type(metrics)() if metrics is not None else None,
+                        trace=trace,
+                        coverage=shard_coverage,
+                        progress_every=progress_every,
+                        pin_prefix=pin,
+                        sleep_seed=None if seeds is None else seeds[index],
+                        provenance=(
+                            type(provenance)() if provenance is not None else None
+                        ),
+                        **(driver_kwargs or {}),
+                    )
+                writer.chunk_done(index, index, 1, shard)
+                shards[index] = shard
+                attempted += shard.runs + shard.incomplete
     except KeyboardInterrupt:
         store.set_status(campaign_id, STATUS_INTERRUPTED)
         raise
@@ -381,6 +472,11 @@ def durable_verify(
 
         coverage.merge(CoverageTracker.from_snapshot(merged.coverage))
         merged.coverage = coverage.snapshot()
+    if provenance is not None and merged.provenance is not None:
+        # Restored shard reports carry their ledger snapshots (they ride
+        # inside the pickled report), so resume needs no special casing.
+        provenance.merge(ExplorationLedger.from_snapshot(merged.provenance))
+        merged.provenance = provenance.snapshot()
     store.set_status(campaign_id, STATUS_COMPLETE)
     _persist_knowledge(
         store, workload, checker, probe_width(setup), None, None, coverage

@@ -104,6 +104,7 @@ class DporExplorer:
         self,
         pin_prefix: Sequence[int],
         sleep_seed: Optional[Dict[str, Footprint]] = None,
+        ledger=None,
     ) -> None:
         self.stack: List[Any] = [_PinnedNode(c) for c in pin_prefix]
         self._pinned = len(pin_prefix)
@@ -119,6 +120,11 @@ class DporExplorer:
         self.pruned = 0
         self.races = 0  # immediate races analysed (stat)
         self.wakeups = 0  # wakeup sequences queued (stat)
+        self.ledger = ledger  # optional ExplorationLedger (provenance)
+        # Backtrack advance kind staged for the next attempt; committed
+        # by the replay loop when the attempt begins (see
+        # ``_SleepSetExplorer.staged_advance``).
+        self.staged_advance: Optional[str] = None
         self.events: List[_Event] = []
         self._suffix_start: Optional[int] = None
 
@@ -169,6 +175,8 @@ class DporExplorer:
                 continue
             node.wakeup.append((sibling,))
             self.wakeups += 1
+            if self.ledger is not None:
+                self.ledger.record_wakeup("queued_unobserved")
 
     # -- scheduler callbacks -------------------------------------------
     def on_thread_choice(self, enabled: Tuple[str, ...]) -> int:
@@ -375,6 +383,22 @@ class DporExplorer:
                 continue
             self.races += 1
             node = event_i.node
+            if self.ledger is not None:
+                evidence = None
+                if self.ledger.wants_race_evidence(
+                    event_i.agent, agent_j, i, j
+                ):
+                    evidence = {
+                        "earlier": event_i.agent,
+                        "later": agent_j,
+                        "i": i,
+                        "j": j,
+                        "clock": dict(clocks[j]),
+                    }
+                self.ledger.record_race(
+                    event_i.agent, agent_j, pinned=node is None,
+                    evidence=evidence,
+                )
             if node is None:
                 # The earlier racer ran under a pinned decision: this
                 # shard cannot backtrack there, and need not — every
@@ -417,11 +441,14 @@ class DporExplorer:
         if initial_set & node.sleep.keys():
             # The reversal commutes into a branch already explored (or
             # queued and completed) from this node: redundant.
+            if self.ledger is not None:
+                self.ledger.record_wakeup("rejected_sleep_covered")
             return
         current = node.enabled[node.chosen]
         queued_heads = {entry[0] for entry in node.wakeup}
         agents = [events[k].agent for k in sequence_idx]
         entry: Optional[Tuple[str, ...]] = None
+        rotated = False
         if agents[0] in node.enabled:
             entry = tuple(agents)
         else:
@@ -433,13 +460,20 @@ class DporExplorer:
                 if head in node.enabled:
                     rest = [a for a in agents if a != head]
                     entry = (head, *rest)
+                    rotated = True
                     break
         if entry is not None:
             head = entry[0]
             if head == current or head in queued_heads:
+                if self.ledger is not None:
+                    self.ledger.record_wakeup("rejected_duplicate_head")
                 return  # that branch is already exploring/queued
             node.wakeup.append(entry)
             self.wakeups += 1
+            if self.ledger is not None:
+                self.ledger.record_wakeup(
+                    "queued_rotated" if rotated else "queued"
+                )
             return
         # No weak initial is schedulable at the node: fall back to
         # classic DPOR's conservative move and queue every enabled
@@ -454,6 +488,8 @@ class DporExplorer:
             node.wakeup.append((agent,))
             queued_heads.add(agent)
             self.wakeups += 1
+            if self.ledger is not None:
+                self.ledger.record_wakeup("queued_conservative")
 
     # -- backtracking ---------------------------------------------------
     def backtrack(self) -> bool:
@@ -464,6 +500,7 @@ class DporExplorer:
             if isinstance(node, _ValueNode):
                 if node.chosen + 1 < node.arity:
                     node.chosen += 1
+                    self.staged_advance = "value_flip"
                     return True
                 stack.pop()
                 continue
@@ -477,6 +514,10 @@ class DporExplorer:
             while node.wakeup:
                 head, *tail = node.wakeup.pop(0)
                 if head in node.sleep:
+                    if self.ledger is not None:
+                        self.ledger.record_wakeup(
+                            "rejected_covered_since_queued"
+                        )
                     continue  # covered since it was queued
                 node.chosen = node.enabled.index(head)
                 node.plan = tuple(tail)
@@ -484,6 +525,7 @@ class DporExplorer:
                 advanced = True
                 break
             if advanced:
+                self.staged_advance = "race_reversal"
                 return True
             stack.pop()
         return False

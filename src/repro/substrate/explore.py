@@ -322,6 +322,7 @@ class _SleepSetExplorer:
         self,
         pin_prefix: Sequence[int],
         sleep_seed: Optional[Dict[str, Footprint]] = None,
+        ledger=None,
     ) -> None:
         self.stack: List[Any] = [_PinnedNode(c) for c in pin_prefix]
         self._pinned = len(pin_prefix)
@@ -334,6 +335,12 @@ class _SleepSetExplorer:
         self._current: Optional[_ThreadNode] = None
         self._memory_model = "sc"
         self.pruned = 0
+        self.ledger = ledger  # optional ExplorationLedger (provenance)
+        # The kind of the backtrack advance that armed the *next*
+        # attempt.  The replay loop commits it to the ledger only when
+        # that attempt actually begins — a budget cut between backtrack
+        # and attempt must not leave a dangling advance on the books.
+        self.staged_advance: Optional[str] = None
 
     def begin_run(self, runtime: Runtime) -> None:
         """Arm the explorer for one run over ``runtime``."""
@@ -444,6 +451,7 @@ class _SleepSetExplorer:
             if isinstance(node, _ValueNode):
                 if node.chosen + 1 < node.arity:
                     node.chosen += 1
+                    self.staged_advance = "value_flip"
                     return True
                 stack.pop()
                 continue
@@ -461,6 +469,7 @@ class _SleepSetExplorer:
                     advanced = True
                     break
             if advanced:
+                self.staged_advance = "sibling_advance"
                 return True
             stack.pop()
         return False
@@ -481,8 +490,14 @@ def _explore_reduced(
     ``explorer`` supplies the strategy: ``begin_run`` arms it over a
     fresh runtime, ``end_run`` runs any per-run analysis (the DPOR race
     detection; a no-op for sleep sets), and ``backtrack`` advances the
-    persistent decision stack to the next unexplored leaf.
+    persistent decision stack to the next unexplored leaf.  The
+    explorer's optional ``ledger`` receives each attempt's disposition
+    — every attempted schedule is recorded exactly once as executed or
+    pruned, which is the reconciliation invariant ``repro explain``
+    audits.
     """
+    ledger = explorer.ledger
+    root_counted = False
     produced = 0
     attempted = 0
     steps = 0
@@ -492,6 +507,22 @@ def _explore_reduced(
     while True:
         if budget is not None and budget.exhausted():
             return
+        if ledger is not None:
+            if not root_counted:
+                # One root per exploration entry that attempts at least
+                # one schedule.  Each root's first schedule is reached by
+                # no backtrack advance, so the books balance as
+                # ``executed + pruned == roots + advances`` — an identity
+                # that stays exact when per-shard ledgers merge (every
+                # shard is its own root).
+                ledger.count("schedule.root")
+                root_counted = True
+            if explorer.staged_advance is not None:
+                # Commit the backtrack advance that armed this attempt —
+                # staged, not recorded in backtrack itself, so a budget
+                # cut between the two leaves the books balanced.
+                ledger.record_advance(explorer.staged_advance)
+                explorer.staged_advance = None
         scheduler = _SleepSetScheduler(explorer)
         runtime = setup(scheduler)
         explorer.begin_run(runtime)
@@ -505,7 +536,11 @@ def _explore_reduced(
             if budget is not None:
                 budget.runs += 1
                 budget.steps += runtime.steps
+            if ledger is not None:
+                ledger.record_pruned("sleep_set")
         explorer.end_run()
+        if ledger is not None and result is not None:
+            ledger.record_executed(result.completed)
         attempted += 1
         steps += runtime.steps
         if result is not None:
@@ -543,6 +578,7 @@ def explore_all(
     progress_every: int = 0,
     reduction: str = "none",
     sleep_seed: Optional[Dict[str, Footprint]] = None,
+    provenance=None,
 ) -> Iterator[RunResult]:
     """Enumerate every run of the program (bounded by ``max_steps``).
 
@@ -596,15 +632,27 @@ def explore_all(
     sequential reduced sweep would carry into that branch, so sharding
     loses no pruning (see :func:`shard_sleep_seeds`).  Ignored by
     ``reduction="none"``.
+
+    ``provenance`` (an :class:`~repro.obs.provenance.ExplorationLedger`)
+    records the disposition of every candidate schedule the reduced
+    engines consider — executed, pruned, deferred into a wakeup tree,
+    spawned by a race reversal — plus race evidence under ``"dpor"``.
+    Off by default and observation-only: the explored schedules are
+    identical with or without it.  Ignored by ``reduction="none"``
+    (unreduced enumeration has no dispositions to audit).
     """
     validate_exploration(reduction, preemption_bound=preemption_bound)
     if reduction != "none":
         if reduction == "dpor":
             from repro.substrate.dpor import DporExplorer
 
-            explorer: Any = DporExplorer(pin_prefix, sleep_seed=sleep_seed)
+            explorer: Any = DporExplorer(
+                pin_prefix, sleep_seed=sleep_seed, ledger=provenance
+            )
         else:
-            explorer = _SleepSetExplorer(pin_prefix, sleep_seed=sleep_seed)
+            explorer = _SleepSetExplorer(
+                pin_prefix, sleep_seed=sleep_seed, ledger=provenance
+            )
         return _explore_reduced(
             explorer,
             setup,

@@ -18,6 +18,7 @@ import pytest
 
 from repro.checkers.fuzz import fuzz_cal
 from repro.checkers.parallel import fuzz_cal_parallel
+from repro.checkers.verify import verify_cal
 from repro.obs.profile import SearchProfiler, profile_breakdown, render_profile
 from repro.specs import ExchangerSpec
 from repro.workloads.programs import exchanger_program
@@ -182,6 +183,54 @@ class TestCampaignProfiling:
             if name.startswith("profile.") and name.endswith(".completions")
         )
         assert completions == profiler.counters["cal.completions"]
+
+    @pytest.mark.parametrize("reduction", ["sleep-set", "dpor"])
+    def test_profiles_reduced_verification(self, reduction):
+        """The profiler buckets reduced sweeps like unreduced ones: one
+        completion per checked run, every search node attributed."""
+        profiler = SearchProfiler()
+        report = verify_cal(
+            exchanger_program([3, 4]),
+            ExchangerSpec("E"),
+            max_steps=200,
+            search=True,
+            metrics=profiler,
+            reduction=reduction,
+        )
+        assert report.verdict.value == "ok"
+        completions = sum(
+            value
+            for name, value in profiler.counters.items()
+            if name.startswith("profile.") and name.endswith(".completions")
+        )
+        assert completions == report.runs > 0
+        bucketed = sum(
+            value
+            for name, value in profiler.counters.items()
+            if name.startswith("profile.") and name.endswith(".nodes")
+        )
+        assert bucketed == profiler.counters["search.nodes"] > 0
+
+    def test_reduced_engines_profile_the_same_completions(self):
+        """sleep-set and dpor check the same 58 exchanger-2 schedules,
+        so their completion buckets agree exactly."""
+        tallies = {}
+        for reduction in ("sleep-set", "dpor"):
+            profiler = SearchProfiler()
+            verify_cal(
+                exchanger_program([3, 4]),
+                ExchangerSpec("E"),
+                max_steps=200,
+                search=True,
+                metrics=profiler,
+                reduction=reduction,
+            )
+            tallies[reduction] = {
+                name: value
+                for name, value in profiler.counters.items()
+                if name.endswith(".completions")
+            }
+        assert tallies["sleep-set"] == tallies["dpor"]
 
     @pytest.mark.parametrize("workers", [1, 2, 3])
     def test_parallel_partition_transparency(self, workers):
